@@ -1,0 +1,126 @@
+// Command attack executes the paper's DMA code-injection attacks against a
+// freshly booted simulated machine and prints the step trace.
+//
+// Attacks: singlestep, ringflood, poisonedtx, forward, surveillance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmafault/internal/attacks"
+	"dmafault/internal/core"
+	"dmafault/internal/device"
+	"dmafault/internal/iommu"
+	"dmafault/internal/kexec"
+	"dmafault/internal/netstack"
+)
+
+func main() {
+	name := flag.String("attack", "poisonedtx", "singlestep | ringflood | poisonedtx | forward | surveillance | dos")
+	seed := flag.Int64("seed", 2021, "boot seed")
+	strict := flag.Bool("strict", false, "strict IOTLB invalidation (default: deferred, the Linux default)")
+	trials := flag.Int("trials", 16, "offline boot-study trials (ringflood)")
+	traceN := flag.Int("trace", 0, "print the last N machine events after the attack (0 = off)")
+	flag.Parse()
+
+	mode := iommu.Deferred
+	if *strict {
+		mode = iommu.Strict
+	}
+	r, err := run(*name, *seed, mode, *trials, *traceN)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attack: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(r.String())
+	if !r.Success {
+		os.Exit(2)
+	}
+}
+
+func run(name string, seed int64, mode iommu.Mode, trials, traceN int) (*attacks.Result, error) {
+	switch name {
+	case "ringflood":
+		study, err := attacks.RunBootStudy(attacks.Kernel415, trials, seed)
+		if err != nil {
+			return nil, err
+		}
+		sys, nic, _, err := attacks.BootOnce(attacks.Kernel415, seed+int64(trials)+1, 0)
+		if err != nil {
+			return nil, err
+		}
+		return attacks.RunRingFlood(sys, nic, study), nil
+	case "singlestep":
+		sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.AddNIC(1, netstack.DriverI40E, 0); err != nil {
+			return nil, err
+		}
+		build, err := kexec.ExtractBuildOffsets(sys.Kernel.Text(), sys.Layout.Symbols())
+		if err != nil {
+			return nil, err
+		}
+		atk := device.NewAttacker(1, sys.Bus, sys.Layout.Symbols(), build)
+		blk, err := attacks.InstallBuggyDriver(sys, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		return attacks.RunSingleStep(sys, atk, blk), nil
+	case "dos":
+		sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.AddNIC(1, netstack.DriverI40E, 0); err != nil {
+			return nil, err
+		}
+		build, err := kexec.ExtractBuildOffsets(sys.Kernel.Text(), sys.Layout.Symbols())
+		if err != nil {
+			return nil, err
+		}
+		atk := device.NewAttacker(1, sys.Bus, sys.Layout.Symbols(), build)
+		return attacks.RunFreelistDoS(sys, atk), nil
+	case "poisonedtx", "forward", "surveillance":
+		forwarding := name != "poisonedtx"
+		sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: mode, Forwarding: forwarding})
+		if err != nil {
+			return nil, err
+		}
+		var log interface{ Render(int) string }
+		if traceN > 0 {
+			log = sys.EnableTracing(0)
+		}
+		nic, err := sys.AddNIC(1, netstack.DriverI40E, 0)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if log != nil {
+				fmt.Print(log.Render(traceN))
+			}
+		}()
+		switch name {
+		case "poisonedtx":
+			return attacks.RunPoisonedTX(sys, nic), nil
+		case "forward":
+			return attacks.RunForwardThinking(sys, nic), nil
+		default:
+			secret, err := sys.Mem.Slab.Kmalloc(1, 64, "vault")
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Mem.Write(secret, []byte("kernel secret bytes")); err != nil {
+				return nil, err
+			}
+			r, got := attacks.RunSurveillance(sys, nic, secret, 19)
+			r.Detail["leaked"] = fmt.Sprintf("%q", got)
+			return r, nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown attack %q", name)
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrates.
+//
+// Usage:
+//
+//	experiments              # run everything at paper scale (256 reboots)
+//	experiments -quick       # reduced scale for smoke runs
+//	experiments -run F7      # one experiment
+//	experiments -out out.txt # also write the combined artifact to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmafault/internal/experiments"
+)
+
+func main() {
+	id := flag.String("run", "", "experiment ID (T1,T2,F1..F9,S2.4,S5.2.1,S5.3,S6,S7); empty = all")
+	quick := flag.Bool("quick", false, "reduced trial counts")
+	trials := flag.Int("trials", 0, "override boot-study trial count")
+	out := flag.String("out", "", "also write the combined output to this file")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig
+	if *quick {
+		cfg = experiments.QuickConfig
+	}
+	if *trials > 0 {
+		cfg.BootTrials = *trials
+	}
+
+	var outcomes []*experiments.Outcome
+	if *id != "" {
+		o, err := experiments.Run(*id, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		outcomes = []*experiments.Outcome{o}
+	} else {
+		var err error
+		outcomes, err = experiments.All(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var b strings.Builder
+	failed := 0
+	for _, o := range outcomes {
+		b.WriteString(o.Render())
+		b.WriteString("\n")
+		if !o.OK {
+			failed++
+		}
+	}
+	fmt.Fprintf(&b, "=== %d/%d experiments reproduced the paper's claims ===\n", len(outcomes)-failed, len(outcomes))
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if failed > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package dmafault is a full-system reproduction, in pure Go, of
+// "Characterizing, Exploiting, and Detecting DMA Code Injection
+// Vulnerabilities in the Presence of an IOMMU" (Markuze et al., EuroSys '21).
+//
+// The repository simulates the victim machine end to end — physical memory
+// and the kernel allocators (buddy, SLUB, page_frag), the KASLR'd virtual
+// layout, a VT-d-style IOMMU with strict/deferred invalidation, the DMA API,
+// an NX/ROP/JOP kernel-execution model, and the slice of the Linux network
+// stack the paper's attacks live in — and implements on top of it:
+//
+//   - the SPADE static analyzer with a C front end and a Linux-5.0-calibrated
+//     driver corpus (Table 2, Fig. 2);
+//   - the D-KASAN runtime sanitizer and its victim workload (Fig. 3);
+//   - the single-step baseline attack and the three compound attacks:
+//     RingFlood (§5.3), Poisoned TX (§5.4) and Forward Thinking (§5.5),
+//     including the arbitrary-page-read surveillance variant;
+//   - an experiments harness regenerating every table and figure
+//     (internal/experiments, cmd/experiments, bench_test.go).
+//
+// Entry points: internal/core.System boots a machine; the examples/ mains
+// show typical use; DESIGN.md maps paper artifacts to modules; EXPERIMENTS.md
+// records paper-vs-measured outcomes.
+package dmafault

@@ -1,0 +1,70 @@
+// Hardened: the same attacks against the mitigations the paper surveys —
+// strict invalidation (insufficient), Intel CET (stops the ROP stage), and
+// bounce buffers (stop sub-page exposure at a copy cost).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmafault/internal/attacks"
+	"dmafault/internal/core"
+	"dmafault/internal/dma"
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/netstack"
+)
+
+func boot(mode iommu.Mode, cet bool) (*core.System, *netstack.NIC) {
+	sys, err := core.NewSystem(core.Config{Seed: 99, KASLR: true, Mode: mode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Kernel.CETEnabled = cet
+	nic, err := sys.AddNIC(1, netstack.DriverI40E, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys, nic
+}
+
+func main() {
+	// 1. Strict IOTLB invalidation: closes the deferred window (Fig. 6) but
+	// not the driver-ordering one — the attack still lands.
+	sys, nic := boot(iommu.Strict, false)
+	r := attacks.RunPoisonedTX(sys, nic)
+	fmt.Printf("strict mode:      Poisoned TX success=%v (Fig. 7 path (i) survives)\n", r.Success)
+
+	// 2. Intel CET shadow stack (§8): the ROP chain's returns were never
+	// calls, so the first return faults.
+	sys2, nic2 := boot(iommu.Deferred, true)
+	r2 := attacks.RunPoisonedTX(sys2, nic2)
+	fmt.Printf("CET shadow stack: Poisoned TX success=%v (chain killed at first return)\n", r2.Success)
+
+	// 3. Bounce buffers (Markuze et al. [47]): the device only ever sees
+	// dedicated shadow pages; its out-of-range writes are never copied back.
+	sys3, _ := boot(iommu.Deferred, false)
+	bm := dma.NewBounceMapper(sys3.Mem, sys3.Mapper)
+	pfn, err := sys3.Mem.Pages.AllocPages(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kva := sys3.Layout.PFNToKVA(pfn)
+	va, err := bm.MapSingle(1, kva, 1500, dma.FromDevice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Device corrupts the tail of the shadow page ("shared info")...
+	if err := sys3.Bus.WriteU64(1, (va&^iommu.IOVA(layout.PageMask))+2048, 0xbad); err != nil {
+		log.Fatal(err)
+	}
+	if err := bm.UnmapSingle(1, va, 1500, dma.FromDevice); err != nil {
+		log.Fatal(err)
+	}
+	tail, _ := sys3.Mem.ReadU64(kva + 2048)
+	fmt.Printf("bounce buffers:   device tail-corruption reached kernel memory=%v (copy-back is length-bounded)\n", tail == 0xbad)
+	fmt.Printf("                  copy cost: %d bytes moved for one RX buffer\n", bm.Stats().BytesCopied)
+
+	fmt.Println("\nconclusion (§9): localized fixes block single-step attacks; the kernel's own")
+	fmt.Println("APIs (build_skb, page_frag, skb_shared_info placement) keep compound attacks alive.")
+}

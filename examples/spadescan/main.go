@@ -1,0 +1,37 @@
+// SPADE scan: run the static analyzer over the curated nvme_fc source and
+// print the Fig. 2-style recursive trace, then summarize the full calibrated
+// corpus (Table 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmafault/internal/cminor"
+	"dmafault/internal/corpus"
+	"dmafault/internal/spade"
+)
+
+func main() {
+	// Part 1: the Fig. 2 trace for the nvme_fc host driver.
+	f, err := cminor.Parse("drivers/nvme/host/fc.c", corpus.NvmeFC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := spade.NewAnalyzer([]*cminor.File{f}).Run()
+	fmt.Println("--- Figure 2: SPADE trace for drivers/nvme/host/fc.c ---")
+	fmt.Print(rep.TraceFor("drivers/nvme/host/fc.c"))
+
+	// Part 2: Table 2 over the Linux-5.0-calibrated corpus.
+	var parsed []*cminor.File
+	for _, sf := range corpus.Generate(corpus.Linux50) {
+		pf, err := cminor.Parse(sf.Name, sf.Content)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parsed = append(parsed, pf)
+	}
+	full := spade.NewAnalyzer(parsed).Run()
+	fmt.Println("\n--- Table 2: SPADE results over the calibrated corpus ---")
+	fmt.Print(full.Table())
+}

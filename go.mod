@@ -1,0 +1,3 @@
+module dmafault
+
+go 1.22

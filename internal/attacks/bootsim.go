@@ -1,0 +1,203 @@
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dmafault/internal/core"
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/netstack"
+)
+
+// Boot determinism study (§5.3). "At every reboot, the same set of commands
+// is executed in the same order, initiating the same kernel modules and
+// starting the same processes. While the pages each module receives may vary
+// in a multi-core environment due to timing issues, we do not expect the
+// drift to be too large." The study boots the simulated machine many times
+// and measures how often the RX-ring page frames repeat.
+
+// KernelVersion selects the driver memory-footprint regime of §5.3.
+type KernelVersion string
+
+const (
+	// Kernel50 models Linux 5.0: mlx5 HW LRO disabled, 2 KiB per RX entry
+	// (64 MiB per port on the paper's 32-core testbed).
+	Kernel50 KernelVersion = "5.0"
+	// Kernel415 models Linux 4.15: HW LRO enabled, 64 KiB per RX entry
+	// (2 GiB per port) — the version with >95% PFN repeat rates.
+	Kernel415 KernelVersion = "4.15"
+)
+
+// driverFor maps the kernel version to its mlx5 driver model.
+func driverFor(v KernelVersion) netstack.DriverModel {
+	if v == Kernel415 {
+		return netstack.DriverMlx5LRO
+	}
+	return netstack.DriverMlx5
+}
+
+// bootJitterPages bounds the early-boot allocation drift between reboots
+// ("we do not expect the drift to be too large"): up to 2 MiB of transient
+// boot-time allocations survive or not depending on timing.
+const bootJitterPages = 512
+
+// bootFixedPages is the deterministic early-boot footprint (modules, initrd
+// processing) allocated identically on every boot.
+const bootFixedPages = 200
+
+// attackerDev is the requester ID the malicious NIC uses in every scenario.
+const attackerDev iommu.DeviceID = 1
+
+// BootRecord is the outcome of one simulated boot: which frames back the RX
+// ring and where buffers start within them.
+type BootRecord struct {
+	Seed int64
+	// BufStart maps a PFN to the in-page offset of the first RX buffer
+	// starting in that frame.
+	BufStart map[layout.PFN]uint64
+	// CoveredPages is the total number of frames the ring's buffers span —
+	// the driver memory footprint of §5.3.
+	CoveredPages int
+}
+
+// BootOnce boots a machine with the version's driver and returns both the
+// system (for attack continuation) and the ring record.
+func BootOnce(version KernelVersion, seed int64, memBytes uint64) (*core.System, *netstack.NIC, *BootRecord, error) {
+	return BootOnceJitter(version, seed, memBytes, bootJitterPages)
+}
+
+// BootOnceJitter is BootOnce with an explicit early-boot drift amplitude —
+// the D5 ablation knob: repeat probability is footprint vs drift.
+func BootOnceJitter(version KernelVersion, seed int64, memBytes uint64, jitterPages int) (*core.System, *netstack.NIC, *BootRecord, error) {
+	return BootOnceQueues(version, seed, memBytes, jitterPages, 1)
+}
+
+// BootOnceQueues boots with `queues` RX rings (§5.2.2: one RX ring per core;
+// §5.3: "such attacks have a higher chance of success on larger machines",
+// because the footprint scales with the number of rings). The returned NIC
+// is queue 0; the record covers every queue.
+func BootOnceQueues(version KernelVersion, seed int64, memBytes uint64, jitterPages, queues int) (*core.System, *netstack.NIC, *BootRecord, error) {
+	if queues <= 0 {
+		queues = 1
+	}
+	model := driverFor(version)
+	if memBytes == 0 {
+		memBytes = 128 << 20
+		// HW-LRO rings are 32 MiB each; size memory to the queue count.
+		need := uint64(queues) * uint64(model.RingSize) * layout.PageAlignUp(netstack.TruesizeFor(model.RXBufferSize))
+		for memBytes < 2*need+(64<<20) {
+			memBytes *= 2
+		}
+	}
+	sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: iommu.Deferred, CPUs: maxInt(queues, 2), MemBytes: memBytes})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Early boot: fixed footprint + timing jitter. The jitter pages stay
+	// allocated (boot-time caches), shifting everything after them.
+	rng := rand.New(rand.NewSource(seed ^ 0xb007))
+	jitter := 0
+	if jitterPages > 0 {
+		jitter = rng.Intn(jitterPages)
+	}
+	for i := 0; i < bootFixedPages+jitter; i++ {
+		if _, err := sys.Mem.Pages.AllocPages(0, 0); err != nil {
+			return nil, nil, nil, fmt.Errorf("attacks: boot allocations: %w", err)
+		}
+	}
+	rec := &BootRecord{Seed: seed, BufStart: make(map[layout.PFN]uint64)}
+	covered := make(map[layout.PFN]bool)
+	var first *netstack.NIC
+	for q := 0; q < queues; q++ {
+		nic, err := sys.AddNIC(attackerDev+iommu.DeviceID(q), model, q)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if first == nil {
+			first = nic
+		}
+		for _, d := range nic.RXRing() {
+			fp, _ := sys.Layout.KVAToPFN(d.Data)
+			lp, _ := sys.Layout.KVAToPFN(d.Data + layout.Addr(netstack.TruesizeFor(d.Cap)-1))
+			if _, ok := rec.BufStart[fp]; !ok {
+				rec.BufStart[fp] = layout.PageOffsetOf(d.Data)
+			}
+			for p := fp; p <= lp; p++ {
+				covered[p] = true
+			}
+		}
+	}
+	rec.CoveredPages = len(covered)
+	return sys, first, rec, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BootStudy aggregates many boots.
+type BootStudy struct {
+	Version KernelVersion
+	Trials  int
+	// Freq counts, per PFN, the boots whose ring included it.
+	Freq map[layout.PFN]int
+	// ModalPFN is the most-repeated ring frame; ModalRate its frequency.
+	ModalPFN  layout.PFN
+	ModalRate float64
+	// ModalOffset is the buffer start offset on the modal frame in the
+	// reference (first) boot — what the offline attacker memorizes.
+	ModalOffset uint64
+	// MedianRate is the median repeat frequency over the reference boot's
+	// frames: the "many PFNs repeat in more than X% of reboots" statistic.
+	MedianRate float64
+	// FootprintPages is the reference boot's ring footprint.
+	FootprintPages int
+}
+
+// RunBootStudy simulates `trials` reboots and computes the §5.3 statistics.
+func RunBootStudy(version KernelVersion, trials int, seedBase int64) (*BootStudy, error) {
+	return RunBootStudyJitter(version, trials, seedBase, bootJitterPages)
+}
+
+// RunBootStudyJitter is RunBootStudy with an explicit drift amplitude (D5).
+func RunBootStudyJitter(version KernelVersion, trials int, seedBase int64, jitterPages int) (*BootStudy, error) {
+	st := &BootStudy{Version: version, Trials: trials, Freq: make(map[layout.PFN]int)}
+	var reference *BootRecord
+	for i := 0; i < trials; i++ {
+		_, _, rec, err := BootOnceJitter(version, seedBase+int64(i), 0, jitterPages)
+		if err != nil {
+			return nil, err
+		}
+		if reference == nil {
+			reference = rec
+			st.FootprintPages = rec.CoveredPages
+		}
+		for p := range rec.BufStart {
+			st.Freq[p]++
+		}
+	}
+	// Modal frame: prefer frames where a buffer actually starts in the
+	// reference boot (the attacker needs the buffer offset too).
+	bestCount := -1
+	for p, off := range reference.BufStart {
+		c := st.Freq[p]
+		if c > bestCount || (c == bestCount && p < st.ModalPFN) {
+			bestCount = c
+			st.ModalPFN = p
+			st.ModalOffset = off
+		}
+	}
+	st.ModalRate = float64(bestCount) / float64(trials)
+	rates := make([]float64, 0, len(reference.BufStart))
+	for p := range reference.BufStart {
+		rates = append(rates, float64(st.Freq[p])/float64(trials))
+	}
+	sort.Float64s(rates)
+	st.MedianRate = rates[len(rates)/2]
+	return st, nil
+}

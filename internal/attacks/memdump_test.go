@@ -1,0 +1,46 @@
+package attacks
+
+import (
+	"bytes"
+	"testing"
+
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/netstack"
+)
+
+func TestMemoryDumpMatchesGroundTruth(t *testing.T) {
+	sys, nic := bootVictim(t, iommu.Deferred, true, netstack.DriverI40E)
+	// The victim fills a few pages with known content the device never had
+	// mapped.
+	base, err := sys.Mem.Pages.AllocPages(1, 2) // 4 contiguous pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 4*layout.PageSize)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := sys.Mem.Write(sys.Layout.PFNToKVA(base), want); err != nil {
+		t.Fatal(err)
+	}
+	r, dump := RunMemoryDump(sys, nic, base, 4)
+	t.Log("\n" + r.String())
+	if !r.Success {
+		t.Fatal("memory dump failed")
+	}
+	if !bytes.Equal(dump, want) {
+		t.Fatal("dumped bytes differ from ground truth")
+	}
+	if sys.Kernel.Escalations != 0 {
+		t.Error("memory dump should not escalate")
+	}
+}
+
+func TestMemoryDumpRequiresForwarding(t *testing.T) {
+	sys, nic := bootVictim(t, iommu.Deferred, false, netstack.DriverI40E)
+	r, _ := RunMemoryDump(sys, nic, 2000, 1)
+	if r.Success {
+		t.Fatal("dump succeeded with forwarding disabled")
+	}
+}

@@ -1,0 +1,65 @@
+package attacks
+
+import (
+	"testing"
+
+	"dmafault/internal/layout"
+)
+
+// §5.3: "The memory footprint ... depends on the NIC capabilities and the
+// number of cores (number of RX rings) on the server. This means such
+// attacks have a higher chance of success on larger machines."
+func TestFootprintScalesWithQueues(t *testing.T) {
+	_, _, one, err := BootOnceQueues(Kernel50, 9, 0, bootJitterPages, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, four, err := BootOnceQueues(Kernel50, 9, 0, bootJitterPages, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.CoveredPages < 3*one.CoveredPages {
+		t.Errorf("4-queue footprint %d pages not ~4x the 1-queue %d", four.CoveredPages, one.CoveredPages)
+	}
+}
+
+func TestMoreQueuesRaiseRepeatProbability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-boot study is slow")
+	}
+	const trials = 16
+	study := func(queues int) float64 {
+		st := make(map[layout.PFN]int)
+		var ref map[layout.PFN]uint64
+		for i := 0; i < trials; i++ {
+			_, _, rec, err := BootOnceQueues(Kernel50, 4000+int64(i), 0, 2048, queues)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = rec.BufStart
+			}
+			for p := range rec.BufStart {
+				st[p]++
+			}
+		}
+		best := 0
+		for p := range ref {
+			if st[p] > best {
+				best = st[p]
+			}
+		}
+		return float64(best) / float64(trials)
+	}
+	// Under heavy drift (2048 pages), one queue's small footprint repeats
+	// poorly; eight queues blanket the drift range.
+	r1 := study(1)
+	r8 := study(8)
+	t.Logf("repeat rate: 1 queue %.2f, 8 queues %.2f", r1, r8)
+	if r8 < r1 {
+		t.Errorf("more queues did not help: %.2f vs %.2f", r8, r1)
+	}
+	if r8 < 0.9 {
+		t.Errorf("8-queue repeat rate %.2f below 0.9", r8)
+	}
+}

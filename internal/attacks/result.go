@@ -1,0 +1,57 @@
+// Package attacks implements the paper's DMA code-injection attacks against
+// the simulated Linux machine:
+//
+//   - a single-step baseline in the style of prior work (Thunderclap [45],
+//     Kupfer [38]), where all three vulnerability attributes of §3.3 are
+//     present on one mapped page;
+//   - the three novel compound attacks of §5: RingFlood (§5.3), Poisoned TX
+//     (§5.4), and Forward Thinking (§5.5), including the §5.5 arbitrary-
+//     page-read surveillance variant;
+//   - the boot-determinism study behind RingFlood (256 simulated reboots,
+//     PFN repeat statistics for kernels 5.0 and 4.15);
+//   - the Fig. 7 time-window matrix (driver ordering × IOMMU mode ×
+//     neighbor-IOVA path).
+//
+// Every attack operates strictly through the device side (IOVA DMA via the
+// IOMMU) plus build knowledge, acquiring the three attributes — malicious
+// buffer KVA, writable callback pointer, time window — the same way the
+// paper does.
+package attacks
+
+import "fmt"
+
+// Result is the outcome of one attack run: a human-readable step trace plus
+// the success criterion (privilege escalations observed by the kernel).
+type Result struct {
+	Name        string
+	Steps       []string
+	Success     bool
+	Escalations int
+	// Detail carries attack-specific numbers (hit rates, leaked bytes...).
+	Detail map[string]string
+}
+
+func newResult(name string) *Result {
+	return &Result{Name: name, Detail: make(map[string]string)}
+}
+
+// logf appends a formatted step to the trace.
+func (r *Result) logf(format string, args ...any) {
+	r.Steps = append(r.Steps, fmt.Sprintf(format, args...))
+}
+
+// fail records a blocking failure as the final step.
+func (r *Result) fail(err error) *Result {
+	r.logf("BLOCKED: %v", err)
+	r.Success = false
+	return r
+}
+
+// String renders the trace.
+func (r *Result) String() string {
+	out := fmt.Sprintf("=== %s (success=%v, escalations=%d) ===\n", r.Name, r.Success, r.Escalations)
+	for i, s := range r.Steps {
+		out += fmt.Sprintf("  %2d. %s\n", i+1, s)
+	}
+	return out
+}

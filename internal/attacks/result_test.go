@@ -1,0 +1,34 @@
+package attacks
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestResultFormatting(t *testing.T) {
+	r := newResult("demo attack")
+	r.logf("step %d: %s", 1, "scan")
+	r.logf("step 2")
+	r.Escalations = 1
+	r.Success = true
+	r.Detail["key"] = "value"
+	out := r.String()
+	for _, want := range []string{"demo attack", "success=true", "escalations=1", "1. step 1: scan", "2. step 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultFail(t *testing.T) {
+	r := newResult("doomed")
+	r.Success = true
+	got := r.fail(errors.New("no leak"))
+	if got != r || r.Success {
+		t.Error("fail did not clear success")
+	}
+	if !strings.Contains(r.String(), "BLOCKED: no leak") {
+		t.Errorf("trace = %v", r.Steps)
+	}
+}

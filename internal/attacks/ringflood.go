@@ -1,0 +1,132 @@
+package attacks
+
+import (
+	"fmt"
+
+	"dmafault/internal/core"
+	"dmafault/internal/device"
+	"dmafault/internal/iommu"
+	"dmafault/internal/kexec"
+	"dmafault/internal/layout"
+	"dmafault/internal/netstack"
+)
+
+// RingFlood (§5.3). The device floods every RX buffer with a poisoned
+// ROP stack; the missing attribute is the KVA of any of them. Boot
+// determinism supplies it: an attacker who profiled an identical setup
+// offline knows the most common RX-ring PFN, and the direct-map base
+// (recovered from leaks at run time) turns that PFN into a KVA.
+
+// victimActivity models ordinary server behaviour that the attack free-rides
+// on: the driver keeps an admin/stats buffer mapped, and userspace opens
+// sockets — which is what puts init_net and direct-map pointers on a
+// device-readable page (type (d) co-location through the kmalloc-512 class).
+func victimActivity(sys *core.System, nic *netstack.NIC) (*netstack.ControlBuffer, []*netstack.Socket, error) {
+	cb, err := nic.MapControlBuffer()
+	if err != nil {
+		return nil, nil, err
+	}
+	var socks []*netstack.Socket
+	for i := 0; i < 6; i++ {
+		s, err := sys.Net.AllocSocket(nic.CPU, "sock_alloc_inode+0x4f")
+		if err != nil {
+			return nil, nil, err
+		}
+		socks = append(socks, s)
+	}
+	return cb, socks, nil
+}
+
+// attackerFor wires up an Attacker with build knowledge extracted offline
+// from an identical kernel image.
+func attackerFor(sys *core.System) (*device.Attacker, error) {
+	build, err := kexec.ExtractBuildOffsets(sys.Kernel.Text(), sys.Layout.Symbols())
+	if err != nil {
+		return nil, err
+	}
+	return device.NewAttacker(attackerDev, sys.Bus, sys.Layout.Symbols(), build), nil
+}
+
+// RunRingFlood executes the attack against a freshly booted system, given
+// the offline boot-study profile.
+func RunRingFlood(sys *core.System, nic *netstack.NIC, study *BootStudy) *Result {
+	r := newResult(fmt.Sprintf("RingFlood (kernel %s)", study.Version))
+	atk, err := attackerFor(sys)
+	if err != nil {
+		return r.fail(err)
+	}
+	cb, _, err := victimActivity(sys, nic)
+	if err != nil {
+		return r.fail(err)
+	}
+	r.logf("victim: admin buffer mapped at IOVA %#x, sockets opened", uint64(cb.IOVA))
+
+	// Step 1: leak scan → KASLR break (text base for gadgets, direct-map
+	// base to turn the profiled PFN into a KVA).
+	if used := atk.ScanReadable([]iommu.IOVA{cb.IOVA}); used == 0 {
+		return r.fail(fmt.Errorf("leak scan found no kernel pointers"))
+	}
+	if _, err := atk.Infer.TextBase(); err != nil {
+		return r.fail(err)
+	}
+	if _, err := atk.Infer.PageOffsetBase(); err != nil {
+		return r.fail(err)
+	}
+	r.logf("KASLR broken: text + page_offset_base recovered from one mapped slab page")
+
+	// Step 2: flood — plant ubuf_info + ROP chain in every RX buffer.
+	ring := nic.RXRing()
+	planted := 0
+	for _, d := range ring {
+		if err := atk.PlantUbufAndChain(d.IOVA); err == nil {
+			planted++
+		}
+	}
+	r.logf("poisoned ROP stack planted in %d/%d RX buffers", planted, len(ring))
+
+	// Step 3: the profiled guess. The offline study says frame ModalPFN
+	// holds an RX buffer starting at ModalOffset in most boots.
+	guessKVA, err := atk.Infer.KVAFromPFN(study.ModalPFN)
+	if err != nil {
+		return r.fail(err)
+	}
+	ubufGuess := guessKVA + layout.Addr(study.ModalOffset) + device.UbufPlantOffset
+	r.logf("profiled guess: modal PFN %d (repeat rate %.0f%%) → ubuf KVA %#x",
+		study.ModalPFN, study.ModalRate*100, uint64(ubufGuess))
+
+	// Step 4: trigger. Deliver a spoofed packet; in the RX processing
+	// window (Fig. 7, any open path) overwrite the new skb's destructor_arg
+	// with the guessed KVA; the release path dispatches the callback.
+	before := sys.Kernel.Escalations
+	path, err := triggerInjection(sys, atk, nic, ubufGuess, 77)
+	r.Escalations = sys.Kernel.Escalations - before
+	r.Success = r.Escalations > 0
+	if r.Success {
+		r.logf("window path %v → sk_buff released → hijacked callback → privilege escalation", path)
+	} else {
+		r.logf("guess missed this boot (path %v, release error: %v) — retry next reboot", path, err)
+	}
+	r.Detail["modal_rate"] = fmt.Sprintf("%.2f", study.ModalRate)
+	r.Detail["planted"] = fmt.Sprintf("%d", planted)
+	r.Detail["window_path"] = path.String()
+	return r
+}
+
+// RingFloodCampaign measures the attack's success probability: profile once,
+// then attack `attempts` fresh boots with unseen seeds and count successes.
+// The hit rate should track the study's PFN repeat rate — the paper's §5.3
+// claim.
+func RingFloodCampaign(version KernelVersion, study *BootStudy, attempts int, seedBase int64) (hits int, results []*Result, err error) {
+	for i := 0; i < attempts; i++ {
+		sys, nic, _, err := BootOnce(version, seedBase+int64(i), 0)
+		if err != nil {
+			return hits, results, err
+		}
+		res := RunRingFlood(sys, nic, study)
+		results = append(results, res)
+		if res.Success {
+			hits++
+		}
+	}
+	return hits, results, nil
+}

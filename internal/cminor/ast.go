@@ -1,0 +1,252 @@
+package cminor
+
+// File is one parsed translation unit.
+type File struct {
+	Name    string
+	Structs []*StructDef
+	Funcs   []*FuncDef
+}
+
+// StructDef is a struct definition.
+type StructDef struct {
+	Pos    Pos
+	Name   string
+	Fields []Field
+}
+
+// Field is one struct member.
+type Field struct {
+	Pos  Pos
+	Name string
+	Type *Type
+}
+
+// TypeKind discriminates Type.
+type TypeKind int
+
+const (
+	// TypeBase is a scalar (int, u32, char, dma_addr_t, void, ...).
+	TypeBase TypeKind = iota
+	// TypeStruct is "struct Name" by value.
+	TypeStruct
+	// TypePtr is a pointer to Elem.
+	TypePtr
+	// TypeArray is Elem[Len].
+	TypeArray
+	// TypeFuncPtr is a function pointer: "ret (*f)(args)".
+	TypeFuncPtr
+)
+
+// Type describes a declared C type.
+type Type struct {
+	Kind TypeKind
+	Name string // base type or struct tag
+	Elem *Type  // pointee / array element
+	Len  int    // array length
+}
+
+// IsPtr reports whether the type is any pointer.
+func (t *Type) IsPtr() bool { return t != nil && (t.Kind == TypePtr || t.Kind == TypeFuncPtr) }
+
+// Deref returns the pointee of a pointer type.
+func (t *Type) Deref() *Type {
+	if t != nil && t.Kind == TypePtr {
+		return t.Elem
+	}
+	return nil
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "?"
+	}
+	switch t.Kind {
+	case TypeBase:
+		return t.Name
+	case TypeStruct:
+		return "struct " + t.Name
+	case TypePtr:
+		return t.Elem.String() + " *"
+	case TypeArray:
+		return t.Elem.String() + " []"
+	case TypeFuncPtr:
+		return "void (*)(...)"
+	default:
+		return "?"
+	}
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDef is a function definition with a parsed body.
+type FuncDef struct {
+	Pos    Pos
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   []Stmt
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmt() }
+
+// DeclStmt declares (and optionally initializes) a local variable.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Type *Type
+	Init Expr // may be nil
+}
+
+// ExprStmt evaluates an expression (assignment or call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// LoopStmt is a for or while loop (header expressions are kept only as the
+// init/cond/post of for, which DMA analysis ignores).
+type LoopStmt struct {
+	Pos  Pos
+	Body []Stmt
+}
+
+// SwitchStmt is a switch: case labels are discarded, the body statements
+// kept (the analysis treats it as a container).
+type SwitchStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil
+}
+
+func (*DeclStmt) stmt()   {}
+func (*ExprStmt) stmt()   {}
+func (*IfStmt) stmt()     {}
+func (*LoopStmt) stmt()   {}
+func (*SwitchStmt) stmt() {}
+func (*ReturnStmt) stmt() {}
+
+// Expr is an expression.
+type Expr interface {
+	expr()
+	ExprPos() Pos
+}
+
+// Ident is a name use.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Number is a numeric literal.
+type Number struct {
+	Pos  Pos
+	Text string
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Pos  Pos
+	Text string
+}
+
+// Call is fun(args...). Fun is an expression (usually an Ident).
+type Call struct {
+	Pos  Pos
+	Fun  Expr
+	Args []Expr
+}
+
+// FunName returns the callee name for direct calls, "" otherwise.
+func (c *Call) FunName() string {
+	if id, ok := c.Fun.(*Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// Member is x.f or x->f.
+type Member struct {
+	Pos   Pos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// Index is x[i].
+type Index struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+}
+
+// Unary is op x (&, *, !, -, ~).
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is x op y (comparison/arithmetic; analysis treats it opaquely).
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// Assign is lhs = rhs (also op-assign).
+type Assign struct {
+	Pos Pos
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+// Sizeof is sizeof(expr) or sizeof(struct X) / sizeof(*p).
+type Sizeof struct {
+	Pos Pos
+	// Arg is the operand expression, or nil when TypeArg is set.
+	Arg     Expr
+	TypeArg *Type
+}
+
+func (*Ident) expr()     {}
+func (*Number) expr()    {}
+func (*StringLit) expr() {}
+func (*Call) expr()      {}
+func (*Member) expr()    {}
+func (*Index) expr()     {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*Assign) expr()    {}
+func (*Sizeof) expr()    {}
+
+func (e *Ident) ExprPos() Pos     { return e.Pos }
+func (e *Number) ExprPos() Pos    { return e.Pos }
+func (e *StringLit) ExprPos() Pos { return e.Pos }
+func (e *Call) ExprPos() Pos      { return e.Pos }
+func (e *Member) ExprPos() Pos    { return e.Pos }
+func (e *Index) ExprPos() Pos     { return e.Pos }
+func (e *Unary) ExprPos() Pos     { return e.Pos }
+func (e *Binary) ExprPos() Pos    { return e.Pos }
+func (e *Assign) ExprPos() Pos    { return e.Pos }
+func (e *Sizeof) ExprPos() Pos    { return e.Pos }

@@ -1,0 +1,46 @@
+package cminor
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the C front end: whatever bytes come in, the parser must
+// return cleanly (source position in errors, no panics), and accepted inputs
+// must survive a re-parse (the corpus generator depends on determinism).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		driverSnippet,
+		"struct s { int a; };",
+		"int f(void) { return 0; }",
+		"static void g(struct sk_buff *skb) { dma_map_single(d, skb->data, 1, X); }",
+		"struct s { void (*cb)(int); char b[8]; };\nint f(struct s *p) { dma_map_single(d, &p->b, 8, X); return 0; }",
+		"#define X 1\nint f(void) { /* c */ return 'a' + 1; }",
+		"int f(int x) { switch (x) { case 1: x++; break; default: x--; } do { x++; } while (x < 0); return x; }",
+		"", "{", "}", ";;;", "struct", "int f(", `"unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse("fuzz.c", src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "fuzz.c") {
+				t.Errorf("error without source position: %v", err)
+			}
+			return
+		}
+		// Accepted input: walking must not panic and a re-parse must agree.
+		for _, fn := range file.Funcs {
+			WalkStmts(fn.Body, func(Stmt) {}, func(e Expr) { _ = e.ExprPos() })
+		}
+		again, err := Parse("fuzz.c", src)
+		if err != nil {
+			t.Errorf("accepted once, rejected on re-parse: %v", err)
+			return
+		}
+		if len(again.Funcs) != len(file.Funcs) || len(again.Structs) != len(file.Structs) {
+			t.Error("re-parse produced different shape")
+		}
+	})
+}

@@ -1,0 +1,207 @@
+// Package cminor is a small C front end: a lexer, parser and AST for the
+// subset of kernel C that device-driver DMA code is written in. It is the
+// substrate SPADE analyzes (the paper's SPADE drives Cscope over the real
+// Linux tree; ours parses a calibrated corpus of driver sources directly,
+// which is strictly more precise than a text cross-referencer).
+//
+// Supported constructs: struct definitions (scalar, pointer, array, embedded
+// struct and function-pointer fields), typedef-style base types (u8..u64,
+// dma_addr_t, ...), function definitions with declarations, assignments,
+// calls, if/else, for and while loops, returns, and the expression forms
+// driver DMA paths use (&x->f, x->f.g, sizeof(*p), array indexing).
+// Preprocessor lines and comments are skipped.
+package cminor
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+// Pos locates an AST node in its source.
+type Pos struct {
+	File string
+	Line int
+}
+
+// String renders file:line.
+func (p Pos) String() string { return fmt.Sprintf("%s:%d", p.File, p.Line) }
+
+// lexer tokenizes one source file.
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	toks []Token
+}
+
+// Lex tokenizes a source file, skipping comments and preprocessor lines.
+func Lex(file, src string) ([]Token, error) {
+	l := &lexer{src: src, file: file, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.peek(1) == '/':
+			l.skipLine()
+		case c == '/' && l.peek(1) == '*':
+			if err := l.skipBlockComment(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexChar(); err != nil {
+				return nil, err
+			}
+		default:
+			l.lexPunct()
+		}
+	}
+	l.toks = append(l.toks, Token{Kind: TokEOF, Line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		// Line continuations keep preprocessor definitions on one logical
+		// line.
+		if l.src[l.pos] == '\\' && l.peek(1) == '\n' {
+			l.pos += 2
+			l.line++
+			continue
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipBlockComment() error {
+	start := l.line
+	l.pos += 2
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		if l.src[l.pos] == '*' && l.peek(1) == '/' {
+			l.pos += 2
+			return nil
+		}
+		l.pos++
+	}
+	return fmt.Errorf("%s:%d: unterminated block comment", l.file, start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, Token{Kind: TokIdent, Text: l.src[start:l.pos], Line: l.line})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (isIdentCont(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++ // accepts hex, suffixes (UL), etc.
+	}
+	l.toks = append(l.toks, Token{Kind: TokNumber, Text: l.src[start:l.pos], Line: l.line})
+}
+
+func (l *lexer) lexString() error {
+	start, startLine := l.pos, l.line
+	l.pos++
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '\\':
+			l.pos += 2
+		case '"':
+			l.pos++
+			l.toks = append(l.toks, Token{Kind: TokString, Text: l.src[start:l.pos], Line: startLine})
+			return nil
+		case '\n':
+			return fmt.Errorf("%s:%d: newline in string literal", l.file, startLine)
+		default:
+			l.pos++
+		}
+	}
+	return fmt.Errorf("%s:%d: unterminated string literal", l.file, startLine)
+}
+
+func (l *lexer) lexChar() error {
+	start, startLine := l.pos, l.line
+	l.pos++
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '\\':
+			l.pos += 2
+		case '\'':
+			l.pos++
+			l.toks = append(l.toks, Token{Kind: TokChar, Text: l.src[start:l.pos], Line: startLine})
+			return nil
+		default:
+			l.pos++
+		}
+	}
+	return fmt.Errorf("%s:%d: unterminated char literal", l.file, startLine)
+}
+
+// multi-byte punctuation, longest first.
+var puncts = []string{
+	"->", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "|=", "&=", "^=", "%=", "++", "--", "...",
+}
+
+func (l *lexer) lexPunct() {
+	for _, p := range puncts {
+		if len(l.src)-l.pos >= len(p) && l.src[l.pos:l.pos+len(p)] == p {
+			l.toks = append(l.toks, Token{Kind: TokPunct, Text: p, Line: l.line})
+			l.pos += len(p)
+			return
+		}
+	}
+	l.toks = append(l.toks, Token{Kind: TokPunct, Text: string(l.src[l.pos]), Line: l.line})
+	l.pos++
+}

@@ -1,0 +1,195 @@
+package cminor
+
+import (
+	"testing"
+)
+
+func TestLexerTokenKinds(t *testing.T) {
+	src := `
+#define FOO(x) \
+	((x) + 1)
+/* block
+   comment */
+int f(void)
+{
+	char c;
+	char *s;
+	int n;
+	c = 'a';
+	s = "str\"esc";
+	n = 0x1fUL << 2;
+	n += 1;
+	n -= 1;
+	n <<= 1;
+	n >>= 1;
+	n |= 2;
+	n &= 3;
+	n ^= 4;
+	n *= 5;
+	n /= 6;
+	n %= 7;
+	return n;
+}
+`
+	f, err := Parse("lex.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 1 {
+		t.Fatal("func count")
+	}
+	// Line continuation in #define must not desync line numbers: int f is
+	// on line 6.
+	if f.Funcs[0].Pos.Line != 6 {
+		t.Errorf("func pos = %d, want 6", f.Funcs[0].Pos.Line)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	bad := []string{
+		"int f(void) { char c = 'x; }",
+		"/* never closed",
+		"int f(void) { char *s = \"split\nstring\"; }",
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.c", src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseGotoLabelsAndUnions(t *testing.T) {
+	src := `
+union reg { u32 word; u8 bytes[4]; };
+
+static void g(struct dev *d)
+{
+	int i;
+	i = 0;
+retry:
+	i++;
+	if (i < 3)
+		goto retry;
+	while (i > 0)
+		i--;
+	for (;;) {
+		break;
+	}
+	;
+}
+`
+	f, err := Parse("labels.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Structs) != 1 || f.Structs[0].Name != "reg" {
+		t.Errorf("union not parsed as struct-like: %+v", f.Structs)
+	}
+}
+
+func TestExprPositionsAndMarkers(t *testing.T) {
+	src := `
+int f(struct sk_buff *skb, int n)
+{
+	int x;
+	char s[4];
+	x = sizeof(struct sk_buff);
+	x = sizeof(int);
+	x = -n + ~n - !n;
+	x = skb->len ? 1 : 2;
+	s[0] = 'c';
+	return x;
+}
+`
+	f, err := Parse("pos.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every expression node must report a sane position.
+	count := 0
+	WalkStmts(f.Funcs[0].Body, func(s Stmt) {}, func(e Expr) {
+		count++
+		p := e.ExprPos()
+		if p.File != "pos.c" || p.Line < 2 {
+			t.Errorf("bad pos %v for %T", p, e)
+		}
+		if p.String() == "" {
+			t.Error("empty pos string")
+		}
+	})
+	if count < 15 {
+		t.Errorf("walked only %d expressions", count)
+	}
+}
+
+func TestTypeStringForms(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{&Type{Kind: TypeBase, Name: "u64"}, "u64"},
+		{&Type{Kind: TypeStruct, Name: "page"}, "struct page"},
+		{&Type{Kind: TypeArray, Elem: &Type{Kind: TypeBase, Name: "char"}, Len: 4}, "char []"},
+		{&Type{Kind: TypeFuncPtr}, "void (*)(...)"},
+		{&Type{Kind: TypeKind(99)}, "?"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMultiDeclaratorFields(t *testing.T) {
+	src := `
+struct multi {
+	u32 a, b, c;
+	u8 *p, *q;
+};
+`
+	f, err := Parse("multi.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := f.Structs[0]
+	if len(sd.Fields) != 5 {
+		t.Fatalf("fields = %d", len(sd.Fields))
+	}
+	if sd.Fields[4].Name != "q" || !sd.Fields[4].Type.IsPtr() {
+		t.Errorf("field q = %+v", sd.Fields[4])
+	}
+}
+
+func TestSymbolicArraySizes(t *testing.T) {
+	src := `
+struct shinfo {
+	char frags[MAX_SKB_FRAGS];
+};
+static void f(struct dev *d)
+{
+	char buf[RING_SIZE];
+	buf[0] = 1;
+}
+`
+	if _, err := Parse("sym.c", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongTypeNames(t *testing.T) {
+	src := `
+static unsigned long g(unsigned long x, long long y)
+{
+	unsigned long z;
+	z = x + y;
+	return z;
+}
+`
+	f, err := Parse("long.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Funcs[0].Ret.Name != "long" && f.Funcs[0].Ret.Name != "unsigned long" {
+		t.Logf("ret parsed as %q (accepted)", f.Funcs[0].Ret.Name)
+	}
+}

@@ -1,0 +1,760 @@
+package cminor
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+// Parse parses a translation unit.
+func Parse(file, src string) (*File, error) {
+	toks, err := Lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	out := &File{Name: file}
+	for !p.at(TokEOF, "") {
+		switch {
+		case (p.atIdent("struct") || p.atIdent("union") || p.atIdent("enum")) && p.peekIs(2, "{"):
+			sd, err := p.parseStructDef()
+			if err != nil {
+				return nil, err
+			}
+			out.Structs = append(out.Structs, sd)
+		default:
+			fn, err := p.parseFuncDef()
+			if err != nil {
+				return nil, err
+			}
+			out.Funcs = append(out.Funcs, fn)
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == k && (text == "" || t.Text == text)
+}
+
+func (p *parser) atIdent(name string) bool { return p.at(TokIdent, name) }
+
+func (p *parser) peekIs(n int, text string) bool {
+	if p.pos+n >= len(p.toks) {
+		return false
+	}
+	return p.toks[p.pos+n].Text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().Text == text && p.cur().Kind != TokEOF {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (Token, error) {
+	if p.cur().Text != text || p.cur().Kind == TokEOF {
+		return Token{}, p.errf("expected %q, found %q", text, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.file, p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) here() Pos { return Pos{File: p.file, Line: p.cur().Line} }
+
+// typeQualifiers are skipped wherever they appear.
+var typeQualifiers = map[string]bool{
+	"static": true, "inline": true, "const": true, "volatile": true,
+	"__always_inline": true, "extern": true, "unsigned": true, "signed": true,
+	"__iomem": true, "__rcu": true, "noinline": true,
+}
+
+func (p *parser) skipQualifiers() {
+	for p.cur().Kind == TokIdent && typeQualifiers[p.cur().Text] {
+		// "unsigned" alone can BE the type (unsigned x) — keep it if the
+		// next token is not a type-ish identifier.
+		if p.cur().Text == "unsigned" || p.cur().Text == "signed" {
+			nxt := p.toks[p.pos+1]
+			if nxt.Kind != TokIdent {
+				return
+			}
+		}
+		p.pos++
+	}
+}
+
+// parseTypePrefix parses the type up to (but excluding) the declarator name:
+// qualifiers, "struct X" or a base name, then '*'s.
+func (p *parser) parseTypePrefix() (*Type, error) {
+	p.skipQualifiers()
+	var t *Type
+	switch {
+	case p.atIdent("struct") || p.atIdent("union") || p.atIdent("enum"):
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected struct tag")
+		}
+		t = &Type{Kind: TypeStruct, Name: p.next().Text}
+	case p.cur().Kind == TokIdent:
+		name := p.next().Text
+		// "long long", "unsigned long" and friends.
+		for (name == "long" || name == "short" || name == "unsigned" || name == "signed") &&
+			p.cur().Kind == TokIdent && (p.cur().Text == "long" || p.cur().Text == "int" || p.cur().Text == "char") {
+			name += " " + p.next().Text
+		}
+		t = &Type{Kind: TypeBase, Name: name}
+	default:
+		return nil, p.errf("expected type, found %q", p.cur().Text)
+	}
+	for p.accept("*") {
+		t = &Type{Kind: TypePtr, Elem: t}
+	}
+	p.skipQualifiers()
+	for p.accept("*") {
+		t = &Type{Kind: TypePtr, Elem: t}
+	}
+	return t, nil
+}
+
+// parseStructDef parses "struct Name { fields };".
+func (p *parser) parseStructDef() (*StructDef, error) {
+	pos := p.here()
+	p.next() // struct
+	name := p.next().Text
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	sd := &StructDef{Pos: pos, Name: name}
+	for !p.accept("}") {
+		if p.at(TokEOF, "") {
+			return nil, p.errf("unterminated struct %s", name)
+		}
+		fields, err := p.parseFieldDecl()
+		if err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, fields...)
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// parseFieldDecl parses one struct member declaration (possibly a function
+// pointer, an array, or a comma-separated list).
+func (p *parser) parseFieldDecl() ([]Field, error) {
+	pos := p.here()
+	base, err := p.parseTypePrefix()
+	if err != nil {
+		return nil, err
+	}
+	// Function pointer: ret (*name)(params);
+	if p.at(TokPunct, "(") && p.peekIs(1, "*") {
+		p.next() // (
+		p.next() // *
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected function-pointer field name")
+		}
+		name := p.next().Text
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.skipParenGroup(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return []Field{{Pos: pos, Name: name, Type: &Type{Kind: TypeFuncPtr, Elem: base}}}, nil
+	}
+	var out []Field
+	for {
+		t := base
+		for p.accept("*") {
+			t = &Type{Kind: TypePtr, Elem: t}
+		}
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected field name")
+		}
+		name := p.next().Text
+		for p.accept("[") {
+			n := 0
+			if p.cur().Kind == TokNumber {
+				fmt.Sscanf(p.next().Text, "%d", &n)
+			} else if p.cur().Kind == TokIdent {
+				p.next() // symbolic size (MAX_SKB_FRAGS...)
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			t = &Type{Kind: TypeArray, Elem: t, Len: n}
+		}
+		out = append(out, Field{Pos: pos, Name: name, Type: t})
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// skipParenGroup consumes a balanced (...) group.
+func (p *parser) skipParenGroup() error {
+	if _, err := p.expect("("); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		if p.at(TokEOF, "") {
+			return p.errf("unterminated parenthesis group")
+		}
+		switch p.next().Text {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		}
+	}
+	return nil
+}
+
+// parseFuncDef parses "ret name(params) { body }".
+func (p *parser) parseFuncDef() (*FuncDef, error) {
+	pos := p.here()
+	ret, err := p.parseTypePrefix()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokIdent {
+		return nil, p.errf("expected function name")
+	}
+	name := p.next().Text
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDef{Pos: pos, Name: name, Ret: ret}
+	if !p.accept(")") {
+		for {
+			if p.atIdent("void") && p.peekIs(1, ")") {
+				p.next()
+				break
+			}
+			pt, err := p.parseTypePrefix()
+			if err != nil {
+				return nil, err
+			}
+			pname := ""
+			if p.cur().Kind == TokIdent {
+				pname = p.next().Text
+			}
+			fn.Params = append(fn.Params, Param{Name: pname, Type: pt})
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	// A prototype (forward declaration) has no body.
+	if p.accept(";") {
+		fn.Body = nil
+		return fn, nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseBlock parses "{ stmts }".
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept("}") {
+		if p.at(TokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// declStarters are identifiers that begin a local declaration.
+var declStarters = map[string]bool{
+	"struct": true, "union": true, "enum": true,
+	"int": true, "char": true, "void": true, "long": true, "short": true,
+	"unsigned": true, "signed": true, "bool": true, "float": true, "double": true,
+	"u8": true, "u16": true, "u32": true, "u64": true,
+	"s8": true, "s16": true, "s32": true, "s64": true,
+	"size_t": true, "ssize_t": true, "dma_addr_t": true, "gfp_t": true,
+	"uint8_t": true, "uint16_t": true, "uint32_t": true, "uint64_t": true,
+	"netdev_tx_t": true, "irqreturn_t": true, "phys_addr_t": true,
+	"static": true, "const": true,
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	pos := p.here()
+	switch {
+	case p.accept(";"):
+		return nil, nil
+	case p.atIdent("if"):
+		return p.parseIf()
+	case p.atIdent("for"), p.atIdent("while"):
+		return p.parseLoop()
+	case p.atIdent("do"):
+		return p.parseDoWhile()
+	case p.atIdent("switch"):
+		return p.parseSwitch()
+	case p.atIdent("return"):
+		p.next()
+		if p.accept(";") {
+			return &ReturnStmt{Pos: pos}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: pos, X: x}, nil
+	case p.atIdent("goto"), p.atIdent("break"), p.atIdent("continue"):
+		p.next()
+		if p.cur().Kind == TokIdent {
+			p.next() // label
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case p.cur().Kind == TokIdent && declStarters[p.cur().Text] && !p.peekIs(1, "("):
+		return p.parseDecl()
+	case p.cur().Kind == TokIdent && p.peekIs(1, ":"):
+		// label:
+		p.next()
+		p.next()
+		return nil, nil
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: x}, nil
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.here()
+	p.next() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	thenStmts, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	var elseStmts []Stmt
+	if p.atIdent("else") {
+		p.next()
+		elseStmts, err = p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Pos: pos, Cond: cond, Then: thenStmts, Else: elseStmts}, nil
+}
+
+func (p *parser) parseStmtOrBlock() ([]Stmt, error) {
+	if p.at(TokPunct, "{") {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseLoop() (Stmt, error) {
+	pos := p.here()
+	kw := p.next().Text
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if kw == "for" {
+		// init; cond; post — parsed loosely and discarded.
+		for i := 0; i < 2; i++ {
+			if !p.at(TokPunct, ";") {
+				if _, err := p.parseExpr(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.at(TokPunct, ")") {
+			if _, err := p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if _, err := p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &LoopStmt{Pos: pos, Body: body}, nil
+}
+
+// parseDoWhile parses "do stmt while (expr);" into a LoopStmt.
+func (p *parser) parseDoWhile() (Stmt, error) {
+	pos := p.here()
+	p.next() // do
+	body, err := p.parseStmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atIdent("while") {
+		return nil, p.errf("expected while after do body")
+	}
+	p.next()
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if _, err := p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &LoopStmt{Pos: pos, Body: body}, nil
+}
+
+// parseSwitch parses "switch (expr) { case X: ... default: ... }"; labels
+// are consumed, the contained statements collected.
+func (p *parser) parseSwitch() (Stmt, error) {
+	pos := p.here()
+	p.next() // switch
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	sw := &SwitchStmt{Pos: pos, Cond: cond}
+	for !p.accept("}") {
+		switch {
+		case p.at(TokEOF, ""):
+			return nil, p.errf("unterminated switch")
+		case p.atIdent("case"):
+			p.next()
+			if _, err := p.parseExpr(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+		case p.atIdent("default"):
+			p.next()
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+		default:
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				sw.Body = append(sw.Body, s)
+			}
+		}
+	}
+	return sw, nil
+}
+
+// parseDecl parses a local variable declaration.
+func (p *parser) parseDecl() (Stmt, error) {
+	pos := p.here()
+	base, err := p.parseTypePrefix()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokIdent {
+		return nil, p.errf("expected variable name")
+	}
+	name := p.next().Text
+	t := base
+	for p.accept("[") {
+		n := 0
+		if p.cur().Kind == TokNumber {
+			fmt.Sscanf(p.next().Text, "%d", &n)
+		} else if p.cur().Kind == TokIdent {
+			p.next()
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		t = &Type{Kind: TypeArray, Elem: t, Len: n}
+	}
+	d := &DeclStmt{Pos: pos, Name: name, Type: t}
+	if p.accept("=") {
+		init, err := p.parseAssignRHS()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Expression parsing. Precedence is collapsed: assignment > binary chain >
+// unary > postfix > primary, which is all the analysis needs.
+
+func (p *parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseBinary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Text {
+	case "=", "+=", "-=", "|=", "&=", "*=", "/=", "^=", "<<=", ">>=", "%=":
+		op := p.next().Text
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: lhs.ExprPos(), Op: op, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+// parseAssignRHS parses an initializer (no comma operator).
+func (p *parser) parseAssignRHS() (Expr, error) { return p.parseExpr() }
+
+var binaryOps = map[string]bool{
+	"+": true, "-": true, "*": true, "/": true, "%": true,
+	"<": true, ">": true, "<=": true, ">=": true, "==": true, "!=": true,
+	"&&": true, "||": true, "|": true, "^": true, "<<": true, ">>": true, "&": true,
+	"?": true,
+}
+
+func (p *parser) parseBinary() (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokPunct && binaryOps[p.cur().Text] {
+		op := p.next().Text
+		if op == "?" {
+			// Ternary: cond ? a : b — fold to Binary(a, b) under "?:".
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			b, err := p.parseBinary()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Pos: lhs.ExprPos(), Op: "?:", X: a, Y: b}
+			continue
+		}
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: lhs.ExprPos(), Op: op, X: lhs, Y: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	pos := p.here()
+	switch p.cur().Text {
+	case "&", "*", "!", "-", "~", "++", "--":
+		op := p.next().Text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: pos, Op: op, X: x}, nil
+	}
+	if p.atIdent("sizeof") {
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		s := &Sizeof{Pos: pos}
+		if p.atIdent("struct") || (p.cur().Kind == TokIdent && declStarters[p.cur().Text] && p.peekIs(1, ")")) {
+			t, err := p.parseTypePrefix()
+			if err != nil {
+				return nil, err
+			}
+			s.TypeArg = t
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Arg = x
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.here()
+		switch {
+		case p.accept("->"):
+			if p.cur().Kind != TokIdent {
+				return nil, p.errf("expected member name")
+			}
+			x = &Member{Pos: pos, X: x, Name: p.next().Text, Arrow: true}
+		case p.accept("."):
+			if p.cur().Kind != TokIdent {
+				return nil, p.errf("expected member name")
+			}
+			x = &Member{Pos: pos, X: x, Name: p.next().Text}
+		case p.accept("["):
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Pos: pos, X: x, I: i}
+		case p.accept("("):
+			call := &Call{Pos: pos, Fun: x}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(",") {
+						continue
+					}
+					break
+				}
+				if _, err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			x = call
+		case p.accept("++"), p.accept("--"):
+			// post-inc/dec: transparent for analysis
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.here()
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		return &Ident{Pos: pos, Name: t.Text}, nil
+	case TokNumber:
+		p.next()
+		return &Number{Pos: pos, Text: t.Text}, nil
+	case TokString, TokChar:
+		p.next()
+		return &StringLit{Pos: pos, Text: t.Text}, nil
+	}
+	if p.accept("(") {
+		// Cast "(struct x *)expr" or grouping.
+		if p.cur().Kind == TokIdent && (declStarters[p.cur().Text] || p.atIdent("struct")) {
+			if _, err := p.parseTypePrefix(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return p.parseUnary() // the cast operand, type discarded
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}

@@ -1,0 +1,270 @@
+package cminor
+
+import (
+	"strings"
+	"testing"
+)
+
+const driverSnippet = `
+/* A realistic driver fragment. */
+#include <linux/dma-mapping.h>
+#define RING_SIZE 256
+
+struct nvme_fc_fcp_op {
+	struct request *rq;
+	void (*done)(struct request *);
+	u32 flags;
+	char rsp_iu[64];
+	dma_addr_t rsp_dma;
+};
+
+struct my_ring {
+	struct sk_buff *skb[RING_SIZE];
+	u64 base;
+};
+
+static int nvme_fc_map_op(struct device *dev, struct nvme_fc_fcp_op *op)
+{
+	dma_addr_t dma;
+	int i;
+
+	if (!op)
+		return -1;
+	dma = dma_map_single(dev, &op->rsp_iu, sizeof(op->rsp_iu), DMA_FROM_DEVICE);
+	op->rsp_dma = dma;
+	for (i = 0; i < RING_SIZE; i++) {
+		op->flags |= 1;
+	}
+	while (op->flags > 100)
+		op->flags = op->flags >> 1;
+	return 0;
+}
+
+static void rx_refill(struct device *dev, struct my_ring *ring)
+{
+	struct sk_buff *skb;
+	char stackbuf[64];
+	skb = netdev_alloc_skb(dev, 2048);
+	if (!skb) {
+		return;
+	}
+	dma_map_single(dev, skb->data, 2048, DMA_FROM_DEVICE);
+	dma_map_single(dev, stackbuf, sizeof(stackbuf), DMA_TO_DEVICE);
+	ring->skb[0] = skb;
+}
+`
+
+func parseSnippet(t *testing.T) *File {
+	t.Helper()
+	f, err := Parse("drivers/net/test.c", driverSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseStructs(t *testing.T) {
+	f := parseSnippet(t)
+	if len(f.Structs) != 2 {
+		t.Fatalf("structs = %d", len(f.Structs))
+	}
+	op := f.Structs[0]
+	if op.Name != "nvme_fc_fcp_op" || len(op.Fields) != 5 {
+		t.Fatalf("struct %s has %d fields", op.Name, len(op.Fields))
+	}
+	if op.Fields[0].Type.Kind != TypePtr || op.Fields[0].Type.Elem.Name != "request" {
+		t.Errorf("rq type = %v", op.Fields[0].Type)
+	}
+	if op.Fields[1].Name != "done" || op.Fields[1].Type.Kind != TypeFuncPtr {
+		t.Errorf("done field = %+v", op.Fields[1])
+	}
+	if op.Fields[3].Type.Kind != TypeArray || op.Fields[3].Type.Len != 64 {
+		t.Errorf("rsp_iu type = %v", op.Fields[3].Type)
+	}
+	if op.Fields[4].Type.Kind != TypeBase || op.Fields[4].Type.Name != "dma_addr_t" {
+		t.Errorf("rsp_dma type = %v", op.Fields[4].Type)
+	}
+	ring := f.Structs[1]
+	if ring.Fields[0].Type.Kind != TypeArray || ring.Fields[0].Type.Elem.Kind != TypePtr {
+		t.Errorf("skb[] type = %v", ring.Fields[0].Type)
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	f := parseSnippet(t)
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	fn := f.Funcs[0]
+	if fn.Name != "nvme_fc_map_op" || len(fn.Params) != 2 {
+		t.Fatalf("func = %s/%d", fn.Name, len(fn.Params))
+	}
+	if fn.Params[1].Name != "op" || fn.Params[1].Type.Deref().Name != "nvme_fc_fcp_op" {
+		t.Errorf("param op = %+v", fn.Params[1])
+	}
+	// Body: if, dma assignment, member assignment, for, while, return.
+	if len(fn.Body) < 5 {
+		t.Fatalf("body stmts = %d", len(fn.Body))
+	}
+	decl, ok := fn.Body[0].(*DeclStmt)
+	if !ok || decl.Name != "dma" || decl.Type.Name != "dma_addr_t" {
+		t.Errorf("first stmt = %#v", fn.Body[0])
+	}
+}
+
+// findCalls collects all calls of a name in a function body.
+func findCalls(body []Stmt, name string) []*Call {
+	var out []*Call
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch v := e.(type) {
+		case *Call:
+			if v.FunName() == name {
+				out = append(out, v)
+			}
+			walkExpr(v.Fun)
+			for _, a := range v.Args {
+				walkExpr(a)
+			}
+		case *Assign:
+			walkExpr(v.LHS)
+			walkExpr(v.RHS)
+		case *Unary:
+			walkExpr(v.X)
+		case *Binary:
+			walkExpr(v.X)
+			walkExpr(v.Y)
+		case *Member:
+			walkExpr(v.X)
+		case *Index:
+			walkExpr(v.X)
+			walkExpr(v.I)
+		case *Sizeof:
+			if v.Arg != nil {
+				walkExpr(v.Arg)
+			}
+		}
+	}
+	var walkStmts func([]Stmt)
+	walkStmts = func(ss []Stmt) {
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *DeclStmt:
+				if v.Init != nil {
+					walkExpr(v.Init)
+				}
+			case *ExprStmt:
+				walkExpr(v.X)
+			case *IfStmt:
+				walkExpr(v.Cond)
+				walkStmts(v.Then)
+				walkStmts(v.Else)
+			case *LoopStmt:
+				walkStmts(v.Body)
+			case *ReturnStmt:
+				if v.X != nil {
+					walkExpr(v.X)
+				}
+			}
+		}
+	}
+	walkStmts(body)
+	return out
+}
+
+func TestParseDMACall(t *testing.T) {
+	f := parseSnippet(t)
+	calls := findCalls(f.Funcs[0].Body, "dma_map_single")
+	if len(calls) != 1 {
+		t.Fatalf("dma_map_single calls = %d", len(calls))
+	}
+	c := calls[0]
+	if len(c.Args) != 4 {
+		t.Fatalf("args = %d", len(c.Args))
+	}
+	u, ok := c.Args[1].(*Unary)
+	if !ok || u.Op != "&" {
+		t.Fatalf("second arg = %#v", c.Args[1])
+	}
+	m, ok := u.X.(*Member)
+	if !ok || m.Name != "rsp_iu" || !m.Arrow {
+		t.Fatalf("member = %#v", u.X)
+	}
+	if id, ok := m.X.(*Ident); !ok || id.Name != "op" {
+		t.Fatalf("base = %#v", m.X)
+	}
+	if c.Pos.Line == 0 || !strings.HasSuffix(c.Pos.File, "test.c") {
+		t.Errorf("pos = %v", c.Pos)
+	}
+
+	rx := findCalls(f.Funcs[1].Body, "dma_map_single")
+	if len(rx) != 2 {
+		t.Fatalf("rx dma calls = %d", len(rx))
+	}
+	m2, ok := rx[0].Args[1].(*Member)
+	if !ok || m2.Name != "data" {
+		t.Fatalf("skb->data arg = %#v", rx[0].Args[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"struct x { int a }",           // missing ; after field and struct
+		"int f( {",                     // garbage params
+		"int f(void) { return 1 }",     // missing ;
+		"struct x { void (*)(int); };", // unnamed function pointer
+		"int f(void) { x = ; }",
+		"/* unterminated",
+		`int f(void) { char *s = "unterminated; }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.c", src); err == nil {
+			t.Errorf("accepted invalid source %q", src)
+		}
+	}
+}
+
+func TestParsePositions(t *testing.T) {
+	f := parseSnippet(t)
+	if f.Structs[0].Pos.Line != 6 {
+		t.Errorf("struct pos = %d, want 6", f.Structs[0].Pos.Line)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	ptr := &Type{Kind: TypePtr, Elem: &Type{Kind: TypeStruct, Name: "sk_buff"}}
+	if ptr.String() != "struct sk_buff *" {
+		t.Errorf("String = %q", ptr.String())
+	}
+	if !ptr.IsPtr() || ptr.Deref().Name != "sk_buff" {
+		t.Error("pointer helpers wrong")
+	}
+	var nilT *Type
+	if nilT.String() != "?" || nilT.IsPtr() || nilT.Deref() != nil {
+		t.Error("nil type helpers wrong")
+	}
+	fp := &Type{Kind: TypeFuncPtr}
+	if !fp.IsPtr() {
+		t.Error("func ptr not a pointer")
+	}
+}
+
+func TestParseCastAndTernary(t *testing.T) {
+	src := `
+int f(struct sk_buff *skb, void *p)
+{
+	struct ethhdr *eh;
+	int n;
+	eh = (struct ethhdr *)skb->data;
+	n = skb->len > 60 ? 60 : skb->len;
+	return n;
+}
+`
+	f, err := Parse("cast.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 1 {
+		t.Fatal("func count")
+	}
+}

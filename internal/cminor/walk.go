@@ -1,0 +1,71 @@
+package cminor
+
+// WalkExpr visits e and every sub-expression, pre-order.
+func WalkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch v := e.(type) {
+	case *Call:
+		WalkExpr(v.Fun, visit)
+		for _, a := range v.Args {
+			WalkExpr(a, visit)
+		}
+	case *Assign:
+		WalkExpr(v.LHS, visit)
+		WalkExpr(v.RHS, visit)
+	case *Unary:
+		WalkExpr(v.X, visit)
+	case *Binary:
+		WalkExpr(v.X, visit)
+		WalkExpr(v.Y, visit)
+	case *Member:
+		WalkExpr(v.X, visit)
+	case *Index:
+		WalkExpr(v.X, visit)
+		WalkExpr(v.I, visit)
+	case *Sizeof:
+		WalkExpr(v.Arg, visit)
+	}
+}
+
+// WalkStmts visits every statement (pre-order, into nested blocks) and every
+// expression they contain.
+func WalkStmts(body []Stmt, visitStmt func(Stmt), visitExpr func(Expr)) {
+	for _, s := range body {
+		if s == nil {
+			continue
+		}
+		if visitStmt != nil {
+			visitStmt(s)
+		}
+		switch v := s.(type) {
+		case *DeclStmt:
+			if visitExpr != nil {
+				WalkExpr(v.Init, visitExpr)
+			}
+		case *ExprStmt:
+			if visitExpr != nil {
+				WalkExpr(v.X, visitExpr)
+			}
+		case *IfStmt:
+			if visitExpr != nil {
+				WalkExpr(v.Cond, visitExpr)
+			}
+			WalkStmts(v.Then, visitStmt, visitExpr)
+			WalkStmts(v.Else, visitStmt, visitExpr)
+		case *LoopStmt:
+			WalkStmts(v.Body, visitStmt, visitExpr)
+		case *SwitchStmt:
+			if visitExpr != nil {
+				WalkExpr(v.Cond, visitExpr)
+			}
+			WalkStmts(v.Body, visitStmt, visitExpr)
+		case *ReturnStmt:
+			if visitExpr != nil {
+				WalkExpr(v.X, visitExpr)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package core assembles the simulated victim machine: physical memory and
+// its allocators, the KASLR'd virtual layout, the IOMMU with its invalidation
+// policy, the DMA API, the kernel execution model (NX/ROP/JOP), and the
+// network stack. It is the top-level entry point library users start from;
+// the attack and experiment packages operate on a *System.
+package core
+
+import (
+	"fmt"
+
+	"dmafault/internal/dma"
+	"dmafault/internal/iommu"
+	"dmafault/internal/kexec"
+	"dmafault/internal/layout"
+	"dmafault/internal/mem"
+	"dmafault/internal/netstack"
+	"dmafault/internal/sim"
+	"dmafault/internal/trace"
+)
+
+// Config describes one simulated machine boot.
+type Config struct {
+	// Seed drives every randomized component (KASLR draw, text image,
+	// boot-order jitter). Equal seeds boot identical machines.
+	Seed int64
+	// KASLR randomizes the kernel layout (on by default in Linux).
+	KASLR bool
+	// Mode is the IOMMU invalidation policy; Linux defaults to Deferred.
+	Mode iommu.Mode
+	// CPUs is the number of simulated cores (per-CPU allocators and rings).
+	CPUs int
+	// MemBytes is the simulated physical memory size.
+	MemBytes uint64
+	// Forwarding enables the packet-forwarding path (§5.5).
+	Forwarding bool
+	// OutOfLineSharedInfo applies the D3 hardening: skb_shared_info is
+	// allocated separately from the (DMA-mapped) packet data.
+	OutOfLineSharedInfo bool
+	// Tracer, if set, observes allocator and CPU-access events (D-KASAN).
+	Tracer mem.Tracer
+}
+
+// System is one simulated victim machine.
+type System struct {
+	Layout *layout.Layout
+	Mem    *mem.Memory
+	Clock  *sim.Clock
+	IOMMU  *iommu.IOMMU
+	Mapper *dma.Mapper
+	Bus    *dma.Bus
+	Kernel *kexec.Kernel
+	Net    *netstack.Stack
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultCPUs     = 4
+	DefaultMemBytes = 128 << 20
+)
+
+// NewSystem boots a machine.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = DefaultCPUs
+	}
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = DefaultMemBytes
+	}
+	l := layout.New(layout.Config{KASLR: cfg.KASLR, Seed: cfg.Seed, PhysBytes: cfg.MemBytes})
+	m, err := mem.New(mem.Config{Layout: l, CPUs: cfg.CPUs, Tracer: cfg.Tracer})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	clk := sim.NewClock()
+	unit := iommu.New(cfg.Mode, clk)
+	mapper := dma.NewMapper(m, unit)
+	kern := kexec.NewKernel(m, cfg.Seed)
+	ns, err := netstack.New(netstack.Config{
+		Mem: m, Mapper: mapper, Kernel: kern, Clock: clk,
+		Forwarding: cfg.Forwarding, OutOfLineSharedInfo: cfg.OutOfLineSharedInfo,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &System{
+		Layout: l, Mem: m, Clock: clk, IOMMU: unit,
+		Mapper: mapper, Bus: dma.NewBus(m, unit), Kernel: kern, Net: ns,
+	}, nil
+}
+
+// EnableTracing attaches an event log to every subsystem: DMA map/unmap,
+// device accesses (with faults), IOMMU faults, callback dispatches, and
+// privilege escalations all become time-stamped events. Returns the log.
+func (s *System) EnableTracing(capacity int) *trace.Log {
+	log := trace.NewLog(s.Clock, capacity)
+	s.Mapper.AddHook(&traceHook{log})
+	s.Bus.OnAccess = func(dev iommu.DeviceID, va iommu.IOVA, n int, write bool, err error) {
+		kind := trace.EvDeviceRead
+		if write {
+			kind = trace.EvDeviceWrite
+		}
+		note := ""
+		if err != nil {
+			note = "FAULTED"
+		}
+		log.Append(kind, uint16(dev), uint64(va), uint64(n), note)
+	}
+	s.IOMMU.OnFault = func(f *iommu.Fault) {
+		log.Append(trace.EvFault, uint16(f.Dev), uint64(f.Addr), uint64(f.Perm), f.Error())
+	}
+	s.Kernel.OnDispatch = func(fn layout.Addr, arg uint64) {
+		note := ""
+		if s.Kernel.Text().Contains(fn) {
+			note = "into kernel text"
+		} else {
+			note = "NON-TEXT TARGET"
+		}
+		log.Append(trace.EvCallback, 0, uint64(fn), arg, note)
+	}
+	s.Kernel.OnEscalation = func() {
+		log.Append(trace.EvEscalation, 0, 0, 0, "privilege escalation (commit_creds with forged cred)")
+	}
+	return log
+}
+
+// traceHook adapts trace.Log to the dma.Hook interface.
+type traceHook struct{ log *trace.Log }
+
+func (h *traceHook) OnMap(dev iommu.DeviceID, kva layout.Addr, n uint64, dir dma.Direction, va iommu.IOVA) {
+	h.log.Append(trace.EvDMAMap, uint16(dev), uint64(va), n, dir.String())
+}
+
+func (h *traceHook) OnUnmap(dev iommu.DeviceID, kva layout.Addr, n uint64, dir dma.Direction, va iommu.IOVA) {
+	h.log.Append(trace.EvDMAUnmap, uint16(dev), uint64(va), n, dir.String())
+}
+
+// AddNIC attaches a NIC in its own IOMMU domain and fills its RX ring.
+func (s *System) AddNIC(dev iommu.DeviceID, model netstack.DriverModel, cpu int) (*netstack.NIC, error) {
+	if _, err := s.IOMMU.CreateDomain(model.Name, dev); err != nil {
+		return nil, err
+	}
+	n, err := s.Net.AddNIC(dev, model, cpu)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.FillRX(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// AttachToDomainOf attaches an extra device (e.g. the FireWire attacker of
+// §6) to an existing device's domain, sharing its page table.
+func (s *System) AttachToDomainOf(newDev, existing iommu.DeviceID) error {
+	d, err := s.IOMMU.DomainOf(existing)
+	if err != nil {
+		return err
+	}
+	return s.IOMMU.AttachDevice(newDev, d)
+}

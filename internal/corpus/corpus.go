@@ -1,0 +1,345 @@
+// Package corpus generates the synthetic driver-source population SPADE is
+// evaluated on. We cannot ship the Linux 5.0 tree, so the generator emits a
+// corpus whose *composition* is calibrated to what the paper measured on
+// Linux 5.0 (Table 2): 1019 dma_map_single calls across 447 files, with the
+// paper's per-idiom rates — embedded-struct mappings exposing callbacks,
+// skb->data and build_skb mappings exposing skb_shared_info, page_frag
+// allocation (type (c)), driver-private-data mappings, stack mappings, and
+// plain kmalloc buffers for the non-vulnerable remainder.
+//
+// The generator is deterministic; running SPADE on the corpus regenerates
+// Table 2 exactly (the paper's absolute numbers, our sources).
+package corpus
+
+import "fmt"
+
+// SourceFile is one generated C file.
+type SourceFile struct {
+	Name    string
+	Content string
+}
+
+// Spec fixes the corpus composition. Calls are per idiom; files receive a
+// deterministic share.
+type Spec struct {
+	EmbedFiles, EmbedCalls     int // type (a): &struct->field, direct callback
+	SpoofFiles, SpoofCalls     int // type (a): callbacks reachable via struct pointers only
+	SkbFragFiles, SkbFragCalls int // skb->data from netdev_alloc_skb (B+C)
+	SkbKmFiles, SkbKmCalls     int // skb->data from alloc_skb (B)
+	BuildFiles, BuildCalls     int // build_skb over netdev_alloc_frag (B+C+build)
+	FragFiles, FragCalls       int // raw netdev_alloc_frag buffer (C)
+	PrivFiles, PrivCalls       int // netdev_priv mapping
+	StackFiles, StackCalls     int // stack array mapping
+	PlainFiles, PlainCalls     int // plain kmalloc buffer (not vulnerable)
+}
+
+// Linux50 is the Table 2 calibration: every row of the paper's table falls
+// out of this composition (54+102 callback calls in 28+29 files; 464
+// skb_shared_info calls in 232 files; 344 type (c) calls in 227 files; 46
+// build_skb calls in 40 files; 19/7 private; 3/3 stack; 1019/447 total;
+// 742 = 72.8% potentially vulnerable).
+var Linux50 = Spec{
+	EmbedFiles: 28, EmbedCalls: 54,
+	SpoofFiles: 29, SpoofCalls: 102,
+	SkbFragFiles: 142, SkbFragCalls: 198,
+	SkbKmFiles: 50, SkbKmCalls: 220,
+	BuildFiles: 40, BuildCalls: 46,
+	FragFiles: 45, FragCalls: 100,
+	PrivFiles: 7, PrivCalls: 19,
+	StackFiles: 3, StackCalls: 3,
+	PlainFiles: 103, PlainCalls: 277,
+}
+
+// TotalFiles returns the file count of the spec.
+func (s Spec) TotalFiles() int {
+	return s.EmbedFiles + s.SpoofFiles + s.SkbFragFiles + s.SkbKmFiles +
+		s.BuildFiles + s.FragFiles + s.PrivFiles + s.StackFiles + s.PlainFiles
+}
+
+// TotalCalls returns the dma-map call count of the spec.
+func (s Spec) TotalCalls() int {
+	return s.EmbedCalls + s.SpoofCalls + s.SkbFragCalls + s.SkbKmCalls +
+		s.BuildCalls + s.FragCalls + s.PrivCalls + s.StackCalls + s.PlainCalls
+}
+
+// Generate emits the corpus for a spec.
+func Generate(spec Spec) []SourceFile {
+	var out []SourceFile
+	emit := func(group string, files, calls int, gen func(tag string, n int) string) {
+		per := distribute(calls, files)
+		for i := 0; i < files; i++ {
+			tag := fmt.Sprintf("%s%03d", group, i)
+			name := fmt.Sprintf("drivers/%s/%s.c", dirFor(group), tag)
+			out = append(out, SourceFile{Name: name, Content: gen(tag, per[i])})
+		}
+	}
+	emit("embed", spec.EmbedFiles, spec.EmbedCalls, genEmbed)
+	emit("spoof", spec.SpoofFiles, spec.SpoofCalls, genSpoof)
+	emit("skbf", spec.SkbFragFiles, spec.SkbFragCalls, genSkbFrag)
+	emit("skbk", spec.SkbKmFiles, spec.SkbKmCalls, genSkbKmalloc)
+	emit("bskb", spec.BuildFiles, spec.BuildCalls, genBuildSkb)
+	emit("frag", spec.FragFiles, spec.FragCalls, genFrag)
+	emit("priv", spec.PrivFiles, spec.PrivCalls, genPriv)
+	emit("stk", spec.StackFiles, spec.StackCalls, genStack)
+	emit("plain", spec.PlainFiles, spec.PlainCalls, genPlain)
+	return out
+}
+
+// distribute splits calls over files as evenly as possible (first files get
+// the remainder), never zero.
+func distribute(calls, files int) []int {
+	out := make([]int, files)
+	if files == 0 {
+		return out
+	}
+	base := calls / files
+	rem := calls % files
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+func dirFor(group string) string {
+	switch group {
+	case "embed", "spoof", "priv":
+		return "scsi"
+	case "stk":
+		return "firewire"
+	case "plain":
+		return "misc"
+	default:
+		return "net/ethernet"
+	}
+}
+
+// genEmbed: a command struct with one direct callback and an ops pointer,
+// whose sub-buffer is DMA-mapped — the nvme_fc pattern of Fig. 2.
+func genEmbed(tag string, n int) string {
+	src := fmt.Sprintf(`
+struct %[1]s_ops {
+	void (*start_request)(struct request *);
+	void (*abort_request)(struct request *);
+	void (*timeout)(struct request *);
+};
+
+struct %[1]s_cmd {
+	struct %[1]s_ops *ops;
+	void (*done)(struct request *);
+	char rsp_iu[128];
+	char cmd_iu[64];
+	dma_addr_t rsp_dma;
+	u32 flags;
+};
+`, tag)
+	for i := 0; i < n; i++ {
+		field := "rsp_iu"
+		if i%2 == 1 {
+			field = "cmd_iu"
+		}
+		if i%2 == 1 {
+			// The indirect idiom: the mapping goes through a prep helper,
+			// as real drivers often factor it. SPADE must backtrack the
+			// helper's parameter to its caller (depth ≥ 1) to see the
+			// exposure — the D4 ablation target.
+			src += fmt.Sprintf(`
+static int %[1]s_prep_%[2]d(struct device *dev, void *p, int len)
+{
+	dma_addr_t dma;
+	dma = dma_map_single(dev, p, len, DMA_FROM_DEVICE);
+	if (!dma)
+		return -1;
+	return 0;
+}
+
+static int %[1]s_map_%[2]d(struct device *dev, struct %[1]s_cmd *cmd)
+{
+	return %[1]s_prep_%[2]d(dev, &cmd->%[3]s, sizeof(cmd->%[3]s));
+}
+`, tag, i, field)
+			continue
+		}
+		src += fmt.Sprintf(`
+static int %[1]s_map_%[2]d(struct device *dev, struct %[1]s_cmd *cmd)
+{
+	cmd->rsp_dma = dma_map_single(dev, &cmd->%[3]s, sizeof(cmd->%[3]s), DMA_FROM_DEVICE);
+	if (!cmd->rsp_dma)
+		return -1;
+	return 0;
+}
+`, tag, i, field)
+	}
+	return src
+}
+
+// genSpoof: the struct exposes no function pointer directly, but carries a
+// pointer to an ops table the device can redirect.
+func genSpoof(tag string, n int) string {
+	src := fmt.Sprintf(`
+struct %[1]s_handlers {
+	void (*rx_done)(struct sk_buff *);
+	void (*tx_done)(struct sk_buff *);
+	void (*error)(int);
+	int budget;
+};
+
+struct %[1]s_desc {
+	struct %[1]s_handlers *h;
+	char payload[512];
+	dma_addr_t addr;
+	u32 len;
+};
+`, tag)
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+static int %[1]s_post_%[2]d(struct device *dev, struct %[1]s_desc *d)
+{
+	d->addr = dma_map_single(dev, &d->payload, sizeof(d->payload), DMA_BIDIRECTIONAL);
+	return 0;
+}
+`, tag, i)
+	}
+	return src
+}
+
+// genSkbFrag: the ubiquitous netdev_alloc_skb + map skb->data RX refill.
+func genSkbFrag(tag string, n int) string {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+static int %[1]s_rx_refill_%[2]d(struct device *dev)
+{
+	struct sk_buff *skb;
+	dma_addr_t dma;
+	skb = netdev_alloc_skb(dev, 2048);
+	if (!skb)
+		return -1;
+	dma = dma_map_single(dev, skb->data, 2048, DMA_FROM_DEVICE);
+	return 0;
+}
+`, tag, i)
+	}
+	return src
+}
+
+// genSkbKmalloc: alloc_skb-backed heads (no page_frag).
+func genSkbKmalloc(tag string, n int) string {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+static int %[1]s_xmit_%[2]d(struct device *dev)
+{
+	struct sk_buff *skb;
+	dma_addr_t dma;
+	skb = alloc_skb(1514, GFP_ATOMIC);
+	if (!skb)
+		return -1;
+	dma = dma_map_single(dev, skb->data, 1514, DMA_TO_DEVICE);
+	return 0;
+}
+`, tag, i)
+	}
+	return src
+}
+
+// genBuildSkb: raw page_frag buffer mapped, then wrapped with build_skb —
+// the §9.1 API that embeds skb_shared_info in the I/O region.
+func genBuildSkb(tag string, n int) string {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+static int %[1]s_rx_build_%[2]d(struct device *dev)
+{
+	void *buf;
+	struct sk_buff *skb;
+	dma_addr_t dma;
+	buf = netdev_alloc_frag(2048);
+	if (!buf)
+		return -1;
+	dma = dma_map_single(dev, buf, 2048, DMA_FROM_DEVICE);
+	skb = build_skb(buf, 2048);
+	if (!skb)
+		return -1;
+	return 0;
+}
+`, tag, i)
+	}
+	return src
+}
+
+// genFrag: raw page_frag buffers without an skb (descriptor rings, etc.).
+func genFrag(tag string, n int) string {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+static int %[1]s_ring_fill_%[2]d(struct device *dev)
+{
+	void *buf;
+	dma_addr_t dma;
+	buf = netdev_alloc_frag(1024);
+	if (!buf)
+		return -1;
+	dma = dma_map_single(dev, buf, 1024, DMA_FROM_DEVICE);
+	return 0;
+}
+`, tag, i)
+	}
+	return src
+}
+
+// genPriv: netdev_priv areas mapped for device stats/admin blocks.
+func genPriv(tag string, n int) string {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+static int %[1]s_init_stats_%[2]d(struct device *dev, struct net_device *nd)
+{
+	dma_addr_t dma;
+	dma = dma_map_single(dev, netdev_priv(nd), 512, DMA_BIDIRECTIONAL);
+	return 0;
+}
+`, tag, i)
+	}
+	return src
+}
+
+// genStack: the three stack-buffer mappings the paper found.
+func genStack(tag string, n int) string {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+static int %[1]s_fw_command_%[2]d(struct device *dev)
+{
+	char cmd[64];
+	dma_addr_t dma;
+	dma = dma_map_single(dev, cmd, sizeof(cmd), DMA_TO_DEVICE);
+	return 0;
+}
+`, tag, i)
+	}
+	return src
+}
+
+// genPlain: kmalloc'd flat buffers — statically clean (their risk is the
+// dynamic type (d) co-location D-KASAN finds).
+func genPlain(tag string, n int) string {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+static int %[1]s_dma_buf_%[2]d(struct device *dev)
+{
+	char *buf;
+	dma_addr_t dma;
+	buf = kmalloc(512, GFP_KERNEL);
+	if (!buf)
+		return -1;
+	dma = dma_map_single(dev, buf, 512, DMA_TO_DEVICE);
+	return 0;
+}
+`, tag, i)
+	}
+	return src
+}

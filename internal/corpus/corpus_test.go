@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"dmafault/internal/cminor"
+	"dmafault/internal/spade"
+)
+
+func TestSpecTotalsMatchTable2(t *testing.T) {
+	if got := Linux50.TotalFiles(); got != 447 {
+		t.Errorf("TotalFiles = %d, want 447", got)
+	}
+	if got := Linux50.TotalCalls(); got != 1019 {
+		t.Errorf("TotalCalls = %d, want 1019", got)
+	}
+}
+
+func TestDistribute(t *testing.T) {
+	d := distribute(10, 3)
+	if d[0]+d[1]+d[2] != 10 || d[0] != 4 || d[2] != 3 {
+		t.Errorf("distribute = %v", d)
+	}
+	if len(distribute(5, 0)) != 0 {
+		t.Error("zero files")
+	}
+}
+
+func TestGeneratedCorpusParses(t *testing.T) {
+	files := Generate(Linux50)
+	if len(files) != 447 {
+		t.Fatalf("generated %d files", len(files))
+	}
+	names := map[string]bool{}
+	for _, sf := range files {
+		if names[sf.Name] {
+			t.Fatalf("duplicate file name %s", sf.Name)
+		}
+		names[sf.Name] = true
+		if _, err := cminor.Parse(sf.Name, sf.Content); err != nil {
+			t.Fatalf("%s does not parse: %v", sf.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Linux50)
+	b := Generate(Linux50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("file %d differs between runs", i)
+		}
+	}
+}
+
+// TestSpadeOnCorpusReproducesTable2 is the headline static-analysis
+// experiment: running our SPADE on the calibrated corpus regenerates every
+// row of the paper's Table 2.
+func TestSpadeOnCorpusReproducesTable2(t *testing.T) {
+	var parsed []*cminor.File
+	for _, sf := range Generate(Linux50) {
+		f, err := cminor.Parse(sf.Name, sf.Content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, f)
+	}
+	rep := spade.NewAnalyzer(parsed).Run()
+
+	check := func(name string, got spade.RowCount, wantCalls, wantFiles int) {
+		if got.Calls != wantCalls || got.Files != wantFiles {
+			t.Errorf("%s = %d/%d, want %d/%d", name, got.Calls, got.Files, wantCalls, wantFiles)
+		}
+	}
+	check("Callbacks exposed", rep.CallbacksExposed, 156, 57)
+	check("skb_shared_info mapped", rep.SkbSharedInfoMapped, 464, 232)
+	check("Callbacks exposed directly", rep.CallbacksDirect, 54, 28)
+	check("Private data mapped", rep.PrivateDataMapped, 19, 7)
+	check("Stack mapped", rep.StackMapped, 3, 3)
+	check("Type C vulnerability", rep.TypeCVulnerable, 344, 227)
+	check("build_skb used", rep.BuildSkbUsed, 46, 40)
+	if rep.TotalCalls != 1019 || rep.TotalFiles != 447 {
+		t.Errorf("totals = %d/%d, want 1019/447", rep.TotalCalls, rep.TotalFiles)
+	}
+	if rep.VulnerableCalls != 742 {
+		t.Errorf("vulnerable = %d, want 742 (72.8%%)", rep.VulnerableCalls)
+	}
+	t.Log("\n" + rep.Table())
+}
+
+func TestCuratedNvmeFCTrace(t *testing.T) {
+	f, err := cminor.Parse("drivers/nvme/host/fc.c", NvmeFC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := spade.NewAnalyzer([]*cminor.File{f}).Run()
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %d", len(rep.Findings))
+	}
+	var rsp *spade.Finding
+	for _, fd := range rep.Findings {
+		if strings.Contains(fd.MappedAs, "rsp_iu") {
+			rsp = fd
+		}
+	}
+	if rsp == nil {
+		t.Fatal("no rsp_iu finding")
+	}
+	if rsp.ExposedStruct != "nvme_fc_fcp_op" {
+		t.Errorf("exposed = %s", rsp.ExposedStruct)
+	}
+	// Fig. 2: exactly one callback pointer mapped directly (fcp_req.done).
+	if rsp.DirectCallbacks != 1 {
+		t.Errorf("direct = %d, want 1", rsp.DirectCallbacks)
+	}
+	// And a large spoofable population via ctrl->lport_ops etc.
+	if rsp.SpoofableCallbacks < 9 {
+		t.Errorf("spoofable = %d, want >= 9", rsp.SpoofableCallbacks)
+	}
+	out := rsp.Format()
+	for _, want := range []string{"rsp_iu", "nvme_fc_fcp_op", "callback pointer(s) mapped", "can be spoofed", "A (driver metadata)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+func TestCuratedI40EParses(t *testing.T) {
+	f, err := cminor.Parse("i40e.c", I40E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := spade.NewAnalyzer([]*cminor.File{f}).Run()
+	found := false
+	for _, fd := range rep.Findings {
+		if fd.BuildSkb || fd.Types[spade.TypeC] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("i40e pattern not flagged")
+	}
+}

@@ -1,0 +1,155 @@
+package corpus
+
+// Curated driver sources, hand-written to mirror specific code the paper
+// discusses: the nvme_fc host driver whose SPADE trace is Fig. 2, and an
+// i40e-style RX path (create sk_buff before unmap, Fig. 7(i)).
+
+// NvmeFC mirrors the drivers/nvme/host/fc.c pattern of Fig. 2: the driver
+// maps &op->rsp_iu with dma_map_single, exposing struct nvme_fc_fcp_op —
+// which holds the fcp_req.done callback directly plus ops tables reachable
+// through its pointers (the "spoofable" population).
+const NvmeFC = `
+struct nvmefc_fcp_req {
+	void *cmdaddr;
+	void *rspaddr;
+	u32 cmdlen;
+	u32 rsplen;
+	void (*done)(struct nvmefc_fcp_req *);
+};
+
+struct nvme_fc_ops {
+	void (*localport_delete)(struct nvme_fc_local_port *);
+	void (*remoteport_delete)(struct nvme_fc_remote_port *);
+	int (*create_queue)(struct nvme_fc_local_port *, unsigned int, u16);
+	void (*delete_queue)(struct nvme_fc_local_port *, unsigned int, void *);
+	int (*ls_req)(struct nvme_fc_local_port *, struct nvme_fc_remote_port *, struct nvmefc_ls_req *);
+	int (*fcp_io)(struct nvme_fc_local_port *, struct nvme_fc_remote_port *, void *, struct nvmefc_fcp_req *);
+	void (*ls_abort)(struct nvme_fc_local_port *, struct nvme_fc_remote_port *, struct nvmefc_ls_req *);
+	void (*fcp_abort)(struct nvme_fc_local_port *, struct nvme_fc_remote_port *, void *, struct nvmefc_fcp_req *);
+	void (*map_queues)(struct nvme_fc_local_port *, struct blk_mq_queue_map *);
+};
+
+struct nvme_fc_ctrl {
+	struct nvme_fc_ops *lport_ops;
+	struct device *dev;
+	u32 cnum;
+};
+
+struct nvme_fc_fcp_op {
+	struct nvme_fc_ctrl *ctrl;
+	struct request *rq;
+	struct nvmefc_fcp_req fcp_req;
+	char rsp_iu[128];
+	char cmd_iu[128];
+	dma_addr_t fcp_req_dma;
+	dma_addr_t rsp_dma;
+	u16 queue_idx;
+};
+
+static int __nvme_fc_init_request(struct device *dev, struct nvme_fc_fcp_op *op)
+{
+	op->fcp_req_dma = dma_map_single(dev, &op->cmd_iu, sizeof(op->cmd_iu), DMA_TO_DEVICE);
+	if (!op->fcp_req_dma)
+		return -1;
+	op->rsp_dma = dma_map_single(dev, &op->rsp_iu, sizeof(op->rsp_iu), DMA_FROM_DEVICE);
+	if (!op->rsp_dma)
+		return -1;
+	return 0;
+}
+`
+
+// I40E mirrors the Intel 40GbE RX path ordering of Fig. 7(i): the sk_buff
+// (and its skb_shared_info) is created with build_skb while the buffer is
+// still DMA-mapped; the unmap comes after.
+const I40E = `
+static int i40e_alloc_rx_buffers(struct device *dev)
+{
+	void *va;
+	dma_addr_t dma;
+	va = netdev_alloc_frag(2048);
+	if (!va)
+		return -1;
+	dma = dma_map_single(dev, va, 2048, DMA_FROM_DEVICE);
+	return 0;
+}
+
+static int i40e_clean_rx_irq(struct device *dev, void *va, dma_addr_t dma)
+{
+	struct sk_buff *skb;
+	skb = build_skb(va, 2048);
+	if (!skb)
+		return -1;
+	dma_unmap_single(dev, dma, 2048, DMA_FROM_DEVICE);
+	return 0;
+}
+`
+
+// BNX2X mirrors the Broadcom bnx2x HW-LRO configuration mentioned in §5.3:
+// large aggregation buffers, plus an embedded-struct mapping of its
+// firmware command block whose ops table is spoofable.
+const BNX2X = `
+struct bnx2x_func_ops {
+	void (*init_hw)(struct bnx2x *);
+	void (*reset_hw)(struct bnx2x *);
+	void (*release_hw)(struct bnx2x *);
+	int (*start_xmit)(struct sk_buff *, struct net_device *);
+};
+
+struct bnx2x_fw_cmd {
+	struct bnx2x_func_ops *ops;
+	char ramrod_data[256];
+	dma_addr_t mapping;
+	u32 state;
+};
+
+static int bnx2x_alloc_rx_sge(struct device *dev)
+{
+	struct sk_buff *skb;
+	dma_addr_t dma;
+	skb = netdev_alloc_skb(dev, 2048);
+	if (!skb)
+		return -1;
+	dma = dma_map_single(dev, skb->data, 2048, DMA_FROM_DEVICE);
+	return 0;
+}
+
+static int bnx2x_post_ramrod(struct device *dev, struct bnx2x_fw_cmd *cmd)
+{
+	cmd->mapping = dma_map_single(dev, &cmd->ramrod_data, sizeof(cmd->ramrod_data), DMA_BIDIRECTIONAL);
+	return 0;
+}
+`
+
+// RTL8139 mirrors the legacy copybreak style: the driver maps a kmalloc'd
+// staging buffer and copies packets out — the "plain" population whose risk
+// is type (d) co-location (D-KASAN's domain, invisible to SPADE).
+const RTL8139 = `
+static int rtl8139_init_ring(struct device *dev)
+{
+	char *rx_ring;
+	dma_addr_t dma;
+	rx_ring = kmalloc(8192, GFP_KERNEL);
+	if (!rx_ring)
+		return -1;
+	dma = dma_map_single(dev, rx_ring, 8192, DMA_FROM_DEVICE);
+	return 0;
+}
+
+static int rtl8139_start_xmit(struct device *dev, struct sk_buff *skb)
+{
+	dma_addr_t dma;
+	dma = dma_map_single(dev, skb->data, 1514, DMA_TO_DEVICE);
+	return 0;
+}
+`
+
+// Curated returns the hand-written sources (analyzed separately from the
+// calibrated Table 2 population).
+func Curated() []SourceFile {
+	return []SourceFile{
+		{Name: "drivers/nvme/host/fc.c", Content: NvmeFC},
+		{Name: "drivers/net/ethernet/intel/i40e/i40e_txrx.c", Content: I40E},
+		{Name: "drivers/net/ethernet/broadcom/bnx2x/bnx2x_cmn.c", Content: BNX2X},
+		{Name: "drivers/net/ethernet/realtek/8139too.c", Content: RTL8139},
+	}
+}

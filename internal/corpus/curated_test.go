@@ -1,0 +1,68 @@
+package corpus
+
+import (
+	"testing"
+
+	"dmafault/internal/cminor"
+	"dmafault/internal/spade"
+)
+
+func analyzeCurated(t *testing.T) *spade.Report {
+	t.Helper()
+	var parsed []*cminor.File
+	for _, sf := range Curated() {
+		f, err := cminor.Parse(sf.Name, sf.Content)
+		if err != nil {
+			t.Fatalf("%s: %v", sf.Name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	return spade.NewAnalyzer(parsed).Run()
+}
+
+func TestCuratedSetParsesAndAnalyzes(t *testing.T) {
+	rep := analyzeCurated(t)
+	if rep.TotalFiles != 4 {
+		t.Fatalf("TotalFiles = %d", rep.TotalFiles)
+	}
+	if rep.TotalCalls < 7 {
+		t.Fatalf("TotalCalls = %d", rep.TotalCalls)
+	}
+}
+
+func TestCuratedBnx2xFindings(t *testing.T) {
+	rep := analyzeCurated(t)
+	var ramrod, sge *spade.Finding
+	for _, f := range rep.Findings {
+		switch f.Func {
+		case "bnx2x_post_ramrod":
+			ramrod = f
+		case "bnx2x_alloc_rx_sge":
+			sge = f
+		}
+	}
+	if ramrod == nil || ramrod.ExposedStruct != "bnx2x_fw_cmd" {
+		t.Fatalf("ramrod finding = %+v", ramrod)
+	}
+	// No direct callback in the command block, but the ops table is
+	// spoofable through the pointer — row 1 without row 3.
+	if ramrod.DirectCallbacks != 0 || ramrod.SpoofableCallbacks != 4 {
+		t.Errorf("ramrod callbacks = %d direct / %d spoofable", ramrod.DirectCallbacks, ramrod.SpoofableCallbacks)
+	}
+	if sge == nil || !sge.SkbSharedInfo || !sge.Types[spade.TypeC] {
+		t.Errorf("sge finding = %+v", sge)
+	}
+}
+
+func TestCuratedRtl8139IsStaticallyClean(t *testing.T) {
+	rep := analyzeCurated(t)
+	for _, f := range rep.Findings {
+		if f.Func == "rtl8139_init_ring" {
+			if f.Vulnerable() {
+				t.Errorf("copybreak staging buffer flagged: %+v", f)
+			}
+			return
+		}
+	}
+	t.Fatal("rtl8139_init_ring finding missing")
+}

@@ -1,0 +1,71 @@
+package device
+
+import (
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/netstack"
+)
+
+// Path (iii) of Fig. 7: even under strict invalidation, the device reaches a
+// just-unmapped buffer's skb_shared_info through the still-valid mapping of
+// the *next* RX buffer, because page_frag carves consecutive buffers from one
+// physically contiguous region (§5.2.2).
+//
+// The device reconstructs relative placement from information it legitimately
+// holds: the fill order of its RX ring and each descriptor's IOVA. The low 12
+// bits of an IOVA equal the buffer's page offset, and page_frag carves
+// downward with a fixed stride, so
+//
+//	Δ = (low12(cur) − low12(next)) mod 4096
+//
+// is the region-space distance between the current buffer and the next one.
+// The current buffer's shared info then lies Δ + SKB_DATA_ALIGN(cap) bytes
+// above the next buffer's start — inside the next buffer's *mapped pages*
+// whenever the page arithmetic below holds, because a mapping covers whole
+// pages and the region is physically contiguous.
+
+// NeighborSharedInfoIOVA returns an IOVA through which the device can still
+// write cur's shared info after cur's own mapping is gone, using next's
+// mapping. ok is false when the two buffers do not adjoin in one region
+// (different regions, refill in between, or the shared info page is not
+// covered by next's mapping).
+func NeighborSharedInfoIOVA(cur, next iommu.IOVA, cap uint32) (iommu.IOVA, bool) {
+	truesize := netstack.TruesizeFor(cap)
+	low := func(v iommu.IOVA) uint64 { return uint64(v) & layout.PageMask }
+	delta := (low(cur) - low(next)) & layout.PageMask
+	// Adjacent same-region carves differ by truesize rounded for alignment:
+	// accept [truesize, truesize+64).
+	if delta < truesize || delta >= truesize+64 {
+		return 0, false
+	}
+	q := low(next)
+	siRel := delta + truesize - netstack.SharedInfoSize // region-space offset of cur's shared info above next's start
+	// Pages covered by next's mapping: 0 .. lastPage.
+	lastPage := (q + truesize - 1) / layout.PageSize
+	siPage := (q + siRel) / layout.PageSize
+	siEndPage := (q + siRel + netstack.SharedInfoSize - 1) / layout.PageSize
+	if siPage > lastPage || siEndPage > lastPage {
+		return 0, false
+	}
+	return next + iommu.IOVA(siRel), true
+}
+
+// RingNeighborFor scans a ring (in fill order) for a descriptor whose mapping
+// can still reach slot i's shared info, returning the write IOVA.
+func RingNeighborFor(ring []netstack.RXDesc, i int) (iommu.IOVA, bool) {
+	if i < 0 || i >= len(ring) {
+		return 0, false
+	}
+	cur := ring[i]
+	// The "next data buffer" is the one filled right after: i+1 in ring fill
+	// order (§5.2.2: "pairs of successive RX descriptors map the same page").
+	for _, j := range []int{i + 1, i - 1} {
+		if j < 0 || j >= len(ring) || !ring[j].Ready {
+			continue
+		}
+		if va, ok := NeighborSharedInfoIOVA(cur.IOVA, ring[j].IOVA, cur.Cap); ok {
+			return va, true
+		}
+	}
+	return 0, false
+}

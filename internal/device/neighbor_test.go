@@ -1,0 +1,80 @@
+package device
+
+import (
+	"testing"
+
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/netstack"
+)
+
+func TestNeighborSharedInfoIOVAArithmetic(t *testing.T) {
+	const cap = 2048
+	truesize := netstack.TruesizeFor(cap) // 2336
+	// Same-region carve-down where the neighbor's mapping straddles two
+	// pages: next at page offset 0xd80 (3456), so its span covers the page
+	// where cur's shared info lands.
+	next := iommu.IOVA(0x100002000 + 0xd80)
+	cur := iommu.IOVA(0x100000000 + (0xd80+truesize)&layout.PageMask)
+	va, ok := NeighborSharedInfoIOVA(cur, next, cap)
+	if !ok {
+		t.Fatal("adjacent straddling buffers rejected")
+	}
+	wantRel := truesize + truesize - netstack.SharedInfoSize
+	if va != next+iommu.IOVA(wantRel) {
+		t.Errorf("va = %#x, want next+%#x", uint64(va), wantRel)
+	}
+	// A pair where the shared-info page is NOT covered by the neighbor's
+	// mapping must be rejected (next entirely on one page).
+	lowNext := iommu.IOVA(0x100002000 + 0x6c0)
+	lowCur := iommu.IOVA(0x100000000 + (0x6c0+truesize)&layout.PageMask)
+	if _, ok := NeighborSharedInfoIOVA(lowCur, lowNext, cap); ok {
+		t.Error("uncovered shared-info page accepted")
+	}
+	// Non-adjacent (region refill between them): delta implausible.
+	if _, ok := NeighborSharedInfoIOVA(cur, next+iommu.IOVA(512), cap); ok {
+		t.Error("non-adjacent pair accepted")
+	}
+	// Reversed order: delta wraps to 4096-stride, rejected.
+	if _, ok := NeighborSharedInfoIOVA(next, cur, cap); ok {
+		t.Error("reversed order accepted")
+	}
+}
+
+func TestRingNeighborForOnRealRing(t *testing.T) {
+	sys, nic, atk := newVictim(t, iommu.Strict)
+	ring := nic.RXRing()
+	found := false
+	for i := range ring {
+		via, ok := RingNeighborFor(ring, i)
+		if !ok {
+			continue
+		}
+		found = true
+		// Verify the arithmetic against ground truth: the returned IOVA
+		// must resolve to the physical location of slot i's shared info.
+		wantKVA := ring[i].Data + layout.Addr(netstack.TruesizeFor(ring[i].Cap)-netstack.SharedInfoSize)
+		wantPFN, _ := sys.Layout.KVAToPFN(wantKVA)
+		pfn, err := sys.IOMMU.Translate(atk.Dev, via, true)
+		if err != nil {
+			t.Fatalf("slot %d: neighbor IOVA does not translate: %v", i, err)
+		}
+		if pfn != wantPFN {
+			t.Fatalf("slot %d: neighbor IOVA hits PFN %d, want %d", i, pfn, wantPFN)
+		}
+		off := uint64(via) & layout.PageMask
+		if off != layout.PageOffsetOf(wantKVA) {
+			t.Fatalf("slot %d: offset %#x, want %#x", i, off, layout.PageOffsetOf(wantKVA))
+		}
+	}
+	if !found {
+		t.Fatal("no slot has a usable neighbor on a standard ring")
+	}
+	// Bounds behaviour.
+	if _, ok := RingNeighborFor(ring, -1); ok {
+		t.Error("negative slot accepted")
+	}
+	if _, ok := RingNeighborFor(ring, len(ring)); ok {
+		t.Error("out-of-range slot accepted")
+	}
+}

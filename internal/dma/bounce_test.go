@@ -1,0 +1,129 @@
+package dma
+
+import (
+	"bytes"
+	"testing"
+
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+)
+
+func TestBounceRoundTrip(t *testing.T) {
+	w := newWorld(t, iommu.Strict)
+	bm := NewBounceMapper(w.mem, w.mp)
+	kva, _ := w.mem.Slab.Kmalloc(0, 256, "tx_buf")
+	payload := []byte("outbound payload")
+	if err := w.mem.Write(kva, payload); err != nil {
+		t.Fatal(err)
+	}
+	va, err := bm.MapSingle(nic, kva, 256, ToDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device reads the copy, not the original page.
+	got := make([]byte, len(payload))
+	if err := w.bus.Read(nic, va, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("device read %q", got)
+	}
+	// The original page is NOT device-visible: the shadow occupies its own
+	// fresh page.
+	origPFN, _ := w.mem.Layout().KVAToPFN(kva)
+	pi, _ := w.mem.Page(origPFN)
+	if pi.DMAMapped() {
+		t.Error("original page mapped despite bounce buffering")
+	}
+	if err := bm.UnmapSingle(nic, va, 256, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+	if bm.Live() != 0 {
+		t.Errorf("Live = %d", bm.Live())
+	}
+	st := bm.Stats()
+	if st.Maps != 1 || st.Unmaps != 1 || st.BytesCopied != 256 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBounceCopiesDeviceWritesBack(t *testing.T) {
+	w := newWorld(t, iommu.Strict)
+	bm := NewBounceMapper(w.mem, w.mp)
+	kva, _ := w.mem.Slab.Kmalloc(0, 128, "rx_buf")
+	va, err := bm.MapSingle(nic, kva, 128, FromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bus.Write(nic, va, []byte("inbound")); err != nil {
+		t.Fatal(err)
+	}
+	// Not visible until unmap (ownership protocol).
+	buf := make([]byte, 7)
+	if err := w.mem.Read(kva, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, []byte("inbound")) {
+		t.Error("device write visible before unmap copy-back")
+	}
+	if err := bm.UnmapSingle(nic, va, 128, FromDevice); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.mem.Read(kva, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("inbound")) {
+		t.Errorf("copy-back missing: %q", buf)
+	}
+}
+
+func TestBounceBlocksOutOfRangeCorruption(t *testing.T) {
+	// The defense's point: device writes beyond the n requested bytes (e.g.
+	// skb_shared_info corruption at the tail of the page) are never copied
+	// back.
+	w := newWorld(t, iommu.Strict)
+	bm := NewBounceMapper(w.mem, w.mp)
+	pfn, _ := w.mem.Pages.AllocPages(0, 0)
+	kva := w.mem.Layout().PFNToKVA(pfn)
+	// A "shared info" word past the mapped length.
+	if err := w.mem.WriteU64(kva+2048, 0x600d); err != nil {
+		t.Fatal(err)
+	}
+	va, err := bm.MapSingle(nic, kva, 1500, FromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device corrupts the whole shadow page (it can: page granularity).
+	if err := w.bus.WriteU64(nic, (va&^iommu.IOVA(layout.PageMask))+2048, 0xbad); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.UnmapSingle(nic, va, 1500, FromDevice); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := w.mem.ReadU64(kva + 2048)
+	if got != 0x600d {
+		t.Errorf("out-of-range device write leaked back: %#x", got)
+	}
+}
+
+func TestBounceErrors(t *testing.T) {
+	w := newWorld(t, iommu.Strict)
+	bm := NewBounceMapper(w.mem, w.mp)
+	kva, _ := w.mem.Slab.Kmalloc(0, 64, "t")
+	if _, err := bm.MapSingle(nic, kva, 0, ToDevice); err == nil {
+		t.Error("zero-length bounce accepted")
+	}
+	va, err := bm.MapSingle(nic, kva, 64, ToDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.UnmapSingle(nic, va, 32, ToDevice); err == nil {
+		t.Error("mismatched unmap accepted")
+	}
+	if err := bm.UnmapSingle(nic, va+iommu.IOVA(layout.PageSize), 64, ToDevice); err == nil {
+		t.Error("unknown unmap accepted")
+	}
+	if err := bm.UnmapSingle(nic, va, 64, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package dma
+
+import (
+	"fmt"
+
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/mem"
+)
+
+// BouncePool is the production shape of the [47] defense: instead of
+// mapping/unmapping a fresh shadow per I/O (BounceMapper), the pool
+// pre-allocates dedicated pages and maps them ONCE, statically. Per I/O,
+// only copies happen:
+//
+//   - no per-I/O IOMMU page-table updates, no invalidations — the deferred-
+//     invalidation dilemma (§5.2.1) disappears because nothing is ever
+//     unmapped;
+//   - the device can only ever reach pool pages, which hold nothing but
+//     in-flight I/O bytes;
+//   - slots are zeroed on release so one I/O cannot leak into the next
+//     (cross-I/O leakage is the residual risk of static mappings).
+//
+// The cost is the copy per direction plus the pool's pinned memory — the
+// trade the paper's §8 discussion attributes to Markuze et al.
+type BouncePool struct {
+	m      *mem.Memory
+	mapper *Mapper
+	dev    iommu.DeviceID
+
+	slotSize uint64
+	slots    []poolSlot
+	free     []int
+	byIOVA   map[iommu.IOVA]int
+	stats    BouncePoolStats
+}
+
+type poolSlot struct {
+	kva  layout.Addr
+	iova iommu.IOVA
+	pfn  layout.PFN
+	// inUse tracks the caller's buffer for the copy-back.
+	origKVA layout.Addr
+	n       uint64
+	dir     Direction
+}
+
+// BouncePoolStats counts pool activity.
+type BouncePoolStats struct {
+	Maps, Unmaps, BytesCopied uint64
+	Exhaustions               uint64
+}
+
+// NewBouncePool allocates and statically maps `slots` page-sized shadow
+// slots for the device.
+func NewBouncePool(m *mem.Memory, mapper *Mapper, dev iommu.DeviceID, slots int) (*BouncePool, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("dma: bounce pool needs at least one slot")
+	}
+	p := &BouncePool{
+		m: m, mapper: mapper, dev: dev,
+		slotSize: layout.PageSize,
+		byIOVA:   make(map[iommu.IOVA]int, slots),
+	}
+	for i := 0; i < slots; i++ {
+		pfn, err := m.Pages.AllocPages(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		kva := m.Layout().PFNToKVA(pfn)
+		va, err := mapper.MapSingle(dev, kva, layout.PageSize, Bidirectional)
+		if err != nil {
+			return nil, err
+		}
+		p.slots = append(p.slots, poolSlot{kva: kva, iova: va, pfn: pfn})
+		p.free = append(p.free, i)
+		p.byIOVA[va] = i
+	}
+	return p, nil
+}
+
+// Stats returns a copy of the counters.
+func (p *BouncePool) Stats() BouncePoolStats { return p.stats }
+
+// FreeSlots returns the number of available slots.
+func (p *BouncePool) FreeSlots() int { return len(p.free) }
+
+// Map stages an I/O: it claims a slot, copies outbound bytes in, and returns
+// the slot's (static) IOVA. No IOMMU state changes.
+func (p *BouncePool) Map(kva layout.Addr, n uint64, dir Direction) (iommu.IOVA, error) {
+	if n == 0 || n > p.slotSize {
+		return 0, fmt.Errorf("dma: bounce pool mapping of %d bytes (slot %d)", n, p.slotSize)
+	}
+	if len(p.free) == 0 {
+		p.stats.Exhaustions++
+		return 0, fmt.Errorf("dma: bounce pool exhausted")
+	}
+	idx := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	s := &p.slots[idx]
+	s.origKVA, s.n, s.dir = kva, n, dir
+	if dir == ToDevice || dir == Bidirectional {
+		buf := make([]byte, n)
+		if err := p.m.Read(kva, buf); err != nil {
+			return 0, err
+		}
+		if err := p.m.Write(s.kva, buf); err != nil {
+			return 0, err
+		}
+		p.stats.BytesCopied += n
+	}
+	p.stats.Maps++
+	return s.iova, nil
+}
+
+// Unmap completes an I/O: inbound bytes are copied back (the n requested
+// bytes only), the slot is zeroed and released. Again no IOMMU changes — and
+// therefore no invalidation window to exploit.
+func (p *BouncePool) Unmap(va iommu.IOVA, n uint64, dir Direction) error {
+	idx, ok := p.byIOVA[va]
+	if !ok {
+		return fmt.Errorf("dma: bounce pool unmap of unknown IOVA %#x", uint64(va))
+	}
+	s := &p.slots[idx]
+	if s.origKVA == 0 {
+		return fmt.Errorf("dma: bounce pool slot %d not in use", idx)
+	}
+	if s.n != n || s.dir != dir {
+		return fmt.Errorf("dma: bounce pool unmap arguments mismatch")
+	}
+	if dir == FromDevice || dir == Bidirectional {
+		buf := make([]byte, n)
+		if err := p.m.Read(s.kva, buf); err != nil {
+			return err
+		}
+		if err := p.m.Write(s.origKVA, buf); err != nil {
+			return err
+		}
+		p.stats.BytesCopied += n
+	}
+	// Zero the slot: the next I/O (and the device, meanwhile) sees nothing
+	// of this one.
+	if err := p.m.Memset(s.kva, 0, p.slotSize); err != nil {
+		return err
+	}
+	s.origKVA, s.n, s.dir = 0, 0, ToDevice
+	p.free = append(p.free, idx)
+	p.stats.Unmaps++
+	return nil
+}
+
+// Close tears the pool down (unmaps and frees every slot).
+func (p *BouncePool) Close() error {
+	for i := range p.slots {
+		s := &p.slots[i]
+		if err := p.mapper.UnmapSingle(p.dev, s.iova, layout.PageSize, Bidirectional); err != nil {
+			return err
+		}
+		if err := p.m.Pages.Free(0, s.pfn, 0); err != nil {
+			return err
+		}
+	}
+	p.slots, p.free = nil, nil
+	p.byIOVA = map[iommu.IOVA]int{}
+	return nil
+}

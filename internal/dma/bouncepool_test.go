@@ -1,0 +1,120 @@
+package dma
+
+import (
+	"bytes"
+	"testing"
+
+	"dmafault/internal/iommu"
+)
+
+func TestBouncePoolRoundTripAndZeroing(t *testing.T) {
+	w := newWorld(t, iommu.Deferred)
+	p, err := NewBouncePool(w.mem, w.mp, nic, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	kva, _ := w.mem.Slab.Kmalloc(0, 512, "rx")
+	va, err := p.Map(kva, 512, FromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeSlots() != 3 {
+		t.Errorf("FreeSlots = %d", p.FreeSlots())
+	}
+	if err := w.bus.Write(nic, va, []byte("payload!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unmap(va, 512, FromDevice); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := w.mem.Read(kva, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("payload!")) {
+		t.Errorf("copy-back = %q", got)
+	}
+	// Cross-I/O leakage prevention: the slot was zeroed on release, so a
+	// device read through the still-valid static mapping sees nothing.
+	leak := make([]byte, 8)
+	if err := w.bus.Read(nic, va, leak); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(leak, make([]byte, 8)) {
+		t.Errorf("previous I/O leaked: %q", leak)
+	}
+}
+
+func TestBouncePoolNoInvalidationWindow(t *testing.T) {
+	// The defining property: a full map/IO/unmap cycle performs ZERO IOMMU
+	// map/unmap operations, so deferred-vs-strict is moot.
+	w := newWorld(t, iommu.Deferred)
+	p, err := NewBouncePool(w.mem, w.mp, nic, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := w.unit.Stats()
+	kva, _ := w.mem.Slab.Kmalloc(0, 256, "io")
+	for i := 0; i < 10; i++ {
+		va, err := p.Map(kva, 256, Bidirectional)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.bus.Write(nic, va, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unmap(va, 256, Bidirectional); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := w.unit.Stats()
+	if after.Maps != baseline.Maps || after.Unmaps != baseline.Unmaps {
+		t.Errorf("pool I/O touched the IOMMU: %d→%d maps, %d→%d unmaps",
+			baseline.Maps, after.Maps, baseline.Unmaps, after.Unmaps)
+	}
+	if after.GlobalFlushes != baseline.GlobalFlushes {
+		t.Error("pool I/O triggered invalidations")
+	}
+}
+
+func TestBouncePoolExhaustionAndErrors(t *testing.T) {
+	w := newWorld(t, iommu.Strict)
+	p, err := NewBouncePool(w.mem, w.mp, nic, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kva, _ := w.mem.Slab.Kmalloc(0, 64, "io")
+	va, err := p.Map(kva, 64, ToDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Map(kva, 64, ToDevice); err == nil {
+		t.Error("exhausted pool served a mapping")
+	}
+	if p.Stats().Exhaustions != 1 {
+		t.Errorf("Exhaustions = %d", p.Stats().Exhaustions)
+	}
+	if err := p.Unmap(va, 128, ToDevice); err == nil {
+		t.Error("mismatched unmap accepted")
+	}
+	if err := p.Unmap(va+4096, 64, ToDevice); err == nil {
+		t.Error("unknown IOVA accepted")
+	}
+	if err := p.Unmap(va, 64, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unmap(va, 64, ToDevice); err == nil {
+		t.Error("double unmap accepted")
+	}
+	if _, err := p.Map(kva, 8192, ToDevice); err == nil {
+		t.Error("oversize accepted")
+	}
+	if _, err := NewBouncePool(w.mem, w.mp, nic, 0); err == nil {
+		t.Error("zero-slot pool accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package dma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/mem"
+)
+
+// Bus is the device-side view of memory: every access is an IOVA that the
+// IOMMU translates (or faults). Devices — benign NIC data paths and the
+// malicious device framework alike — touch memory only through a Bus.
+type Bus struct {
+	mem  *mem.Memory
+	unit *iommu.IOMMU
+	// OnAccess, if set, observes every device access attempt (tracing).
+	OnAccess func(dev iommu.DeviceID, va iommu.IOVA, n int, write bool, err error)
+}
+
+// NewBus builds the device access path.
+func NewBus(m *mem.Memory, u *iommu.IOMMU) *Bus {
+	return &Bus{mem: m, unit: u}
+}
+
+// Read performs a device DMA read of len(buf) bytes starting at the IOVA,
+// page by page through the IOMMU.
+func (b *Bus) Read(dev iommu.DeviceID, va iommu.IOVA, buf []byte) error {
+	return b.access(dev, va, buf, false)
+}
+
+// Write performs a device DMA write of len(buf) bytes starting at the IOVA.
+func (b *Bus) Write(dev iommu.DeviceID, va iommu.IOVA, buf []byte) error {
+	return b.access(dev, va, buf, true)
+}
+
+func (b *Bus) access(dev iommu.DeviceID, va iommu.IOVA, buf []byte, write bool) (err error) {
+	if b.OnAccess != nil {
+		defer func() { b.OnAccess(dev, va, len(buf), write, err) }()
+	}
+	done := uint64(0)
+	n := uint64(len(buf))
+	for done < n {
+		cur := va + iommu.IOVA(done)
+		pfn, err := b.unit.Translate(dev, cur, write)
+		if err != nil {
+			return fmt.Errorf("dma: device access at +%d: %w", done, err)
+		}
+		off := uint64(cur) & layout.PageMask
+		chunk := layout.PageSize - off
+		if chunk > n-done {
+			chunk = n - done
+		}
+		pa := uint64(pfn)*layout.PageSize + off
+		if write {
+			err = b.mem.WritePhys(pa, buf[done:done+chunk])
+		} else {
+			err = b.mem.ReadPhys(pa, buf[done:done+chunk])
+		}
+		if err != nil {
+			return err
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// ReadU64 reads one little-endian word by DMA.
+func (b *Bus) ReadU64(dev iommu.DeviceID, va iommu.IOVA) (uint64, error) {
+	var buf [8]byte
+	if err := b.Read(dev, va, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteU64 writes one little-endian word by DMA.
+func (b *Bus) WriteU64(dev iommu.DeviceID, va iommu.IOVA, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return b.Write(dev, va, buf[:])
+}
+
+// Probe reports whether the device can currently access the IOVA page.
+func (b *Bus) Probe(dev iommu.DeviceID, va iommu.IOVA, write bool) bool {
+	_, err := b.unit.Translate(dev, va, write)
+	return err == nil
+}

@@ -1,0 +1,56 @@
+package dma
+
+import (
+	"fmt"
+
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+)
+
+// Segment is one element of a scatter/gather list (struct scatterlist).
+type Segment struct {
+	KVA layout.Addr
+	Len uint64
+}
+
+// SGMapping is the result of MapSG: per-segment IOVAs plus the bookkeeping
+// UnmapSG needs. It models the "analogous methods to map and unmap for
+// non-contiguous scatter/gather lists" of §2.3.
+type SGMapping struct {
+	dev   iommu.DeviceID
+	dir   Direction
+	Segs  []Segment
+	IOVAs []iommu.IOVA
+}
+
+// MapSG maps every segment of the list and returns the aggregate mapping.
+// On failure, segments already mapped are rolled back.
+func (mp *Mapper) MapSG(dev iommu.DeviceID, segs []Segment, dir Direction) (*SGMapping, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("dma: empty scatter/gather list")
+	}
+	sg := &SGMapping{dev: dev, dir: dir, Segs: append([]Segment(nil), segs...)}
+	for i, s := range segs {
+		va, err := mp.MapSingle(dev, s.KVA, s.Len, dir)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = mp.UnmapSingle(dev, sg.IOVAs[j], segs[j].Len, dir)
+			}
+			return nil, fmt.Errorf("dma: sg segment %d: %w", i, err)
+		}
+		sg.IOVAs = append(sg.IOVAs, va)
+	}
+	mp.stats.SGMaps++
+	return sg, nil
+}
+
+// UnmapSG releases every segment of the list.
+func (mp *Mapper) UnmapSG(sg *SGMapping) error {
+	var firstErr error
+	for i, va := range sg.IOVAs {
+		if err := mp.UnmapSingle(sg.dev, va, sg.Segs[i].Len, sg.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

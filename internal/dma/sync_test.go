@@ -1,0 +1,55 @@
+package dma
+
+import (
+	"testing"
+
+	"dmafault/internal/iommu"
+)
+
+func TestSyncOwnershipStateMachine(t *testing.T) {
+	w := newWorld(t, iommu.Strict)
+	kva, _ := w.mem.Slab.Kmalloc(0, 512, "rx")
+	va, err := w.mp.MapSingle(nic, kva, 512, FromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh mapping: device owns it.
+	o, err := w.mp.OwnerOf(nic, va)
+	if err != nil || o != OwnerDevice {
+		t.Fatalf("owner = %v, %v", o, err)
+	}
+	if err := w.mp.SyncForDevice(nic, va); err == nil {
+		t.Error("double sync_for_device accepted")
+	}
+	if err := w.mp.SyncForCPU(nic, va); err != nil {
+		t.Fatal(err)
+	}
+	o, _ = w.mp.OwnerOf(nic, va)
+	if o != OwnerCPU {
+		t.Errorf("owner = %v after sync_for_cpu", o)
+	}
+	if err := w.mp.SyncForCPU(nic, va); err == nil {
+		t.Error("double sync_for_cpu accepted")
+	}
+	if err := w.mp.SyncForDevice(nic, va); err != nil {
+		t.Fatal(err)
+	}
+	if w.mp.Stats().Syncs != 2 {
+		t.Errorf("Syncs = %d", w.mp.Stats().Syncs)
+	}
+	if err := w.mp.UnmapSingle(nic, va, 512, FromDevice); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.mp.SyncForCPU(nic, va); err == nil {
+		t.Error("sync on unmapped IOVA accepted")
+	}
+	if _, err := w.mp.OwnerOf(nic, va); err == nil {
+		t.Error("OwnerOf on unmapped IOVA accepted")
+	}
+}
+
+func TestOwnerStrings(t *testing.T) {
+	if OwnerCPU.String() != "cpu" || OwnerDevice.String() != "device" {
+		t.Error("owner names wrong")
+	}
+}

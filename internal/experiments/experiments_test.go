@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsCoverEveryTableAndFigure(t *testing.T) {
+	ids := IDs()
+	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "S2.4", "S5.2.1", "S5.3", "S6", "S7"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("Z9", QuickConfig); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllExperimentsPassQuickConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow")
+	}
+	outcomes, err := All(QuickConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		t.Logf("%s: OK=%v", o.ID, o.OK)
+		if !o.OK {
+			t.Errorf("experiment %s did not reproduce the paper's claim:\n%s", o.ID, o.Render())
+		}
+		if o.Text == "" {
+			t.Errorf("experiment %s produced no artifact", o.ID)
+		}
+		if !strings.Contains(o.Render(), o.ID) {
+			t.Errorf("render of %s lacks its ID", o.ID)
+		}
+	}
+}
+
+func TestRunSingleByID(t *testing.T) {
+	o, err := Run("t1", QuickConfig) // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ID != "T1" || !o.OK {
+		t.Errorf("outcome = %+v", o)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"dmafault/internal/cminor"
+	"dmafault/internal/corpus"
+	"dmafault/internal/layout"
+	"dmafault/internal/spade"
+)
+
+// Table1 regenerates the kernel memory layout table, plus two KASLR draws to
+// show which bits move and which stay (the §2.4 weakness).
+func Table1(cfg Config) (*Outcome, error) {
+	o := newOutcome("T1", "Linux kernel memory layout (Table 1)")
+	o.printf("%-18s %-10s %-18s %-8s %s\n", "Start Addr", "Offset", "End Addr", "Size", "VM area description")
+	offsets := []string{"-119.5 TB", "-55 TB", "-22 TB", "-20 TB", "-2 GB", "-1536 MB"}
+	for i, row := range layout.Table1() {
+		o.printf("%-18x %-10s %-18x %-8s %s\n", uint64(row.Start), offsets[i], uint64(row.End), row.Size, row.Desc)
+	}
+	a := layout.New(layout.Config{KASLR: true, Seed: cfg.Seed, PhysBytes: 64 << 20})
+	b := layout.New(layout.Config{KASLR: true, Seed: cfg.Seed + 1, PhysBytes: 64 << 20})
+	o.printf("\nKASLR draws (two boots):\n")
+	o.printf("  text base:        %#x vs %#x (2 MiB aligned: low 21 bits fixed)\n", uint64(a.TextBase), uint64(b.TextBase))
+	o.printf("  page_offset_base: %#x vs %#x (1 GiB aligned: low 30 bits fixed)\n", uint64(a.PageOffsetBase), uint64(b.PageOffsetBase))
+	o.printf("  vmemmap_base:     %#x vs %#x (1 GiB aligned)\n", uint64(a.VmemmapBase), uint64(b.VmemmapBase))
+	o.OK = a.TextBase&(layout.TextAlign-1) == 0 && a.PageOffsetBase&(layout.DirectMapAlign-1) == 0
+	o.metric("regions", "%d", len(layout.Table1()))
+	return o, nil
+}
+
+// Table2 runs SPADE over the calibrated corpus and checks every row against
+// the paper's numbers.
+func Table2(cfg Config) (*Outcome, error) {
+	o := newOutcome("T2", "SPADE results summary (Table 2)")
+	var parsed []*cminor.File
+	for _, sf := range corpus.Generate(corpus.Linux50) {
+		f, err := cminor.Parse(sf.Name, sf.Content)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	rep := spade.NewAnalyzer(parsed).Run()
+	o.printf("%s", rep.Table())
+
+	type row struct {
+		name               string
+		got                spade.RowCount
+		wantCalls, wantFls int
+	}
+	rows := []row{
+		{"callbacks_exposed", rep.CallbacksExposed, 156, 57},
+		{"skb_shared_info_mapped", rep.SkbSharedInfoMapped, 464, 232},
+		{"callbacks_direct", rep.CallbacksDirect, 54, 28},
+		{"private_data_mapped", rep.PrivateDataMapped, 19, 7},
+		{"stack_mapped", rep.StackMapped, 3, 3},
+		{"type_c", rep.TypeCVulnerable, 344, 227},
+		{"build_skb", rep.BuildSkbUsed, 46, 40},
+	}
+	for _, r := range rows {
+		o.metric(r.name, "%d/%d (paper %d/%d)", r.got.Calls, r.got.Files, r.wantCalls, r.wantFls)
+		if r.got.Calls != r.wantCalls || r.got.Files != r.wantFls {
+			o.OK = false
+		}
+	}
+	o.metric("total", "%d calls / %d files (paper 1019/447)", rep.TotalCalls, rep.TotalFiles)
+	o.metric("vulnerable", "%d = %.1f%% (paper 742 = 72.8%%)", rep.VulnerableCalls, 100*float64(rep.VulnerableCalls)/float64(rep.TotalCalls))
+	if rep.TotalCalls != 1019 || rep.VulnerableCalls != 742 {
+		o.OK = false
+	}
+	return o, nil
+}

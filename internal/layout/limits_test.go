@@ -1,0 +1,37 @@
+package layout
+
+import "testing"
+
+// Documented limitation (EXPERIMENTS.md deviation 5): direct-map base
+// recovery from a single leaked pointer relies on the pointer's physical
+// offset fitting in the 1 GiB alignment gap. Beyond 1 GiB of RAM, a leaked
+// pointer into high memory mis-identifies the base — the attacker must fall
+// back to the (KVA, PFN)-pair method, which stays exact.
+func TestDirectMapInferenceLimitBeyond1GiB(t *testing.T) {
+	l := New(Config{KASLR: true, Seed: 5, PhysBytes: 2 << 30}) // 2 GiB
+	in := NewInferencer(l.Symbols())
+	// A pointer into the second gigabyte of physical memory.
+	highPFN := PFN((1 << 30) / PageSize * 3 / 2)
+	leak := l.PFNToKVA(highPFN)
+	in.ObserveWords([]uint64{uint64(leak)})
+	got, err := in.PageOffsetBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == l.PageOffsetBase {
+		t.Skip("alignment coincidence; pick another PFN")
+	}
+	// The single-pointer method is off by a 1 GiB multiple — as documented.
+	if (got-l.PageOffsetBase)%DirectMapAlign != 0 {
+		t.Fatalf("error not a 1 GiB multiple: got %#x, truth %#x", uint64(got), uint64(l.PageOffsetBase))
+	}
+	// The pair method recovers the truth regardless of RAM size.
+	in2 := NewInferencer(l.Symbols())
+	if err := in2.ObserveKVAPFNPair(leak, highPFN); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := in2.PageOffsetBase()
+	if err != nil || exact != l.PageOffsetBase {
+		t.Fatalf("pair method = %#x, %v; want %#x", uint64(exact), err, uint64(l.PageOffsetBase))
+	}
+}

@@ -1,0 +1,88 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SymbolTable maps kernel symbol names to their link-time offsets from the
+// text base. KASLR shifts the whole image, so runtime address = TextBase +
+// offset; the offset (and in particular its low 21 bits) is fixed by the
+// build and assumed known to the attacker, exactly as in §2.4.
+type SymbolTable struct {
+	offsets map[string]uint64
+	names   []string
+}
+
+// Canonical symbols of the simulated kernel image. Offsets are stable
+// "link-time" values; init_net carries the role it has in the paper: a
+// global network-namespace object whose address leaks through every socket.
+var builtinSymbols = map[string]uint64{
+	"_text":               0x000000,
+	"startup_64":          0x000040,
+	"commit_creds":        0x0a31c0,
+	"prepare_kernel_cred": 0x0a3550,
+	"kfree_skb":           0x5c0890,
+	"napi_gro_receive":    0x5d2470,
+	"sock_wfree":          0x5b8f10,
+	"init_net":            0x1a8c7c0, // .data: global struct net
+	"init_task":           0x1a12040,
+	"jiffies":             0x1b04000,
+	"__per_cpu_offset":    0x1a0f920,
+	"system_wq":           0x1b21a08,
+	"tcp_prot":            0x1a9b340,
+	"dev_base_lock":       0x1aa0018,
+	"skb_release_data":    0x5c0510,
+	"msix_setup_entries":  0x4a7730,
+	"pivot_gadget_area":   0x7f0000, // region where JOP/ROP gadgets cluster
+	"__stop___ex_table":   0x1900000,
+	"_etext":              0x0e01d51,
+}
+
+func defaultSymbols() *SymbolTable {
+	t := &SymbolTable{offsets: make(map[string]uint64, len(builtinSymbols))}
+	for n, o := range builtinSymbols {
+		t.offsets[n] = o
+		t.names = append(t.names, n)
+	}
+	sort.Strings(t.names)
+	return t
+}
+
+// Offset returns the link-time offset of a symbol from the text base.
+func (t *SymbolTable) Offset(name string) (uint64, error) {
+	o, ok := t.offsets[name]
+	if !ok {
+		return 0, fmt.Errorf("layout: unknown symbol %q", name)
+	}
+	return o, nil
+}
+
+// Names returns all symbol names in sorted order.
+func (t *SymbolTable) Names() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Add registers an extra symbol (used by tests and by the kexec package when
+// it places gadget functions).
+func (t *SymbolTable) Add(name string, offset uint64) {
+	if _, ok := t.offsets[name]; !ok {
+		t.names = append(t.names, name)
+		sort.Strings(t.names)
+	}
+	t.offsets[name] = offset
+}
+
+// Low21 returns the KASLR-invariant low 21 bits of a symbol's runtime
+// address. Because the text base is 2 MiB aligned, these bits are identical
+// at link time and at run time; matching them against a leaked pointer is how
+// the attacker identifies a known symbol with high probability (§2.4).
+func (t *SymbolTable) Low21(name string) (uint64, error) {
+	o, err := t.Offset(name)
+	if err != nil {
+		return 0, err
+	}
+	return o & (TextAlign - 1), nil
+}

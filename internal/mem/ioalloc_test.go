@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"testing"
+
+	"dmafault/internal/layout"
+)
+
+func TestIOAllocatorSegregation(t *testing.T) {
+	// The [49] property: I/O buffers never share a frame with kmalloc
+	// objects, killing type (d) by construction.
+	m := newTestMemory(t, 32<<20, 1)
+	io := NewIOAllocator(m)
+	var ioBufs []layout.Addr
+	for i := 0; i < 20; i++ {
+		a, err := io.Alloc(0, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ioBufs = append(ioBufs, a)
+	}
+	var kmObjs []layout.Addr
+	for i := 0; i < 20; i++ {
+		a, err := m.Slab.Kmalloc(0, 512, "kernel_obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		kmObjs = append(kmObjs, a)
+	}
+	ioPages := map[layout.PFN]bool{}
+	for _, a := range ioBufs {
+		p, _ := m.Layout().KVAToPFN(a)
+		ioPages[p] = true
+		if !io.Owns(p) {
+			t.Errorf("io page %d not owned", p)
+		}
+	}
+	for _, a := range kmObjs {
+		p, _ := m.Layout().KVAToPFN(a)
+		if ioPages[p] {
+			t.Fatalf("kernel object at %#x shares frame %d with I/O buffers", uint64(a), p)
+		}
+	}
+}
+
+func TestIOAllocatorPagesNeverRecycledToKernel(t *testing.T) {
+	// DAMN keeps its pages: even after every I/O buffer is freed, the
+	// frames stay out of the general pool, so later kernel allocations
+	// cannot land on once-DMA-visible pages.
+	m := newTestMemory(t, 16<<20, 1)
+	io := NewIOAllocator(m)
+	var pages []layout.PFN
+	for i := 0; i < 8; i++ {
+		a, err := io.Alloc(0, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := m.Layout().KVAToPFN(a)
+		pages = append(pages, p)
+		if err := io.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if io.Live() != 0 {
+		t.Fatal("live count wrong")
+	}
+	for i := 0; i < 64; i++ {
+		a, err := m.Slab.Kmalloc(0, 4096, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := m.Layout().KVAToPFN(a)
+		for _, iop := range pages {
+			if p == iop {
+				t.Fatalf("kernel allocation landed on retained I/O page %d", p)
+			}
+		}
+	}
+}
+
+func TestIOAllocatorErrors(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 1)
+	io := NewIOAllocator(m)
+	if _, err := io.Alloc(0, 0); err == nil {
+		t.Error("zero alloc accepted")
+	}
+	if _, err := io.Alloc(0, layout.PageSize+1); err == nil {
+		t.Error("oversize alloc accepted")
+	}
+	if err := io.Free(layout.Addr(0x1234)); err == nil {
+		t.Error("bogus free accepted")
+	}
+	a, _ := io.Alloc(0, 64)
+	if err := io.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.Free(a); err == nil {
+		t.Error("double free accepted")
+	}
+	st := io.Stats()
+	if st.Allocs != 1 || st.Frees != 1 || st.PagesOwned == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,199 @@
+package mem
+
+import (
+	"testing"
+
+	"dmafault/internal/layout"
+)
+
+func newTestMemory(t *testing.T, bytes uint64, cpus int) *Memory {
+	t.Helper()
+	l := layout.New(layout.Config{KASLR: true, Seed: 11, PhysBytes: bytes})
+	m, err := New(Config{Layout: l, CPUs: cpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil layout accepted")
+	}
+	l := layout.New(layout.Config{PhysBytes: 16 << 20})
+	l.PhysBytes = 12345 // not page aligned
+	if _, err := New(Config{Layout: l}); err == nil {
+		t.Error("unaligned PhysBytes accepted")
+	}
+}
+
+func TestPhysReadWrite(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 1)
+	want := []byte{1, 2, 3, 4}
+	if err := m.WritePhys(0x5000, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := m.ReadPhys(0x5000, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReadPhys = %v, want %v", got, want)
+		}
+	}
+	if err := m.ReadPhys(16<<20, got); err == nil {
+		t.Error("out-of-range phys read accepted")
+	}
+	if err := m.WritePhys((16<<20)-2, want); err == nil {
+		t.Error("straddling phys write accepted")
+	}
+}
+
+func TestKVAReadWriteAndWordHelpers(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 1)
+	a := m.Layout().PFNToKVA(1200) + 16
+	if err := m.WriteU64(a, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadU64(a)
+	if err != nil || v != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadU64 = %#x, %v", v, err)
+	}
+	if err := m.WriteU32(a+8, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	v32, err := m.ReadU32(a + 8)
+	if err != nil || v32 != 0x11223344 {
+		t.Fatalf("ReadU32 = %#x, %v", v32, err)
+	}
+	if err := m.WriteU16(a+12, 0xaabb); err != nil {
+		t.Fatal(err)
+	}
+	v16, err := m.ReadU16(a + 12)
+	if err != nil || v16 != 0xaabb {
+		t.Fatalf("ReadU16 = %#x, %v", v16, err)
+	}
+	// Physical and virtual views agree (little endian).
+	pa, _ := m.Layout().KVAToPhys(a)
+	b := make([]byte, 1)
+	if err := m.ReadPhys(pa, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x0d {
+		t.Errorf("phys view = %#x, want 0x0d", b[0])
+	}
+	if err := m.Memset(a, 0xee, 8); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = m.ReadU64(a)
+	if v != 0xeeeeeeeeeeeeeeee {
+		t.Errorf("after memset: %#x", v)
+	}
+}
+
+func TestKVAAccessRejectsNonDirectMap(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 1)
+	if _, err := m.ReadU64(layout.VmallocStart); err == nil {
+		t.Error("vmalloc read accepted")
+	}
+	if err := m.WriteU64(m.Layout().PageOffsetBase-8, 1); err == nil {
+		t.Error("below direct map write accepted")
+	}
+}
+
+type recordingTracer struct {
+	kmallocs, kfrees, pageAllocs, pageFrees int
+	cpuReads, cpuWrites                     int
+	lastSite                                string
+}
+
+func (r *recordingTracer) OnKmalloc(a layout.Addr, size uint64, site string) {
+	r.kmallocs++
+	r.lastSite = site
+}
+func (r *recordingTracer) OnKfree(a layout.Addr, size uint64) { r.kfrees++ }
+func (r *recordingTracer) OnPageAlloc(p layout.PFN, o uint)   { r.pageAllocs++ }
+func (r *recordingTracer) OnPageFree(p layout.PFN, o uint)    { r.pageFrees++ }
+func (r *recordingTracer) OnCPUAccess(a layout.Addr, n uint64, w bool) {
+	if w {
+		r.cpuWrites++
+	} else {
+		r.cpuReads++
+	}
+}
+
+func TestTracerEvents(t *testing.T) {
+	l := layout.New(layout.Config{PhysBytes: 16 << 20})
+	tr := &recordingTracer{}
+	m, err := New(Config{Layout: l, CPUs: 1, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Slab.Kmalloc(0, 100, "test_site+0x10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.kmallocs != 1 || tr.lastSite != "test_site+0x10" {
+		t.Errorf("kmalloc trace: %d, site %q", tr.kmallocs, tr.lastSite)
+	}
+	if tr.pageAllocs == 0 {
+		t.Error("slab creation did not trace a page alloc")
+	}
+	if err := m.WriteU64(a, 7); err != nil {
+		t.Fatal(err)
+	}
+	if tr.cpuWrites == 0 {
+		t.Error("CPU write not traced")
+	}
+	if _, err := m.ReadU64(a); err != nil {
+		t.Fatal(err)
+	}
+	if tr.cpuReads == 0 {
+		t.Error("CPU read not traced")
+	}
+	if err := m.Slab.Kfree(a); err != nil {
+		t.Fatal(err)
+	}
+	if tr.kfrees != 1 {
+		t.Errorf("kfree trace: %d", tr.kfrees)
+	}
+}
+
+func TestPageAccessors(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 1)
+	if _, err := m.Page(layout.PFN(m.NumPages())); err == nil {
+		t.Error("out-of-range Page accepted")
+	}
+	pi, err := m.Page(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pi.Has(FlagReserved) {
+		t.Error("PFN 0 should be boot-reserved")
+	}
+}
+
+func TestPageInfoDMAMarkers(t *testing.T) {
+	var pi PageInfo
+	if pi.DMAMapped() {
+		t.Error("fresh page reports mapped")
+	}
+	pi.MarkDMAMapped(false)
+	pi.MarkDMAMapped(true)
+	if !pi.DMAMapped() || !pi.DMAWritable {
+		t.Error("mark did not take")
+	}
+	pi.ClearDMAMapped()
+	if !pi.DMAWritable {
+		t.Error("writable cleared while a mapping remains")
+	}
+	pi.ClearDMAMapped()
+	if pi.DMAMapped() || pi.DMAWritable {
+		t.Error("clear did not fully release")
+	}
+	pi.ClearDMAMapped() // must not underflow
+	if pi.DMAMapCount != 0 {
+		t.Error("map count underflowed")
+	}
+}

@@ -1,0 +1,260 @@
+package mem
+
+import (
+	"fmt"
+
+	"dmafault/internal/layout"
+)
+
+// MaxOrder is the largest supported buddy order (2^3 pages = 32 KiB, the
+// page_frag region size; the mlx5 HW-LRO path uses order-4 64 KiB buffers).
+const MaxOrder = 4
+
+// hotCacheSize bounds the per-CPU cache of recently freed order-0 pages.
+// Linux prefers hot pages because they likely still sit in CPU caches
+// (§5.2.1: "fast reuse is a common scenario"), which is what lets a device
+// holding a stale IOTLB entry corrupt a page after its reuse.
+const hotCacheSize = 16
+
+// PageAllocator is a buddy allocator over the simulated frames with per-CPU
+// LIFO hot caches for order-0 pages.
+type PageAllocator struct {
+	m        *Memory
+	free     [MaxOrder + 1][]layout.PFN // LIFO stacks per order
+	hot      [][]layout.PFN             // per-CPU order-0 hot cache
+	nfree    uint64
+	reserved uint64
+}
+
+func newPageAllocator(m *Memory, cpus int) (*PageAllocator, error) {
+	pa := &PageAllocator{m: m, hot: make([][]layout.PFN, cpus)}
+	total := layout.PFN(m.NumPages())
+	// Reserve the first 4 MiB for the "kernel image", as a real boot does.
+	reserve := layout.PFN((4 << 20) / layout.PageSize)
+	if reserve >= total {
+		return nil, fmt.Errorf("mem: %d pages too small for boot reservation", total)
+	}
+	for p := layout.PFN(0); p < reserve; p++ {
+		m.mustPage(p).Flags = FlagReserved
+		m.mustPage(p).RefCount = 1
+	}
+	pa.reserved = uint64(reserve)
+	// Seed the order-MaxOrder freelist with maximal blocks, low PFN on top
+	// of the stack so early boot allocations are low and deterministic.
+	blk := layout.PFN(1) << MaxOrder
+	var starts []layout.PFN
+	for p := (reserve + blk - 1) &^ (blk - 1); p+blk <= total; p += blk {
+		starts = append(starts, p)
+	}
+	for i := len(starts) - 1; i >= 0; i-- {
+		pa.pushFree(starts[i], MaxOrder)
+	}
+	// Frames between the reservation and the first aligned block, and the
+	// tail remainder, are left reserved for simplicity.
+	return pa, nil
+}
+
+func (pa *PageAllocator) pushFree(p layout.PFN, order uint) {
+	pi := pa.m.mustPage(p)
+	pi.Flags = FlagFree
+	pi.Order = order
+	pi.RefCount = 0
+	pa.free[order] = append(pa.free[order], p)
+	pa.nfree += 1 << order
+}
+
+func (pa *PageAllocator) popFree(order uint) (layout.PFN, bool) {
+	s := pa.free[order]
+	if len(s) == 0 {
+		return 0, false
+	}
+	p := s[len(s)-1]
+	pa.free[order] = s[:len(s)-1]
+	pa.nfree -= 1 << order
+	return p, true
+}
+
+// FreePages returns the number of frames currently free (buddy + hot caches).
+func (pa *PageAllocator) FreePages() uint64 {
+	n := pa.nfree
+	for _, h := range pa.hot {
+		n += uint64(len(h))
+	}
+	return n
+}
+
+// AllocPages allocates a 2^order contiguous, naturally aligned block and
+// returns its head PFN. cpu selects the hot cache for order-0 requests.
+func (pa *PageAllocator) AllocPages(cpu int, order uint) (layout.PFN, error) {
+	if order > MaxOrder {
+		return 0, fmt.Errorf("mem: order %d exceeds MaxOrder %d", order, MaxOrder)
+	}
+	if order == 0 && cpu >= 0 && cpu < len(pa.hot) {
+		if h := pa.hot[cpu]; len(h) > 0 {
+			p := h[len(h)-1]
+			pa.hot[cpu] = h[:len(h)-1]
+			pa.finishAlloc(p, 0)
+			return p, nil
+		}
+	}
+	// Find the smallest order with a free block, splitting down.
+	for o := order; o <= MaxOrder; o++ {
+		p, ok := pa.popFree(o)
+		if !ok {
+			continue
+		}
+		for cur := o; cur > order; cur-- {
+			// Split: keep the low half, free the high half at cur-1.
+			buddy := p + (layout.PFN(1) << (cur - 1))
+			pa.pushFree(buddy, cur-1)
+		}
+		pa.finishAlloc(p, order)
+		return p, nil
+	}
+	return 0, fmt.Errorf("mem: out of pages (order %d request, %d frames free)", order, pa.nfree)
+}
+
+func (pa *PageAllocator) finishAlloc(p layout.PFN, order uint) {
+	head := pa.m.mustPage(p)
+	head.Flags = 0
+	head.Order = order
+	head.RefCount = 1
+	if order > 0 {
+		head.Flags |= FlagCompoundHead
+		for i := layout.PFN(1); i < layout.PFN(1)<<order; i++ {
+			t := pa.m.mustPage(p + i)
+			t.Flags = FlagCompoundTail
+			t.CompoundHead = p
+			t.Order = 0
+			t.RefCount = 0
+		}
+	}
+	pa.m.tracerOnPageAlloc(p, order)
+}
+
+// Free returns a block to the allocator. Order-0 pages go to the CPU's hot
+// cache first (LIFO), so the very next allocation on that CPU reuses them —
+// the behaviour that makes stale IOTLB windows exploitable.
+func (pa *PageAllocator) Free(cpu int, p layout.PFN, order uint) error {
+	if uint64(p) >= uint64(pa.m.NumPages()) {
+		return fmt.Errorf("mem: free of PFN %d out of range", p)
+	}
+	pi := pa.m.mustPage(p)
+	if pi.Has(FlagFree) {
+		return fmt.Errorf("mem: double free of PFN %d", p)
+	}
+	if pi.Has(FlagCompoundTail) {
+		return fmt.Errorf("mem: free of compound tail PFN %d", p)
+	}
+	if pi.Has(FlagReserved) {
+		return fmt.Errorf("mem: free of reserved PFN %d", p)
+	}
+	if pi.RefCount > 1 {
+		pi.RefCount--
+		return nil
+	}
+	pa.m.tracerOnPageFree(p, order)
+	pi.RefCount = 0
+	if order == 0 && cpu >= 0 && cpu < len(pa.hot) && len(pa.hot[cpu]) < hotCacheSize {
+		pi.Flags = FlagFree
+		pi.Order = 0
+		pa.hot[cpu] = append(pa.hot[cpu], p)
+		return nil
+	}
+	pa.freeToBuddy(p, order)
+	return nil
+}
+
+// GetPage increments the refcount of an allocated head page (get_page).
+func (pa *PageAllocator) GetPage(p layout.PFN) error {
+	pi, err := pa.m.Page(p)
+	if err != nil {
+		return err
+	}
+	if pi.Has(FlagCompoundTail) {
+		return pa.GetPage(pi.CompoundHead)
+	}
+	if pi.Has(FlagFree) || pi.RefCount == 0 {
+		return fmt.Errorf("mem: get_page on free PFN %d", p)
+	}
+	pi.RefCount++
+	return nil
+}
+
+// PutPage decrements the refcount of a head page, freeing the block when it
+// drops to zero (put_page).
+func (pa *PageAllocator) PutPage(cpu int, p layout.PFN) error {
+	pi, err := pa.m.Page(p)
+	if err != nil {
+		return err
+	}
+	if pi.Has(FlagCompoundTail) {
+		return pa.PutPage(cpu, pi.CompoundHead)
+	}
+	if pi.RefCount <= 0 {
+		return fmt.Errorf("mem: put_page on PFN %d with refcount %d", p, pi.RefCount)
+	}
+	pi.RefCount--
+	if pi.RefCount == 0 {
+		order := pi.Order
+		pi.RefCount = 1 // Free() expects a live page
+		return pa.Free(cpu, p, order)
+	}
+	return nil
+}
+
+// freeToBuddy merges the block with its buddy as far as possible.
+func (pa *PageAllocator) freeToBuddy(p layout.PFN, order uint) {
+	// Clear compound tails.
+	if order > 0 {
+		for i := layout.PFN(1); i < layout.PFN(1)<<order; i++ {
+			t := pa.m.mustPage(p + i)
+			t.Flags = 0
+			t.CompoundHead = 0
+		}
+	}
+	for order < MaxOrder {
+		buddy := p ^ (layout.PFN(1) << order)
+		if uint64(buddy) >= uint64(pa.m.NumPages()) {
+			break
+		}
+		bi := pa.m.mustPage(buddy)
+		if !bi.Has(FlagFree) || bi.Order != order {
+			break
+		}
+		// Remove buddy from its freelist.
+		if !pa.removeFree(buddy, order) {
+			break
+		}
+		bi.Flags = 0
+		if buddy < p {
+			p = buddy
+		}
+		order++
+	}
+	pa.pushFree(p, order)
+}
+
+func (pa *PageAllocator) removeFree(p layout.PFN, order uint) bool {
+	s := pa.free[order]
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == p {
+			pa.free[order] = append(s[:i], s[i+1:]...)
+			pa.nfree -= 1 << order
+			return true
+		}
+	}
+	return false
+}
+
+// DrainHotCaches flushes all per-CPU hot caches back to the buddy lists
+// (used by tests and by the boot simulator between phases).
+func (pa *PageAllocator) DrainHotCaches() {
+	for cpu, h := range pa.hot {
+		for _, p := range h {
+			pa.m.mustPage(p).Flags = 0
+			pa.freeToBuddy(p, 0)
+		}
+		pa.hot[cpu] = pa.hot[cpu][:0]
+	}
+}

@@ -1,0 +1,195 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmafault/internal/layout"
+)
+
+func TestFragConsecutiveBuffersShareRegion(t *testing.T) {
+	// Fig. 5 / §5.2.2: consecutive RX data buffers come from one region,
+	// carved back to front, and routinely share physical pages.
+	m := newTestMemory(t, 32<<20, 2)
+	a, err := m.Frag.Alloc(0, 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Frag.Alloc(0, 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= a {
+		t.Errorf("page_frag must carve downward: first %#x, second %#x", uint64(a), uint64(b))
+	}
+	ra, err := m.Frag.RegionOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := m.Frag.RegionOf(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Errorf("consecutive buffers in different regions: %d vs %d", ra, rb)
+	}
+	// With 2 KiB buffers, two consecutive allocations share a page with
+	// probability 1/2; allocate a run and require at least one shared pair
+	// (type (c) co-location).
+	addrs := []layout.Addr{a, b}
+	for i := 0; i < 14; i++ {
+		x, err := m.Frag.Alloc(0, 2048, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, x)
+	}
+	shared := 0
+	for i := 1; i < len(addrs); i++ {
+		p1, _ := m.Layout().KVAToPFN(addrs[i-1])
+		p2, _ := m.Layout().KVAToPFN(addrs[i] + 2047)
+		if p1 == p2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no consecutive 2 KiB buffers share a page; type (c) co-location lost")
+	}
+	for _, x := range addrs {
+		if err := m.Frag.Free(0, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFragPerCPURegions(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 2)
+	a, _ := m.Frag.Alloc(0, 1024, 0)
+	b, _ := m.Frag.Alloc(1, 1024, 0)
+	ra, _ := m.Frag.RegionOf(a)
+	rb, _ := m.Frag.RegionOf(b)
+	if ra == rb {
+		t.Error("different CPUs share a page_frag region")
+	}
+}
+
+func TestFragRefill(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	first, err := m.Frag.Alloc(0, 16384, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Frag.Alloc(0, 16384, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third 16 KiB request cannot fit the remaining 0 bytes: new region.
+	third, err := m.Frag.Alloc(0, 16384, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := m.Frag.RegionOf(first)
+	r2, _ := m.Frag.RegionOf(second)
+	r3, _ := m.Frag.RegionOf(third)
+	if r1 != r2 {
+		t.Error("two 16 KiB fragments should share the 32 KiB region")
+	}
+	if r3 == r1 {
+		t.Error("exhausted region was not replaced")
+	}
+	if got := m.Frag.Stats().Regions; got != 2 {
+		t.Errorf("Regions = %d, want 2", got)
+	}
+	// Old region stays alive until its fragments are freed.
+	if m.mustPage(r1).Has(FlagFree) {
+		t.Error("old region freed while fragments live")
+	}
+	if err := m.Frag.Free(0, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Frag.Free(0, second); err != nil {
+		t.Fatal(err)
+	}
+	if !m.mustPage(r1).Has(FlagFree) {
+		t.Error("old region not freed after last fragment")
+	}
+	if err := m.Frag.Free(0, third); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragAlignment(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	a, err := m.Frag.Alloc(0, 100, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(a)&255 != 0 {
+		t.Errorf("alloc not 256-aligned: %#x", uint64(a))
+	}
+	b, err := m.Frag.Alloc(0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(b)&63 != 0 {
+		t.Errorf("default alignment not cache-line: %#x", uint64(b))
+	}
+}
+
+func TestFragErrors(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	if _, err := m.Frag.Alloc(5, 100, 0); err == nil {
+		t.Error("invalid cpu accepted")
+	}
+	if _, err := m.Frag.Alloc(0, 0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := m.Frag.Alloc(0, FragRegionBytes+1, 0); err == nil {
+		t.Error("oversize accepted")
+	}
+	if _, err := m.Frag.Alloc(0, 100, 3); err == nil {
+		t.Error("non-power-of-two align accepted")
+	}
+	a, _ := m.Slab.Kmalloc(0, 64, "t")
+	if err := m.Frag.Free(0, a); err == nil {
+		t.Error("page_frag free of slab address accepted")
+	}
+}
+
+// Property: page_frag never hands out overlapping live ranges, and freeing
+// everything returns all frames.
+func TestPropertyFragNoOverlap(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m := newTestMemory(t, 32<<20, 1)
+		start := m.Pages.FreePages()
+		type rng struct {
+			a layout.Addr
+			n uint64
+		}
+		var live []rng
+		for _, s := range sizes {
+			n := uint64(s)%4096 + 1
+			a, err := m.Frag.Alloc(0, n, 0)
+			if err != nil {
+				return true // OOM acceptable mid-run
+			}
+			for _, o := range live {
+				if a < o.a+layout.Addr(o.n) && o.a < a+layout.Addr(n) {
+					return false
+				}
+			}
+			live = append(live, rng{a, n})
+		}
+		for _, o := range live {
+			if err := m.Frag.Free(0, o.a); err != nil {
+				return false
+			}
+		}
+		m.Frag.DropCaches(0)
+		m.Pages.DrainHotCaches()
+		return m.Pages.FreePages() == start
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,277 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmafault/internal/layout"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want uint64
+	}{
+		{1, 8}, {8, 8}, {9, 16}, {65, 96}, {100, 128}, {129, 192},
+		{512, 512}, {513, 1024}, {4097, 8192}, {8192, 8192},
+	}
+	for _, c := range cases {
+		got, err := ClassFor(c.n)
+		if err != nil || got != c.want {
+			t.Errorf("ClassFor(%d) = %d, %v; want %d", c.n, got, err, c.want)
+		}
+	}
+	if _, err := ClassFor(0); err == nil {
+		t.Error("ClassFor(0) accepted")
+	}
+	if _, err := ClassFor(KmallocMax + 1); err == nil {
+		t.Error("oversized request accepted")
+	}
+}
+
+func TestKmallocSameClassSharesPage(t *testing.T) {
+	// Vulnerability type (d): objects of similar size share a page.
+	m := newTestMemory(t, 32<<20, 1)
+	a, err := m.Slab.Kmalloc(0, 512, "netdev_rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Slab.Kmalloc(0, 500, "load_elf_phdrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := m.Layout().KVAToPFN(a)
+	pb, _ := m.Layout().KVAToPFN(b)
+	// 512-class slabs are order-1 (2 pages, 8 objects): the first two
+	// objects are adjacent, on the same or consecutive pages of one slab.
+	if pb-pa > 1 {
+		t.Errorf("same-class objects far apart: PFN %d vs %d", pa, pb)
+	}
+	objs := m.Slab.ObjectsOnPage(pa)
+	if len(objs) == 0 {
+		t.Fatal("ObjectsOnPage empty for slab page")
+	}
+	foundA := false
+	for _, o := range objs {
+		if o.Addr == a && o.Live && o.Site == "netdev_rx" {
+			foundA = true
+		}
+	}
+	if !foundA {
+		t.Error("allocated object not reported on its page")
+	}
+}
+
+func TestKmallocAscendingWithinSlab(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	var prev layout.Addr
+	for i := 0; i < 8; i++ {
+		a, err := m.Slab.Kmalloc(0, 64, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && a != prev+64 {
+			t.Fatalf("allocation %d at %#x, want %#x (fresh slab allocates ascending)", i, uint64(a), uint64(prev+64))
+		}
+		prev = a
+	}
+}
+
+func TestKmallocNotZeroedButKzallocIs(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	a, err := m.Slab.Kmalloc(0, 64, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Memset(a, 0xAB, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Slab.Kfree(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Slab.Kmalloc(0, 64, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatalf("LIFO freelist should return the same object: %#x vs %#x", uint64(b), uint64(a))
+	}
+	// Bytes past the freelist pointer retain stale data (leak realism).
+	var buf [1]byte
+	if err := m.Read(b+16, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Errorf("stale data scrubbed: %#x", buf[0])
+	}
+	if err := m.Slab.Kfree(b); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Slab.Kzalloc(0, 64, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.ReadU64(c + 16)
+	if v != 0 {
+		t.Errorf("kzalloc left dirty bytes: %#x", v)
+	}
+}
+
+func TestFreelistPointerLivesInObject(t *testing.T) {
+	// The SLUB freelist pointer is stored in the first 8 bytes of each free
+	// object in (simulated) memory — this is the exposed OS metadata of
+	// Fig. 1(b): a device with the page mapped can read and corrupt it.
+	m := newTestMemory(t, 32<<20, 1)
+	a, _ := m.Slab.Kmalloc(0, 128, "t")
+	b, _ := m.Slab.Kmalloc(0, 128, "t")
+	if err := m.Slab.Kfree(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Slab.Kfree(a); err != nil {
+		t.Fatal(err)
+	}
+	// a was freed last, so a heads the freelist and a's first word points
+	// to b.
+	next, err := m.ReadU64(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.Addr(next) != b {
+		t.Errorf("freelist word in object a = %#x, want %#x", next, uint64(b))
+	}
+}
+
+func TestKfreeErrors(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	a, _ := m.Slab.Kmalloc(0, 256, "t")
+	if err := m.Slab.Kfree(a + 8); err == nil {
+		t.Error("interior-pointer kfree accepted")
+	}
+	if err := m.Slab.Kfree(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Slab.Kfree(a); err == nil {
+		t.Error("double kfree accepted")
+	}
+	if err := m.Slab.Kfree(m.Layout().PFNToKVA(2000)); err == nil {
+		t.Error("kfree of non-slab address accepted")
+	}
+}
+
+func TestSizeOfAndSiteOf(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	a, _ := m.Slab.Kmalloc(0, 100, "sock_alloc_inode+0x4f")
+	sz, err := m.Slab.SizeOf(a)
+	if err != nil || sz != 128 {
+		t.Errorf("SizeOf = %d, %v; want 128", sz, err)
+	}
+	site, err := m.Slab.SiteOf(a)
+	if err != nil || site != "sock_alloc_inode+0x4f" {
+		t.Errorf("SiteOf = %q, %v", site, err)
+	}
+	if err := m.Slab.Kfree(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Slab.SizeOf(a); err == nil {
+		t.Error("SizeOf of free object accepted")
+	}
+	if _, err := m.Slab.SiteOf(a); err == nil {
+		t.Error("SiteOf of free object accepted")
+	}
+}
+
+func TestSlabLifecycle(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	// kmalloc-4096 slabs are order-3 with 8 objects.
+	var addrs []layout.Addr
+	for i := 0; i < 8; i++ {
+		a, err := m.Slab.Kmalloc(0, 4096, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	st := m.Slab.Stats()
+	if st.SlabsCreated != 1 {
+		t.Errorf("SlabsCreated = %d, want 1", st.SlabsCreated)
+	}
+	// Ninth allocation opens a second slab.
+	extra, err := m.Slab.Kmalloc(0, 4096, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Slab.Stats().SlabsCreated; got != 2 {
+		t.Errorf("SlabsCreated = %d, want 2", got)
+	}
+	// Free one object of the full slab: it becomes partial again and serves
+	// the next allocation.
+	if err := m.Slab.Kfree(addrs[3]); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs[:3] {
+		if err := m.Slab.Kfree(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range addrs[4:] {
+		if err := m.Slab.Kfree(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Slab.Stats().SlabsDestroyed; got != 1 {
+		t.Errorf("SlabsDestroyed = %d, want 1", got)
+	}
+	if err := m.Slab.Kfree(extra); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Slab.Stats().SlabsDestroyed; got != 2 {
+		t.Errorf("SlabsDestroyed = %d, want 2", got)
+	}
+	// All slab pages returned.
+	if got := m.Slab.ObjectsOnPage(0); got != nil {
+		t.Error("reserved page reported as slab")
+	}
+}
+
+// Property: live kmalloc objects never overlap and stay within their class.
+func TestPropertyKmallocNoOverlap(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m := newTestMemory(t, 32<<20, 1)
+		type obj struct {
+			a layout.Addr
+			n uint64
+		}
+		var live []obj
+		for i, s := range sizes {
+			n := uint64(s)%KmallocMax + 1
+			if i%3 == 2 && len(live) > 0 {
+				if err := m.Slab.Kfree(live[0].a); err != nil {
+					return false
+				}
+				live = live[1:]
+				continue
+			}
+			a, err := m.Slab.Kmalloc(0, n, "p")
+			if err != nil {
+				continue
+			}
+			class, _ := ClassFor(n)
+			for _, o := range live {
+				oc, _ := ClassFor(o.n)
+				if a < o.a+layout.Addr(oc) && o.a < a+layout.Addr(class) {
+					return false
+				}
+			}
+			live = append(live, obj{a, n})
+		}
+		for _, o := range live {
+			if err := m.Slab.Kfree(o.a); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package netstack
+
+import "fmt"
+
+// EchoService models the §5.4 coercion targets — "a proxy server, a
+// key/value store, a streaming service": any user-space process that echoes
+// received bytes back to the sender. The echoed payload travels the TCP
+// sendmsg path, which places it in page-sized chunks referenced by
+// skb_shared_info.frags[] — handing a malicious NIC the (struct page, offset)
+// of every page holding its own bytes.
+type EchoService struct {
+	ns   *Stack
+	port *NIC
+	// Echoed counts serviced requests.
+	Echoed int
+}
+
+// NewEchoService attaches an echo server replying through the given port.
+func NewEchoService(ns *Stack, port *NIC) *EchoService {
+	e := &EchoService{ns: ns, port: port}
+	ns.OnDeliver(e.handle)
+	return e
+}
+
+// handle receives a delivered packet and transmits the echo reply.
+func (e *EchoService) handle(req *SKB) error {
+	payload, err := e.ns.PayloadBytes(req)
+	if err != nil {
+		return err
+	}
+	reply, err := e.ns.BuildTXPacket(e.port.CPU, payload, req.FlowID)
+	if err != nil {
+		return err
+	}
+	e.Echoed++
+	return e.port.Transmit(reply)
+}
+
+// PayloadBytes copies out an skb's full payload (linear + frags).
+func (ns *Stack) PayloadBytes(s *SKB) ([]byte, error) {
+	out := make([]byte, 0, s.TotalLen())
+	lin := make([]byte, s.Len)
+	if err := ns.mem.Read(s.Data, lin); err != nil {
+		return nil, err
+	}
+	out = append(out, lin...)
+	nr, err := ns.NrFrags(s)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nr); i++ {
+		f, err := ns.Frag(s, i)
+		if err != nil {
+			return nil, err
+		}
+		kva, err := ns.FragKVA(f)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, f.Len)
+		if err := ns.mem.Read(kva, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+// txChunk is how much payload TCP places per frag (one page_frag slice).
+const txChunk = 2048
+
+// BuildTXPacket models tcp_sendmsg: a small linear header area plus the
+// payload chunked into page_frag pages referenced as frags.
+func (ns *Stack) BuildTXPacket(cpu int, payload []byte, flow uint32) (*SKB, error) {
+	s, err := ns.AllocSKB(cpu, 128) // linear headroom for headers
+	if err != nil {
+		return nil, err
+	}
+	s.Protocol = ProtoTCP
+	s.FlowID = flow
+	s.Len = 0 // headers only; payload rides in frags
+	// MSG_ZEROCOPY-style send: the completion record (ubuf_info) is
+	// registered and destructor_arg set — a kmalloc KVA sitting in shared
+	// info, readable by the device on the TX page (a §5.4 leak source).
+	if _, err := ns.RegisterZerocopyUbuf(cpu, s); err != nil {
+		return nil, err
+	}
+	for off := 0; off < len(payload); off += txChunk {
+		end := off + txChunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunk := payload[off:end]
+		frag, err := ns.mem.Frag.Alloc(cpu, uint64(len(chunk)), 64)
+		if err != nil {
+			return nil, err
+		}
+		if err := ns.mem.Write(frag, chunk); err != nil {
+			return nil, err
+		}
+		if err := ns.AddFrag(s, frag, uint32(len(chunk))); err != nil {
+			return nil, err
+		}
+		// The frag reference (taken by AddFrag) now owns the page; drop the
+		// allocation's own reference, as tcp_sendmsg does.
+		if err := ns.mem.Frag.Free(cpu, frag); err != nil {
+			return nil, err
+		}
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("netstack: empty echo payload")
+	}
+	return s, nil
+}

@@ -1,0 +1,98 @@
+package netstack
+
+import "fmt"
+
+// GRO is the Generic Receive Offload layer (§5.5): it merges consecutive
+// linear TCP segments of one flow into a single sk_buff whose payload lives
+// in frags[]. This is exactly the conversion the Forward Thinking attack
+// needs — drivers produce linear SKBs without frags, and GRO manufactures the
+// frag'ed SKB whose shared info then leaks struct page pointers on the TX
+// side.
+type GRO struct {
+	ns *Stack
+	// held maps flow → the aggregation skb under construction.
+	held map[uint32]*SKB
+	// segs counts merged segments per flow, to flush at the budget.
+	segs map[uint32]int
+}
+
+// GROFlushBudget flushes an aggregation after this many merged segments
+// (stands in for the napi poll budget / gro_flush_timeout).
+const GROFlushBudget = 8
+
+func newGRO(ns *Stack) *GRO {
+	return &GRO{ns: ns, held: make(map[uint32]*SKB), segs: make(map[uint32]int)}
+}
+
+// Receive feeds one driver-produced skb into GRO. Non-TCP packets pass
+// through untouched. TCP packets are absorbed into the flow's aggregation
+// skb; when the budget is reached the aggregate is returned (nil meanwhile).
+func (g *GRO) Receive(nic *NIC, s *SKB) (*SKB, error) {
+	if s.Protocol != ProtoTCP {
+		return s, nil
+	}
+	agg := g.held[s.FlowID]
+	if agg == nil {
+		// First segment becomes the aggregation head. Its own payload stays
+		// linear; subsequent segments attach as frags.
+		g.held[s.FlowID] = s
+		g.segs[s.FlowID] = 1
+		return nil, nil
+	}
+	// Merge: the new segment's linear payload becomes a frag of the head,
+	// referenced by struct page + offset + len (skb_gro_receive).
+	if err := g.ns.AddFrag(agg, s.Data, s.Len); err != nil {
+		return nil, fmt.Errorf("netstack: gro merge: %w", err)
+	}
+	g.ns.stats.GROMerged++
+	// The merged segment's sk_buff is consumed; its data page now belongs
+	// to the aggregate (the frag holds a page reference), so release the
+	// donor skb WITHOUT dropping the payload bytes: clear its shared info
+	// ownership first.
+	if err := g.releaseDonor(s); err != nil {
+		return nil, err
+	}
+	g.segs[agg.FlowID]++
+	if g.segs[agg.FlowID] >= GROFlushBudget {
+		return g.Flush(agg.FlowID)
+	}
+	return nil, nil
+}
+
+// releaseDonor frees a merged segment's sk_buff and its buffer *container*
+// while the payload page stays referenced by the aggregate's frag.
+func (g *GRO) releaseDonor(s *SKB) error {
+	// The donor's buffer is page_frag memory; the frag reference taken by
+	// AddFrag keeps the page alive after this free.
+	return g.ns.ReleaseSKB(s)
+}
+
+// Flush completes the aggregation of a flow and returns the frag'ed skb.
+func (g *GRO) Flush(flow uint32) (*SKB, error) {
+	agg := g.held[flow]
+	if agg == nil {
+		return nil, fmt.Errorf("netstack: gro flush of idle flow %d", flow)
+	}
+	delete(g.held, flow)
+	delete(g.segs, flow)
+	g.ns.stats.GROFlushed++
+	return agg, nil
+}
+
+// FlushAll drains every held flow through the stack's routing (napi
+// completion). Used by tests and the attack orchestration.
+func (ns *Stack) FlushGRO(nic *NIC) error {
+	for flow := range ns.gro.held {
+		s, err := ns.gro.Flush(flow)
+		if err != nil {
+			return err
+		}
+		if err := ns.route(nic, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HeldFlows reports how many flows GRO is currently aggregating.
+func (ns *Stack) HeldFlows() int { return len(ns.gro.held) }

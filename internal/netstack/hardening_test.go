@@ -1,0 +1,150 @@
+package netstack
+
+import (
+	"testing"
+
+	"dmafault/internal/dma"
+	"dmafault/internal/iommu"
+	"dmafault/internal/kexec"
+	"dmafault/internal/layout"
+	"dmafault/internal/mem"
+	"dmafault/internal/sim"
+)
+
+func newHardenedWorld(t *testing.T, outOfLine bool) *world {
+	t.Helper()
+	l := layout.New(layout.Config{KASLR: true, Seed: 33, PhysBytes: 64 << 20})
+	m, err := mem.New(mem.Config{Layout: l, CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock()
+	unit := iommu.New(iommu.Deferred, clk)
+	if _, err := unit.CreateDomain("nic0", nicDev); err != nil {
+		t.Fatal(err)
+	}
+	mp := dma.NewMapper(m, unit)
+	k := kexec.NewKernel(m, 33)
+	ns, err := New(Config{Mem: m, Mapper: mp, Kernel: k, Clock: clk, OutOfLineSharedInfo: outOfLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{ns: ns, m: m, unit: unit, mp: mp, bus: dma.NewBus(m, unit), clk: clk, k: k}
+}
+
+func TestOutOfLineSharedInfoLeavesDataPage(t *testing.T) {
+	// D3 ablation: with segregated metadata, shared info no longer lives on
+	// the DMA-mapped buffer's page.
+	w := newHardenedWorld(t, true)
+	s, err := w.ns.AllocSKB(0, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPFN, _ := w.m.Layout().KVAToPFN(s.Head)
+	siPFN, _ := w.m.Layout().KVAToPFN(s.SharedInfo())
+	if dataPFN == siPFN {
+		t.Fatal("shared info still on the data page")
+	}
+	// Shared info works normally from the CPU side.
+	chunk, _ := w.m.Frag.Alloc(0, 256, 0)
+	if err := w.ns.AddFrag(s, chunk, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.m.Frag.Free(0, chunk); err != nil {
+		t.Fatal(err)
+	}
+	nr, _ := w.ns.NrFrags(s)
+	if nr != 1 {
+		t.Errorf("NrFrags = %d", nr)
+	}
+	// The device, with the data buffer mapped, cannot reach shared info.
+	va, err := w.mp.MapSingle(nicDev, s.Head, 2048, dma.FromDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siGuess := va + iommu.IOVA(TruesizeFor(2048)-SharedInfoSize)
+	if err := w.bus.WriteU64(nicDev, siGuess+SharedInfoDestructorArgOff, 0xbad); err == nil {
+		// The write may land in padding on the data page — verify it did
+		// NOT hit the real shared info.
+		darg, _ := w.ns.DestructorArg(s)
+		if darg == 0xbad {
+			t.Fatal("device corrupted out-of-line shared info")
+		}
+	}
+	if err := w.mp.UnmapSingle(nicDev, va, 2048, dma.FromDevice); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ns.ReleaseSKB(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfLineBuildSKBAndRXPath(t *testing.T) {
+	w := newHardenedWorld(t, true)
+	n, err := w.ns.AddNIC(nicDev, DriverI40E, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FillRX(); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	w.ns.OnDeliver(func(s *SKB) error {
+		delivered++
+		siPFN, _ := w.m.Layout().KVAToPFN(s.SharedInfo())
+		dataPFN, _ := w.m.Layout().KVAToPFN(s.Data)
+		if siPFN == dataPFN {
+			t.Error("RX skb shared info co-located despite hardening")
+		}
+		return nil
+	})
+	d := n.RXRing()[0]
+	if err := w.bus.Write(nicDev, d.IOVA, []byte("pkt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ReceiveOn(0, 3, ProtoUDP, 1); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatal("packet not delivered")
+	}
+}
+
+func TestXDPMapsRXBidirectional(t *testing.T) {
+	w := newWorld(t, iommu.Strict, false)
+	n, err := w.ns.AddNIC(nicDev, DriverXDP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FillRX(); err != nil {
+		t.Fatal(err)
+	}
+	d := n.RXRing()[0]
+	// The device can WRITE — and, unlike the normal RX path, READ.
+	if err := w.bus.Write(nicDev, d.IOVA, []byte("xdp")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if err := w.bus.Read(nicDev, d.IOVA, buf); err != nil {
+		t.Fatalf("XDP RX buffer not readable: %v", err)
+	}
+	if string(buf) != "xdp" {
+		t.Errorf("read %q", buf)
+	}
+	// A plain driver's RX buffer is write-only by contrast.
+	n2, err := w.ns.AddNIC(nicDev2, DriverI40E, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.FillRX(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := n2.RXRing()[0]
+	if err := w.bus.Read(nicDev2, d2.IOVA, buf); err == nil {
+		t.Error("non-XDP RX buffer readable")
+	}
+	// XDP processing path works end to end.
+	if err := n.ReceiveOn(0, 3, ProtoUDP, 2); err != nil {
+		t.Fatal(err)
+	}
+}

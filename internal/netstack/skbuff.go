@@ -1,0 +1,404 @@
+// Package netstack reproduces the slice of the Linux network stack the
+// paper's compound attacks live in: sk_buff and the skb_shared_info metadata
+// that is *always* allocated at the tail of the packet data buffer and is
+// therefore *always* DMA-mapped with the packet (§5.1); the RX allocation
+// paths over page_frag (netdev_alloc_skb) and build_skb; NIC RX/TX rings with
+// the driver orderings of Fig. 7; the GRO layer that converts linear SKBs
+// into frag'ed ones (§5.5); and packet forwarding.
+//
+// skb_shared_info and ubuf_info are kept as *binary structures in simulated
+// memory* at fixed offsets, because that is precisely what a malicious
+// device reads and corrupts; sk_buff itself is a Go object, mirroring the
+// fact that struct sk_buff lives in its own slab and is never intentionally
+// mapped (Fig. 4).
+package netstack
+
+import (
+	"fmt"
+
+	"dmafault/internal/layout"
+)
+
+// MaxFrags mirrors Linux's MAX_SKB_FRAGS.
+const MaxFrags = 17
+
+// Binary layout of skb_shared_info within the data buffer. The offsets are
+// build constants an attacker knows (§3.3: "the location on the page of the
+// callback pointer must be known to the device").
+const (
+	SharedInfoNrFragsOff       = 0  // u16
+	SharedInfoTxFlagsOff       = 2  // u16
+	SharedInfoGSOSizeOff       = 4  // u32
+	SharedInfoDestructorArgOff = 8  // u64: pointer to struct ubuf_info
+	SharedInfoFragsOff         = 16 // MaxFrags × Frag
+	FragSize                   = 16 // PagePtr u64, Offset u32, Len u32
+	SharedInfoSize             = SharedInfoFragsOff + MaxFrags*FragSize
+)
+
+// Binary layout of struct ubuf_info (the zero-copy completion record
+// destructor_arg points to; Fig. 4 footnote 4).
+const (
+	UbufCallbackOff = 0 // u64: function pointer
+	UbufCtxOff      = 8
+	UbufDescOff     = 16
+	UbufInfoSize    = 24
+)
+
+// TxFlag bits in skb_shared_info.tx_flags.
+const (
+	TxFlagZerocopy uint16 = 1 << 0
+)
+
+// Frag is a decoded skb_shared_info.frags[] element: a paged fragment
+// identified by its struct page address — a raw vmemmap pointer, which is why
+// a device that can read a TX packet's shared info defeats KASLR (§5.4).
+type Frag struct {
+	PagePtr layout.Addr // struct page address (vmemmap)
+	Offset  uint32
+	Len     uint32
+}
+
+// DataSource says how an SKB's data buffer was allocated, deciding its
+// release path.
+type DataSource int
+
+const (
+	// DataFrag came from the page_frag allocator (netdev_alloc_skb).
+	DataFrag DataSource = iota
+	// DataKmalloc came from kmalloc (some control-path drivers).
+	DataKmalloc
+	// DataExternal is owned by someone else (build_skb over a driver ring
+	// buffer whose lifetime the driver manages).
+	DataExternal
+	// DataPages came straight from the page allocator (HW-LRO drivers use
+	// order-4 compound buffers; §5.3).
+	DataPages
+)
+
+// SKB is the sk_buff: packet metadata in its own (never-mapped) allocation,
+// pointing at a separately allocated data buffer whose tail holds
+// skb_shared_info.
+type SKB struct {
+	// Head is the start of the data buffer; Data is the current packet
+	// start; End is where skb_shared_info begins.
+	Head, Data, End layout.Addr
+	// Len is the length of the linear payload at Data.
+	Len uint32
+	// DataLen is the number of payload bytes held in frags.
+	DataLen uint32
+	// Protocol and FlowID stand in for the header fields GRO keys on.
+	Protocol Protocol
+	FlowID   uint32
+	// Source records the data buffer's allocator for the release path.
+	Source DataSource
+	// CPU is the core the buffer was allocated on (page_frag is per-CPU).
+	CPU int
+	// siOutOfLine marks the D3-hardened layout: End points at a separate
+	// kmalloc allocation rather than the data buffer's tail.
+	siOutOfLine bool
+
+	released bool
+}
+
+// Protocol is the L4 protocol of the (simulated) packet.
+type Protocol uint8
+
+const (
+	ProtoTCP Protocol = 6
+	ProtoUDP Protocol = 17
+)
+
+// TotalLen returns linear + paged payload length.
+func (s *SKB) TotalLen() uint32 { return s.Len + s.DataLen }
+
+// SharedInfo returns the address of the skb_shared_info.
+func (s *SKB) SharedInfo() layout.Addr { return s.End }
+
+// dataAlign mirrors SKB_DATA_ALIGN (cache-line).
+func dataAlign(n uint64) uint64 { return (n + 63) &^ 63 }
+
+// TruesizeFor returns the bytes a data buffer of the given payload capacity
+// occupies, including the tail skb_shared_info.
+func TruesizeFor(size uint32) uint64 {
+	return dataAlign(uint64(size)) + SharedInfoSize
+}
+
+// Stack is declared in stack.go; the SKB helpers below all operate through
+// it because shared info lives in simulated memory.
+
+// initSharedInfo zeroes the shared info region (what __build_skb does).
+func (ns *Stack) initSharedInfo(s *SKB) error {
+	return ns.mem.Memset(s.End, 0, SharedInfoSize)
+}
+
+// NrFrags reads shared_info.nr_frags.
+func (ns *Stack) NrFrags(s *SKB) (uint16, error) {
+	return ns.mem.ReadU16(s.End + SharedInfoNrFragsOff)
+}
+
+// DestructorArg reads shared_info.destructor_arg.
+func (ns *Stack) DestructorArg(s *SKB) (layout.Addr, error) {
+	v, err := ns.mem.ReadU64(s.End + SharedInfoDestructorArgOff)
+	return layout.Addr(v), err
+}
+
+// SetDestructorArg points shared_info.destructor_arg at a ubuf_info.
+func (ns *Stack) SetDestructorArg(s *SKB, ubuf layout.Addr) error {
+	if err := ns.mem.WriteU64(s.End+SharedInfoDestructorArgOff, uint64(ubuf)); err != nil {
+		return err
+	}
+	flags, err := ns.mem.ReadU16(s.End + SharedInfoTxFlagsOff)
+	if err != nil {
+		return err
+	}
+	return ns.mem.WriteU16(s.End+SharedInfoTxFlagsOff, flags|TxFlagZerocopy)
+}
+
+// Frag decodes shared_info.frags[i].
+func (ns *Stack) Frag(s *SKB, i int) (Frag, error) {
+	if i < 0 || i >= MaxFrags {
+		return Frag{}, fmt.Errorf("netstack: frag index %d out of range", i)
+	}
+	base := s.End + SharedInfoFragsOff + layout.Addr(i*FragSize)
+	p, err := ns.mem.ReadU64(base)
+	if err != nil {
+		return Frag{}, err
+	}
+	off, err := ns.mem.ReadU32(base + 8)
+	if err != nil {
+		return Frag{}, err
+	}
+	ln, err := ns.mem.ReadU32(base + 12)
+	if err != nil {
+		return Frag{}, err
+	}
+	return Frag{PagePtr: layout.Addr(p), Offset: off, Len: ln}, nil
+}
+
+// AddFrag appends a paged fragment: it writes the frag's struct page
+// pointer, offset and length into shared info and takes a page reference.
+// kvaOfData is the address of the fragment's first byte.
+func (ns *Stack) AddFrag(s *SKB, kvaOfData layout.Addr, n uint32) error {
+	nr, err := ns.NrFrags(s)
+	if err != nil {
+		return err
+	}
+	if int(nr) >= MaxFrags {
+		return fmt.Errorf("netstack: skb already has %d frags", nr)
+	}
+	pfn, err := ns.mem.Layout().KVAToPFN(kvaOfData)
+	if err != nil {
+		return err
+	}
+	if err := ns.mem.Pages.GetPage(pfn); err != nil {
+		return err
+	}
+	base := s.End + SharedInfoFragsOff + layout.Addr(int(nr)*FragSize)
+	if err := ns.mem.WriteU64(base, uint64(ns.mem.Layout().PFNToStructPage(pfn))); err != nil {
+		return err
+	}
+	if err := ns.mem.WriteU32(base+8, uint32(layout.PageOffsetOf(kvaOfData))); err != nil {
+		return err
+	}
+	if err := ns.mem.WriteU32(base+12, n); err != nil {
+		return err
+	}
+	if err := ns.mem.WriteU16(s.End+SharedInfoNrFragsOff, nr+1); err != nil {
+		return err
+	}
+	s.DataLen += n
+	return nil
+}
+
+// FragKVA translates a decoded frag back to the KVA of its first byte.
+func (ns *Stack) FragKVA(f Frag) (layout.Addr, error) {
+	pfn, err := ns.mem.Layout().StructPageToPFN(f.PagePtr)
+	if err != nil {
+		return 0, err
+	}
+	return ns.mem.Layout().PFNToKVA(pfn) + layout.Addr(f.Offset), nil
+}
+
+// AllocSKB is netdev_alloc_skb/napi_alloc_skb: the data buffer (payload
+// capacity + tail shared info) comes from the per-CPU page_frag allocator —
+// the type (c) machinery of §5.2.2. Under the D3-hardened layout, shared
+// info is kmalloc'd separately instead.
+func (ns *Stack) AllocSKB(cpu int, size uint32) (*SKB, error) {
+	if ns.OutOfLineSharedInfo {
+		data, err := ns.mem.Frag.Alloc(cpu, dataAlign(uint64(size)), 64)
+		if err != nil {
+			return nil, err
+		}
+		return ns.attachOutOfLineSI(&SKB{Head: data, Data: data, Source: DataFrag, CPU: cpu})
+	}
+	truesize := TruesizeFor(size)
+	data, err := ns.mem.Frag.Alloc(cpu, truesize, 64)
+	if err != nil {
+		return nil, err
+	}
+	s := &SKB{
+		Head:   data,
+		Data:   data,
+		End:    data + layout.Addr(dataAlign(uint64(size))),
+		Source: DataFrag,
+		CPU:    cpu,
+	}
+	if err := ns.initSharedInfo(s); err != nil {
+		return nil, err
+	}
+	ns.stats.SKBsAllocated++
+	return s, nil
+}
+
+// attachOutOfLineSI gives an skb a separately allocated shared info.
+func (ns *Stack) attachOutOfLineSI(s *SKB) (*SKB, error) {
+	si, err := ns.mem.Slab.Kzalloc(s.CPU, SharedInfoSize, "skb_shared_info_oob")
+	if err != nil {
+		return nil, err
+	}
+	s.End = si
+	s.siOutOfLine = true
+	ns.stats.SKBsAllocated++
+	return s, nil
+}
+
+// BuildSKB is build_skb: it wraps an sk_buff around an existing buffer of
+// bufSize bytes, placing shared info inside it — the API §9.1 singles out for
+// "embedding critical data structures inside the I/O buffer".
+func (ns *Stack) BuildSKB(buf layout.Addr, bufSize uint32) (*SKB, error) {
+	if uint64(bufSize) < SharedInfoSize+64 {
+		return nil, fmt.Errorf("netstack: build_skb buffer of %d bytes too small", bufSize)
+	}
+	if ns.OutOfLineSharedInfo {
+		s, err := ns.attachOutOfLineSI(&SKB{Head: buf, Data: buf, Source: DataExternal})
+		if err != nil {
+			return nil, err
+		}
+		ns.stats.SKBsBuilt++
+		return s, nil
+	}
+	s := &SKB{
+		Head:   buf,
+		Data:   buf,
+		End:    buf + layout.Addr(dataAlign(uint64(bufSize)-SharedInfoSize)),
+		Source: DataExternal,
+	}
+	if err := ns.initSharedInfo(s); err != nil {
+		return nil, err
+	}
+	ns.stats.SKBsBuilt++
+	return s, nil
+}
+
+// KmallocSKB allocates the data buffer with kmalloc (control-path style).
+func (ns *Stack) KmallocSKB(cpu int, size uint32, site string) (*SKB, error) {
+	truesize := TruesizeFor(size)
+	data, err := ns.mem.Slab.Kmalloc(cpu, truesize, site)
+	if err != nil {
+		return nil, err
+	}
+	s := &SKB{
+		Head:   data,
+		Data:   data,
+		End:    data + layout.Addr(dataAlign(uint64(size))),
+		Source: DataKmalloc,
+		CPU:    cpu,
+	}
+	if err := ns.initSharedInfo(s); err != nil {
+		return nil, err
+	}
+	ns.stats.SKBsAllocated++
+	return s, nil
+}
+
+// ReleaseSKB frees an sk_buff: if destructor_arg is set, the ubuf_info
+// callback is invoked first — with the address of the ubuf_info itself in
+// %rdi, exactly the dispatch the Fig. 4 exploit rides — then frag pages are
+// released and the data buffer freed.
+func (ns *Stack) ReleaseSKB(s *SKB) error {
+	if s.released {
+		return fmt.Errorf("netstack: double release of skb")
+	}
+	s.released = true
+	ns.stats.SKBsReleased++
+	darg, err := ns.DestructorArg(s)
+	if err != nil {
+		return err
+	}
+	var cbErr error
+	if darg != 0 {
+		cb, err := ns.mem.ReadU64(darg + UbufCallbackOff)
+		if err != nil {
+			cbErr = err
+		} else if cb != 0 {
+			cbErr = ns.kernel.InvokeCallback(layout.Addr(cb), uint64(darg))
+		}
+	}
+	nr, err := ns.NrFrags(s)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(nr); i++ {
+		f, err := ns.Frag(s, i)
+		if err != nil {
+			return err
+		}
+		pfn, err := ns.mem.Layout().StructPageToPFN(f.PagePtr)
+		if err != nil {
+			// Corrupted frag pointer (e.g. attacker surveillance cleanup
+			// failure): report rather than crash the release path.
+			ns.stats.FragReleaseErrors++
+			continue
+		}
+		if err := ns.mem.Pages.PutPage(s.CPU, pfn); err != nil {
+			ns.stats.FragReleaseErrors++
+		}
+	}
+	if s.siOutOfLine {
+		if err := ns.mem.Slab.Kfree(s.End); err != nil {
+			return err
+		}
+	}
+	switch s.Source {
+	case DataFrag:
+		if err := ns.mem.Frag.Free(s.CPU, s.Head); err != nil {
+			return err
+		}
+	case DataKmalloc:
+		if err := ns.mem.Slab.Kfree(s.Head); err != nil {
+			return err
+		}
+	case DataPages:
+		pfn, err := ns.mem.Layout().KVAToPFN(s.Head)
+		if err != nil {
+			return err
+		}
+		if err := ns.mem.Pages.PutPage(s.CPU, pfn); err != nil {
+			return err
+		}
+	case DataExternal:
+		// Owner frees.
+	}
+	return cbErr
+}
+
+// RegisterZerocopyUbuf allocates a legitimate ubuf_info whose callback is the
+// native sock_zerocopy_callback, and points the skb's destructor_arg at it —
+// the benign zero-copy TX setup that the attack imitates.
+func (ns *Stack) RegisterZerocopyUbuf(cpu int, s *SKB) (layout.Addr, error) {
+	ubuf, err := ns.mem.Slab.Kzalloc(cpu, UbufInfoSize, "sock_zerocopy_alloc")
+	if err != nil {
+		return 0, err
+	}
+	cb, err := ns.kernel.FuncAddr("sock_zerocopy_callback")
+	if err != nil {
+		return 0, err
+	}
+	if err := ns.mem.WriteU64(ubuf+UbufCallbackOff, uint64(cb)); err != nil {
+		return 0, err
+	}
+	if err := ns.SetDestructorArg(s, ubuf); err != nil {
+		return 0, err
+	}
+	return ubuf, nil
+}

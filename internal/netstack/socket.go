@@ -1,0 +1,79 @@
+package netstack
+
+import (
+	"dmafault/internal/dma"
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+)
+
+// Socket modeling. What matters for the paper is a single fact (§2.4): since
+// Linux 2.6.24 every network object — especially sockets — carries a pointer
+// to its network namespace, and the global init_net namespace is always
+// defined. Socket objects are kmalloc'd, so they share slab pages with any
+// same-class kmalloc'd I/O buffer (type (d) co-location), and the namespace
+// pointer leaks to whatever device has such a page mapped.
+const (
+	// SockSize is the modeled struct sock allocation size (512-byte class).
+	SockSize = 512
+	// SockNetNSOff is the offset of sk->__sk_common.skc_net within the
+	// object: where &init_net is stored.
+	SockNetNSOff = 48
+)
+
+// Socket is a minimal kernel socket object.
+type Socket struct {
+	Addr layout.Addr
+	ns   *Stack
+}
+
+// AllocSocket kmallocs a socket object and writes its namespace pointer —
+// the init_net leak source of §2.4.
+func (ns *Stack) AllocSocket(cpu int, site string) (*Socket, error) {
+	a, err := ns.mem.Slab.Kzalloc(cpu, SockSize, site)
+	if err != nil {
+		return nil, err
+	}
+	initNet, err := ns.mem.Layout().SymbolKVA("init_net")
+	if err != nil {
+		return nil, err
+	}
+	if err := ns.mem.WriteU64(a+SockNetNSOff, uint64(initNet)); err != nil {
+		return nil, err
+	}
+	return &Socket{Addr: a, ns: ns}, nil
+}
+
+// Close frees the socket object.
+func (s *Socket) Close() error { return s.ns.mem.Slab.Kfree(s.Addr) }
+
+// ControlBuffer is a long-lived kmalloc'd buffer a driver keeps DMA-mapped
+// BIDIRECTIONAL for device statistics/admin queues — standard practice, and
+// exactly the "remaining 30% of DMA-map operations executed on allocated
+// objects" of §4.2: the object presumably shares its slab page with
+// unrelated kernel objects.
+type ControlBuffer struct {
+	KVA  layout.Addr
+	IOVA iommu.IOVA
+	Size uint64
+}
+
+// MapControlBuffer allocates and persistently maps the NIC's control buffer.
+func (n *NIC) MapControlBuffer() (*ControlBuffer, error) {
+	kva, err := n.ns.mem.Slab.Kzalloc(n.CPU, SockSize, "nic_admin_queue")
+	if err != nil {
+		return nil, err
+	}
+	va, err := n.ns.mapper.MapSingle(n.Dev, kva, SockSize, dma.Bidirectional)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlBuffer{KVA: kva, IOVA: va, Size: SockSize}, nil
+}
+
+// UnmapControlBuffer tears the control buffer down.
+func (n *NIC) UnmapControlBuffer(cb *ControlBuffer) error {
+	if err := n.ns.mapper.UnmapSingle(n.Dev, cb.IOVA, cb.Size, dma.Bidirectional); err != nil {
+		return err
+	}
+	return n.ns.mem.Slab.Kfree(cb.KVA)
+}

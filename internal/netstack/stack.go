@@ -1,0 +1,145 @@
+package netstack
+
+import (
+	"fmt"
+
+	"dmafault/internal/dma"
+	"dmafault/internal/kexec"
+	"dmafault/internal/layout"
+	"dmafault/internal/mem"
+	"dmafault/internal/sim"
+)
+
+// Stats counts network stack activity.
+type Stats struct {
+	SKBsAllocated, SKBsBuilt, SKBsReleased uint64
+	RXPackets, TXPackets, Forwarded        uint64
+	GROMerged, GROFlushed                  uint64
+	FragReleaseErrors                      uint64
+	TXTimeouts                             uint64
+}
+
+// Config assembles a Stack from the substrates.
+type Config struct {
+	Mem    *mem.Memory
+	Mapper *dma.Mapper
+	Kernel *kexec.Kernel
+	Clock  *sim.Clock
+	// Forwarding enables the router path of §5.5 (off by default, as on
+	// Linux servers).
+	Forwarding bool
+	// OutOfLineSharedInfo is the D3 ablation (DESIGN.md): place
+	// skb_shared_info in its own kmalloc allocation instead of the tail of
+	// the (DMA-mapped) data buffer. §9.2 proposes exactly this direction —
+	// "segregation of I/O memory from OS memory".
+	OutOfLineSharedInfo bool
+}
+
+// Stack is the network stack instance.
+type Stack struct {
+	mem    *mem.Memory
+	mapper *dma.Mapper
+	kernel *kexec.Kernel
+	clock  *sim.Clock
+
+	Forwarding          bool
+	OutOfLineSharedInfo bool
+	nics                []*NIC
+	gro                 *GRO
+	// deliverUp receives fully reassembled packets destined to this host
+	// (the "upper layers"); services like the echo server subscribe.
+	deliverUp []func(*SKB) error
+
+	stats Stats
+}
+
+// New builds a network stack.
+func New(cfg Config) (*Stack, error) {
+	if cfg.Mem == nil || cfg.Mapper == nil || cfg.Kernel == nil || cfg.Clock == nil {
+		return nil, fmt.Errorf("netstack: incomplete config")
+	}
+	ns := &Stack{
+		mem:                 cfg.Mem,
+		mapper:              cfg.Mapper,
+		kernel:              cfg.Kernel,
+		clock:               cfg.Clock,
+		Forwarding:          cfg.Forwarding,
+		OutOfLineSharedInfo: cfg.OutOfLineSharedInfo,
+	}
+	ns.gro = newGRO(ns)
+	// The benign zero-copy completion callback: account and free the
+	// ubuf_info it was invoked with (%rdi), as sock_zerocopy_callback does.
+	ns.kernel.RegisterSymbol("sock_zerocopy_callback", func(cpu *kexec.CPU) error {
+		return ns.mem.Slab.Kfree(layout.Addr(cpu.RDI))
+	})
+	return ns, nil
+}
+
+// Stats returns a copy of the counters.
+func (ns *Stack) Stats() Stats { return ns.stats }
+
+// Mem exposes the memory (tests and the experiments harness).
+func (ns *Stack) Mem() *mem.Memory { return ns.mem }
+
+// Mapper exposes the DMA API instance.
+func (ns *Stack) Mapper() *dma.Mapper { return ns.mapper }
+
+// Kernel exposes the execution model.
+func (ns *Stack) Kernel() *kexec.Kernel { return ns.kernel }
+
+// Clock exposes the virtual clock.
+func (ns *Stack) Clock() *sim.Clock { return ns.clock }
+
+// OnDeliver subscribes a service to packets delivered to the local host.
+func (ns *Stack) OnDeliver(fn func(*SKB) error) { ns.deliverUp = append(ns.deliverUp, fn) }
+
+// NICs returns the registered ports.
+func (ns *Stack) NICs() []*NIC { return ns.nics }
+
+// netifReceive is the entry from driver RX into the stack: GRO first (as
+// napi_gro_receive does), then routing.
+func (ns *Stack) netifReceive(nic *NIC, s *SKB) error {
+	ns.stats.RXPackets++
+	out, err := ns.gro.Receive(nic, s)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil // held for aggregation
+	}
+	return ns.route(nic, out)
+}
+
+// route either forwards the packet out of the other port (when forwarding is
+// enabled and the packet is not for us) or delivers it locally.
+func (ns *Stack) route(in *NIC, s *SKB) error {
+	if ns.Forwarding && s.FlowID&forwardFlowBit != 0 {
+		out := ns.otherPort(in)
+		if out == nil {
+			return fmt.Errorf("netstack: forwarding enabled but no egress port")
+		}
+		ns.stats.Forwarded++
+		return out.Transmit(s)
+	}
+	for _, fn := range ns.deliverUp {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return ns.ReleaseSKB(s)
+}
+
+// forwardFlowBit marks flows addressed past this host (a stand-in for a
+// routing decision).
+const forwardFlowBit = 1 << 31
+
+// otherPort picks an egress NIC different from the ingress one, falling back
+// to the ingress port itself (single-NIC routers hairpin).
+func (ns *Stack) otherPort(in *NIC) *NIC {
+	for _, n := range ns.nics {
+		if n != in {
+			return n
+		}
+	}
+	return in
+}

@@ -1,0 +1,60 @@
+package netstack
+
+import (
+	"testing"
+
+	"dmafault/internal/iommu"
+)
+
+func TestTransmitRejectsCorruptFragPointer(t *testing.T) {
+	// A TX skb whose frags[] was corrupted to a non-vmemmap value must fail
+	// cleanly at mapping time, not crash.
+	w := newWorld(t, iommu.Strict, false)
+	n := w.addNIC(t, nicDev, DriverI40E, 0)
+	s, err := w.ns.BuildTXPacket(0, []byte("payload"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt frag 0's struct page pointer.
+	if err := w.m.WriteU64(s.SharedInfo()+SharedInfoFragsOff, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Transmit(s); err == nil {
+		t.Fatal("transmit with corrupt frag pointer accepted")
+	}
+	if n.PendingTX() != 0 {
+		t.Errorf("PendingTX = %d after failed transmit", n.PendingTX())
+	}
+}
+
+func TestCompleteTXOutOfRange(t *testing.T) {
+	w := newWorld(t, iommu.Strict, false)
+	n := w.addNIC(t, nicDev, DriverI40E, 0)
+	if err := n.CompleteTX(0); err == nil {
+		t.Error("completion of empty ring accepted")
+	}
+	if err := n.CompleteTX(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestReceiveOnBadArguments(t *testing.T) {
+	w := newWorld(t, iommu.Strict, false)
+	n := w.addNIC(t, nicDev, DriverI40E, 0)
+	if err := n.ReceiveOn(-1, 10, ProtoUDP, 1); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if err := n.ReceiveOn(len(n.RXRing()), 10, ProtoUDP, 1); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := n.ReceiveOn(0, n.RXRing()[0].Cap+1, ProtoUDP, 1); err == nil {
+		t.Error("oversized packet accepted")
+	}
+}
+
+func TestGROFlushIdleFlow(t *testing.T) {
+	w := newWorld(t, iommu.Strict, false)
+	if _, err := w.ns.gro.Flush(999); err == nil {
+		t.Error("flush of idle flow accepted")
+	}
+}

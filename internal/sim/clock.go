@@ -1,0 +1,44 @@
+// Package sim provides simulation-wide utilities: the virtual clock that
+// orders CPU, device and IOMMU events. All timing in the reproduction
+// (deferred-invalidation windows, invalidation costs, attack races) is
+// expressed in virtual nanoseconds on this clock, so runs are deterministic.
+package sim
+
+import "fmt"
+
+// Nanos is a point or span of virtual time in nanoseconds.
+type Nanos uint64
+
+// Common spans.
+const (
+	Microsecond Nanos = 1_000
+	Millisecond Nanos = 1_000_000
+	Second      Nanos = 1_000_000_000
+)
+
+// CPUFrequencyGHz is the simulated core clock used to convert the paper's
+// cycle counts (IOTLB invalidation ≈ 2000 cycles, TLB invalidation ≈ 100
+// cycles, §5.2.1) into virtual time.
+const CPUFrequencyGHz = 2
+
+// Cycles converts a cycle count to virtual nanoseconds at CPUFrequencyGHz.
+func Cycles(n uint64) Nanos { return Nanos(n / CPUFrequencyGHz) }
+
+// Clock is a monotonically advancing virtual clock.
+type Clock struct {
+	now Nanos
+}
+
+// NewClock starts a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Nanos { return c.now }
+
+// Advance moves virtual time forward by d.
+func (c *Clock) Advance(d Nanos) { c.now += d }
+
+// String formats the current time for traces.
+func (c *Clock) String() string {
+	return fmt.Sprintf("t=%.3fms", float64(c.now)/float64(Millisecond))
+}

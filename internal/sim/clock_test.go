@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvances(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %d", c.Now())
+	}
+	c.Advance(3 * Millisecond)
+	c.Advance(500 * Microsecond)
+	if c.Now() != 3*Millisecond+500*Microsecond {
+		t.Errorf("Now = %d", c.Now())
+	}
+	if !strings.Contains(c.String(), "3.500ms") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestUnitRelations(t *testing.T) {
+	if Millisecond != 1000*Microsecond || Second != 1000*Millisecond {
+		t.Error("unit constants inconsistent")
+	}
+}
+
+func TestCycles(t *testing.T) {
+	// 2000 cycles at 2 GHz = 1000 ns (the §5.2.1 invalidation cost).
+	if Cycles(2000) != 1000 {
+		t.Errorf("Cycles(2000) = %d", Cycles(2000))
+	}
+	if Cycles(100) != 50 {
+		t.Errorf("Cycles(100) = %d", Cycles(100))
+	}
+}
+
+func TestPropertyClockMonotonic(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock()
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(Nanos(s))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

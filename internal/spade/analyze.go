@@ -1,0 +1,469 @@
+package spade
+
+import (
+	"fmt"
+
+	"dmafault/internal/cminor"
+)
+
+// VulnType is the sub-page vulnerability classification of §3.2 that static
+// analysis can detect (type (d), random co-location, is dynamic: D-KASAN's
+// job).
+type VulnType int
+
+const (
+	// TypeA: the I/O buffer is part of a bigger data structure.
+	TypeA VulnType = iota
+	// TypeB: an OS API places OS metadata (skb_shared_info) in the buffer.
+	TypeB
+	// TypeC: the allocation path multi-maps pages (page_frag).
+	TypeC
+)
+
+// String names the type as Fig. 1 does.
+func (v VulnType) String() string {
+	switch v {
+	case TypeA:
+		return "A (driver metadata)"
+	case TypeB:
+		return "B (OS metadata)"
+	case TypeC:
+		return "C (multiple IOVA)"
+	default:
+		return "?"
+	}
+}
+
+// Finding is the analysis result for one dma_map* call.
+type Finding struct {
+	File     string
+	Func     string
+	Line     int
+	MappedAs string // rendering of the mapped expression
+
+	Types map[VulnType]bool
+	// ExposedStruct is the structure whose bytes share the mapped page.
+	ExposedStruct string
+	// DirectCallbacks / SpoofableCallbacks count per §4.1.2.
+	DirectCallbacks    int
+	SpoofableCallbacks int
+	// Row flags for Table 2.
+	SkbSharedInfo bool
+	BuildSkb      bool
+	PrivateData   bool
+	StackMapped   bool
+
+	// Trace is the Fig. 2-style recursive evidence trail.
+	Trace []string
+}
+
+// Vulnerable reports whether the call exposes anything (the 72.8%).
+func (f *Finding) Vulnerable() bool {
+	return f.CallbacksExposed() || f.SkbSharedInfo || f.BuildSkb || f.PrivateData || f.StackMapped || f.Types[TypeC]
+}
+
+// CallbacksExposed reports row 1 membership.
+func (f *Finding) CallbacksExposed() bool {
+	return f.DirectCallbacks+f.SpoofableCallbacks > 0
+}
+
+func (f *Finding) trace(format string, args ...any) {
+	f.Trace = append(f.Trace, fmt.Sprintf(format, args...))
+}
+
+// Analyzer runs SPADE over a parsed corpus.
+type Analyzer struct {
+	DB    *LayoutDB
+	X     *Xref
+	Files []*cminor.File
+	// MaxDepth bounds the cross-function backtracking recursion (ablation
+	// knob D4 in DESIGN.md).
+	MaxDepth int
+}
+
+// dmaMapFuncs is the set of DMA-mapping entry points SPADE keys on ("the set
+// of functions implementing the DMA API").
+var dmaMapFuncs = map[string]int{
+	"dma_map_single": 1, // arg index of the mapped pointer
+	"pci_map_single": 1,
+	"dma_map_page":   1, // the page argument (virt_to_page(buf), ...)
+}
+
+// privateDataAPIs store driver-private data on pages adjacent to vulnerable
+// metadata (§4.1.3: netdev_priv, aead_request_ctx, scsi_cmd_priv).
+var privateDataAPIs = map[string]bool{
+	"netdev_priv":      true,
+	"aead_request_ctx": true,
+	"scsi_cmd_priv":    true,
+}
+
+// skbAllocFuncs are the sk_buff allocation paths and whether they use
+// page_frag (type (c)).
+var skbAllocFuncs = map[string]bool{
+	"netdev_alloc_skb": true,
+	"napi_alloc_skb":   true,
+	"alloc_skb":        false, // kmalloc-backed head: no page_frag
+	"__alloc_skb":      false,
+}
+
+// fragAllocFuncs allocate raw buffers from page_frag.
+var fragAllocFuncs = map[string]bool{
+	"netdev_alloc_frag": true,
+	"napi_alloc_frag":   true,
+}
+
+// NewAnalyzer builds an analyzer over parsed files.
+func NewAnalyzer(files []*cminor.File) *Analyzer {
+	return &Analyzer{DB: NewLayoutDB(files), X: NewXref(files), Files: files, MaxDepth: 4}
+}
+
+// Run analyzes every DMA-mapping call site in the corpus.
+func (a *Analyzer) Run() *Report {
+	rep := &Report{}
+	for name, argIdx := range dmaMapFuncs {
+		for _, site := range a.X.CallSitesOf(name) {
+			if len(site.Call.Args) <= argIdx {
+				continue
+			}
+			f := &Finding{
+				File:     site.File.Name,
+				Func:     site.Caller.Name,
+				Line:     site.Call.Pos.Line,
+				MappedAs: Render(site.Call.Args[argIdx]),
+				Types:    make(map[VulnType]bool),
+			}
+			f.trace("%s: in %s(): %s(..., %s, ...)", site.Call.Pos, site.Caller.Name, name, f.MappedAs)
+			a.resolve(site.File, site.Caller, site.Call.Args[argIdx], 0, f)
+			a.finishFinding(f)
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	rep.aggregate()
+	return rep
+}
+
+// finishFinding computes callback counts once the exposed struct is known.
+func (a *Analyzer) finishFinding(f *Finding) {
+	if f.ExposedStruct == "" {
+		return
+	}
+	f.DirectCallbacks = a.DB.DirectCallbacks(f.ExposedStruct)
+	f.SpoofableCallbacks = a.DB.SpoofableCallbacks(f.ExposedStruct)
+	f.trace("%d callback pointer(s) mapped in struct %s", f.DirectCallbacks, f.ExposedStruct)
+	f.trace("%d callback pointer(s) can be spoofed", f.SpoofableCallbacks)
+}
+
+// resolve classifies the mapped expression, backtracking through assignments
+// and callers.
+func (a *Analyzer) resolve(file *cminor.File, fn *cminor.FuncDef, e cminor.Expr, depth int, f *Finding) {
+	if depth > a.MaxDepth {
+		f.trace("backtracking depth limit reached")
+		return
+	}
+	switch v := e.(type) {
+	case *cminor.Unary:
+		if v.Op == "&" {
+			a.resolveAddressOf(file, fn, v.X, depth, f)
+			return
+		}
+		a.resolve(file, fn, v.X, depth, f)
+	case *cminor.Member:
+		a.resolveMember(file, fn, v, depth, f)
+	case *cminor.Ident:
+		a.resolveVar(file, fn, v, depth, f)
+	case *cminor.Index:
+		a.resolve(file, fn, v.X, depth, f)
+	case *cminor.Binary:
+		a.resolve(file, fn, v.X, depth, f) // pointer arithmetic: base matters
+	case *cminor.Call:
+		a.resolveCallValue(file, fn, v, depth, f)
+	default:
+		f.trace("%s: opaque mapped expression", e.ExprPos())
+	}
+}
+
+// resolveAddressOf handles &x->field / &x.field: the buffer is embedded in
+// the root structure — type (a).
+func (a *Analyzer) resolveAddressOf(file *cminor.File, fn *cminor.FuncDef, e cminor.Expr, depth int, f *Finding) {
+	m, ok := e.(*cminor.Member)
+	if !ok {
+		a.resolve(file, fn, e, depth, f)
+		return
+	}
+	// Find the chain's base identifier.
+	base := cminor.Expr(m)
+	for {
+		mm, ok := base.(*cminor.Member)
+		if !ok {
+			break
+		}
+		base = mm.X
+	}
+	id, ok := base.(*cminor.Ident)
+	if !ok {
+		f.trace("%s: complex base of &...->%s", m.Pos, m.Name)
+		return
+	}
+	t, pos, ok := DeclOf(fn, id.Name)
+	if !ok {
+		f.trace("%s: no declaration found for %s", m.Pos, id.Name)
+		return
+	}
+	s := structOf(t)
+	if s == "" {
+		f.trace("%s: %s is not a struct", pos, id.Name)
+		return
+	}
+	f.trace("%s: declaration: %s %s", pos, t, id.Name)
+	f.trace("the mapped buffer &%s->%s is embedded in struct %s: the whole object's page is exposed", id.Name, m.Name, s)
+	f.ExposedStruct = s
+	f.Types[TypeA] = true
+}
+
+// resolveMember handles mapped member pointers: skb->data (type (b)) and
+// generic x->buf pointers (trace the field's assignments).
+func (a *Analyzer) resolveMember(file *cminor.File, fn *cminor.FuncDef, m *cminor.Member, depth int, f *Finding) {
+	if id, ok := m.X.(*cminor.Ident); ok {
+		t, pos, found := DeclOf(fn, id.Name)
+		if found && structOf(t) == "sk_buff" && m.Name == "data" {
+			f.trace("%s: declaration: %s %s", pos, t, id.Name)
+			f.trace("skb->data is mapped: skb_shared_info resides on the same page (always)")
+			f.SkbSharedInfo = true
+			f.Types[TypeB] = true
+			a.traceSkbProvenance(fn, id.Name, f)
+			return
+		}
+	}
+	// A mapped member pointer (ring->desc, priv->cmd_buf, ...): trace the
+	// field's assignments within the function.
+	if id, ok := m.X.(*cminor.Ident); ok {
+		for _, rhs := range AssignmentsToMember(fn, id.Name, m.Name) {
+			switch v := rhs.(type) {
+			case *cminor.Call:
+				if a.resolveAllocCall(file, fn, Render(m), v, f) {
+					return
+				}
+			case *cminor.Ident, *cminor.Member:
+				f.trace("%s: %s = %s", rhs.ExprPos(), Render(m), Render(rhs))
+				a.resolve(file, fn, rhs, depth+1, f)
+				return
+			}
+		}
+	}
+	f.trace("%s: mapped member %s; provenance not tracked further", m.Pos, m.Name)
+}
+
+// traceSkbProvenance checks how the skb was allocated: the page_frag paths
+// add type (c).
+func (a *Analyzer) traceSkbProvenance(fn *cminor.FuncDef, name string, f *Finding) {
+	for _, rhs := range AssignmentsTo(fn, name) {
+		c, ok := rhs.(*cminor.Call)
+		if !ok {
+			continue
+		}
+		fun := c.FunName()
+		usesFrag, known := skbAllocFuncs[fun]
+		if !known {
+			continue
+		}
+		f.trace("%s: %s = %s(...)", c.Pos, name, fun)
+		if usesFrag {
+			f.trace("%s() allocates from page_frag: successive buffers share pages (multiple IOVA)", fun)
+			f.Types[TypeC] = true
+		}
+		return
+	}
+}
+
+// resolveVar handles a plain identifier: local array (stack), local pointer
+// (trace assignments), or parameter (backtrack callers).
+func (a *Analyzer) resolveVar(file *cminor.File, fn *cminor.FuncDef, id *cminor.Ident, depth int, f *Finding) {
+	t, pos, ok := DeclOf(fn, id.Name)
+	if !ok {
+		f.trace("%s: no declaration found for %s", id.Pos, id.Name)
+		return
+	}
+	f.trace("%s: declaration: %s %s", pos, t, id.Name)
+	if t.Kind == cminor.TypeArray {
+		f.trace("%s is a stack array: the kernel stack page is exposed", id.Name)
+		f.StackMapped = true
+		return
+	}
+	// Assignments inside this function.
+	for _, rhs := range AssignmentsTo(fn, id.Name) {
+		if c, ok := rhs.(*cminor.Call); ok {
+			if a.resolveAllocCall(file, fn, id.Name, c, f) {
+				return
+			}
+		}
+		if m, ok := rhs.(*cminor.Member); ok {
+			a.resolveMember(file, fn, m, depth, f)
+			return
+		}
+	}
+	// Parameter: backtrack to call sites.
+	for i, p := range fn.Params {
+		if p.Name != id.Name {
+			continue
+		}
+		sites := a.X.CallSitesOf(fn.Name)
+		if len(sites) == 0 {
+			f.trace("%s is a parameter of %s with no visible callers", id.Name, fn.Name)
+			return
+		}
+		for _, site := range sites {
+			if len(site.Call.Args) <= i {
+				continue
+			}
+			f.trace("%s: caller %s() passes %s", site.Call.Pos, site.Caller.Name, Render(site.Call.Args[i]))
+			a.resolve(site.File, site.Caller, site.Call.Args[i], depth+1, f)
+		}
+		return
+	}
+}
+
+// resolveAllocCall classifies an allocation RHS; returns true when handled.
+func (a *Analyzer) resolveAllocCall(file *cminor.File, fn *cminor.FuncDef, varName string, c *cminor.Call, f *Finding) bool {
+	fun := c.FunName()
+	switch {
+	case fun == "kmalloc" || fun == "kzalloc" || fun == "kcalloc":
+		f.trace("%s: %s = %s(%s)", c.Pos, varName, fun, renderArgs(c))
+		if len(c.Args) > 0 {
+			if sz, ok := c.Args[0].(*cminor.Sizeof); ok {
+				if s := sizeofStruct(fn, sz); s != "" {
+					f.trace("the mapped buffer is a whole struct %s object", s)
+					f.ExposedStruct = s
+					f.Types[TypeA] = true
+					return true
+				}
+			}
+		}
+		f.trace("plain kmalloc buffer: co-location with other kmalloc objects is possible (dynamic; see D-KASAN)")
+		return true
+	case fragAllocFuncs[fun]:
+		f.trace("%s: %s = %s(...): page_frag allocation shares pages between buffers", c.Pos, varName, fun)
+		f.Types[TypeC] = true
+		if bs, ok := UsedAsArgOf(fn, varName, "build_skb", 0); ok {
+			f.trace("%s: build_skb(%s, ...) places skb_shared_info inside the mapped buffer", bs.Pos, varName)
+			f.BuildSkb = true
+			f.SkbSharedInfo = true
+			f.Types[TypeB] = true
+		}
+		return true
+	case privateDataAPIs[fun]:
+		f.trace("%s: %s = %s(...): driver-private data area mapped", c.Pos, varName, fun)
+		f.PrivateData = true
+		return true
+	case fun == "page_address" || fun == "alloc_pages" || fun == "__get_free_pages":
+		f.trace("%s: %s = %s(...): whole-page buffer (no metadata co-located)", c.Pos, varName, fun)
+		return true
+	}
+	return false
+}
+
+// resolveCallValue handles a call expression used directly as the mapped
+// pointer (dma_map_single(dev, netdev_priv(nd), ...)).
+func (a *Analyzer) resolveCallValue(file *cminor.File, fn *cminor.FuncDef, c *cminor.Call, depth int, f *Finding) {
+	fun := c.FunName()
+	switch {
+	case privateDataAPIs[fun]:
+		f.trace("%s: mapped pointer is %s(...): driver-private data area", c.Pos, fun)
+		f.PrivateData = true
+	case fun == "skb_put" || fun == "skb_push":
+		f.trace("%s: mapped pointer is %s(skb, ...): points into skb->data", c.Pos, fun)
+		f.SkbSharedInfo = true
+		f.Types[TypeB] = true
+		if len(c.Args) > 0 {
+			if id, ok := c.Args[0].(*cminor.Ident); ok {
+				a.traceSkbProvenance(fn, id.Name, f)
+			}
+		}
+	case fun == "virt_to_page":
+		// dma_map_page(dev, virt_to_page(buf), off, len, dir): the exposure
+		// follows the buffer behind the page.
+		f.trace("%s: mapped page is virt_to_page(%s)", c.Pos, renderArgs(c))
+		if len(c.Args) == 1 {
+			a.resolve(file, fn, c.Args[0], depth, f)
+		}
+	case fun == "page_address":
+		f.trace("%s: mapped pointer is page_address(...): whole-page buffer", c.Pos)
+	default:
+		f.trace("%s: mapped pointer comes from %s(): not modeled", c.Pos, fun)
+	}
+}
+
+// sizeofStruct extracts the struct name from sizeof(struct S) or sizeof(*p).
+func sizeofStruct(fn *cminor.FuncDef, sz *cminor.Sizeof) string {
+	if sz.TypeArg != nil {
+		return structOf(sz.TypeArg)
+	}
+	if u, ok := sz.Arg.(*cminor.Unary); ok && u.Op == "*" {
+		if id, ok := u.X.(*cminor.Ident); ok {
+			if t, _, found := DeclOf(fn, id.Name); found {
+				return structOf(t.Deref())
+			}
+		}
+	}
+	return ""
+}
+
+// structOf returns the struct tag behind a (possibly pointer) type.
+func structOf(t *cminor.Type) string {
+	for t != nil {
+		switch t.Kind {
+		case cminor.TypeStruct:
+			return t.Name
+		case cminor.TypePtr, cminor.TypeArray:
+			t = t.Elem
+		default:
+			return ""
+		}
+	}
+	return ""
+}
+
+// Render pretty-prints an expression for traces.
+func Render(e cminor.Expr) string {
+	switch v := e.(type) {
+	case *cminor.Ident:
+		return v.Name
+	case *cminor.Number:
+		return v.Text
+	case *cminor.StringLit:
+		return v.Text
+	case *cminor.Member:
+		sep := "."
+		if v.Arrow {
+			sep = "->"
+		}
+		return Render(v.X) + sep + v.Name
+	case *cminor.Unary:
+		return v.Op + Render(v.X)
+	case *cminor.Binary:
+		return Render(v.X) + " " + v.Op + " " + Render(v.Y)
+	case *cminor.Index:
+		return Render(v.X) + "[" + Render(v.I) + "]"
+	case *cminor.Call:
+		return Render(v.Fun) + "(" + renderArgs(v) + ")"
+	case *cminor.Assign:
+		return Render(v.LHS) + " " + v.Op + " " + Render(v.RHS)
+	case *cminor.Sizeof:
+		if v.TypeArg != nil {
+			return "sizeof(" + v.TypeArg.String() + ")"
+		}
+		return "sizeof(" + Render(v.Arg) + ")"
+	default:
+		return "?"
+	}
+}
+
+func renderArgs(c *cminor.Call) string {
+	out := ""
+	for i, a := range c.Args {
+		if i > 0 {
+			out += ", "
+		}
+		out += Render(a)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package spade
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestReportJSON(t *testing.T) {
+	rep := analyze(t)
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != rep.TotalCalls {
+		t.Fatalf("JSON findings = %d, want %d", len(decoded), rep.TotalCalls)
+	}
+	vulnerable := 0
+	for _, d := range decoded {
+		if d["vulnerable"] == true {
+			vulnerable++
+		}
+		if d["file"] == "" || d["line"] == float64(0) {
+			t.Errorf("finding without location: %v", d)
+		}
+	}
+	if vulnerable != rep.VulnerableCalls {
+		t.Errorf("JSON vulnerable = %d, want %d", vulnerable, rep.VulnerableCalls)
+	}
+}

@@ -1,0 +1,44 @@
+package spade
+
+import "testing"
+
+func TestDmaMapPageViaVirtToPage(t *testing.T) {
+	src := `
+static int map_page_of_skb(struct device *dev, struct sk_buff *skb)
+{
+	dma_addr_t dma;
+	dma = dma_map_page(dev, virt_to_page(skb->data), 0, 2048, DMA_TO_DEVICE);
+	return 0;
+}
+`
+	files := parseFiles(t, map[string]string{"mp.c": src})
+	rep := NewAnalyzer(files).Run()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d", len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if !f.SkbSharedInfo || !f.Types[TypeB] {
+		t.Fatalf("dma_map_page(virt_to_page(skb->data)) finding = %+v", f)
+	}
+}
+
+func TestDmaMapPageOfAllocPages(t *testing.T) {
+	src := `
+static int map_raw_page(struct device *dev)
+{
+	void *buf;
+	dma_addr_t dma;
+	buf = page_address(alloc_pages(GFP_KERNEL, 0));
+	dma = dma_map_page(dev, virt_to_page(buf), 0, 4096, DMA_FROM_DEVICE);
+	return 0;
+}
+`
+	files := parseFiles(t, map[string]string{"mp2.c": src})
+	rep := NewAnalyzer(files).Run()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d", len(rep.Findings))
+	}
+	if rep.Findings[0].Vulnerable() {
+		t.Errorf("whole-page mapping flagged: %+v", rep.Findings[0])
+	}
+}

@@ -1,0 +1,53 @@
+package spade
+
+import "testing"
+
+func TestMemberFieldProvenance(t *testing.T) {
+	src := `
+struct txq_ops {
+	void (*clean)(struct txq *);
+	void (*kick)(struct txq *);
+};
+
+struct txq {
+	char *desc;
+	dma_addr_t desc_dma;
+	u32 count;
+};
+
+static int txq_alloc_whole_struct(struct device *dev, struct txq *q)
+{
+	struct txq_ops *ops;
+	ops = kzalloc(sizeof(struct txq_ops), GFP_KERNEL);
+	q->desc = (char *)ops;
+	q->desc_dma = dma_map_single(dev, q->desc, sizeof(struct txq_ops), DMA_BIDIRECTIONAL);
+	return 0;
+}
+
+static int txq_alloc_frag_desc(struct device *dev, struct txq *q)
+{
+	q->desc = netdev_alloc_frag(2048);
+	if (!q->desc)
+		return -1;
+	q->desc_dma = dma_map_single(dev, q->desc, 2048, DMA_FROM_DEVICE);
+	return 0;
+}
+`
+	files := parseFiles(t, map[string]string{"txq.c": src})
+	rep := NewAnalyzer(files).Run()
+	var whole, frag *Finding
+	for _, f := range rep.Findings {
+		switch f.Func {
+		case "txq_alloc_whole_struct":
+			whole = f
+		case "txq_alloc_frag_desc":
+			frag = f
+		}
+	}
+	if whole == nil || whole.ExposedStruct != "txq_ops" || whole.DirectCallbacks != 2 {
+		t.Errorf("member kmalloc(sizeof struct) finding = %+v", whole)
+	}
+	if frag == nil || !frag.Types[TypeC] {
+		t.Errorf("member netdev_alloc_frag finding = %+v", frag)
+	}
+}

@@ -1,0 +1,194 @@
+package spade
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report aggregates per-call findings into the paper's Table 2 rows.
+type Report struct {
+	Findings []*Finding
+
+	// Table 2 rows: call and file counts.
+	CallbacksExposed    RowCount // 1. callbacks exposed (direct or spoofable)
+	SkbSharedInfoMapped RowCount // 2. skb_shared_info mapped
+	CallbacksDirect     RowCount // 3. callbacks exposed directly
+	PrivateDataMapped   RowCount // 4. private data mapped
+	StackMapped         RowCount // 5. stack mapped
+	TypeCVulnerable     RowCount // 6. type C vulnerability
+	BuildSkbUsed        RowCount // 7. build_skb used
+	TotalCalls          int
+	TotalFiles          int
+	VulnerableCalls     int
+}
+
+// RowCount is one Table 2 cell pair.
+type RowCount struct {
+	Calls int
+	Files int
+}
+
+func (r RowCount) String() string { return fmt.Sprintf("%d calls / %d files", r.Calls, r.Files) }
+
+// aggregate computes the table from the findings.
+func (r *Report) aggregate() {
+	type rowSel func(*Finding) bool
+	rows := []struct {
+		sel rowSel
+		out *RowCount
+	}{
+		{func(f *Finding) bool { return f.CallbacksExposed() }, &r.CallbacksExposed},
+		{func(f *Finding) bool { return f.SkbSharedInfo }, &r.SkbSharedInfoMapped},
+		{func(f *Finding) bool { return f.DirectCallbacks > 0 }, &r.CallbacksDirect},
+		{func(f *Finding) bool { return f.PrivateData }, &r.PrivateDataMapped},
+		{func(f *Finding) bool { return f.StackMapped }, &r.StackMapped},
+		{func(f *Finding) bool { return f.Types[TypeC] }, &r.TypeCVulnerable},
+		{func(f *Finding) bool { return f.BuildSkb }, &r.BuildSkbUsed},
+	}
+	files := map[string]bool{}
+	rowFiles := make([]map[string]bool, len(rows))
+	for i := range rowFiles {
+		rowFiles[i] = map[string]bool{}
+	}
+	for _, f := range r.Findings {
+		files[f.File] = true
+		if f.Vulnerable() {
+			r.VulnerableCalls++
+		}
+		for i, row := range rows {
+			if row.sel(f) {
+				row.out.Calls++
+				rowFiles[i][f.File] = true
+			}
+		}
+	}
+	for i, row := range rows {
+		row.out.Files = len(rowFiles[i])
+	}
+	r.TotalCalls = len(r.Findings)
+	r.TotalFiles = len(files)
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		if r.Findings[i].File != r.Findings[j].File {
+			return r.Findings[i].File < r.Findings[j].File
+		}
+		return r.Findings[i].Line < r.Findings[j].Line
+	})
+}
+
+// pct formats n as a percentage of total.
+func pct(n, total int) string {
+	if total == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+// Table renders the Table 2 summary in the paper's format.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-18s %s\n", "Stat", "#API calls", "#Files")
+	row := func(name string, rc RowCount, showPct bool) {
+		calls := fmt.Sprintf("%d", rc.Calls)
+		files := fmt.Sprintf("%d", rc.Files)
+		if showPct {
+			calls = fmt.Sprintf("%d (%s)", rc.Calls, pct(rc.Calls, r.TotalCalls))
+			files = fmt.Sprintf("%d (%s)", rc.Files, pct(rc.Files, r.TotalFiles))
+		}
+		fmt.Fprintf(&b, "%-34s %-18s %s\n", name, calls, files)
+	}
+	row("1. Callbacks exposed", r.CallbacksExposed, true)
+	row("2. skb_shared_info mapped", r.SkbSharedInfoMapped, true)
+	row("3. Callbacks exposed directly", r.CallbacksDirect, false)
+	row("4. Private data mapped", r.PrivateDataMapped, false)
+	row("5. Stack mapped", r.StackMapped, false)
+	row("6. Type C vulnerability", r.TypeCVulnerable, false)
+	row("7. build_skb used", r.BuildSkbUsed, false)
+	fmt.Fprintf(&b, "%-34s %-18d %d\n", "Total dma-map calls", r.TotalCalls, r.TotalFiles)
+	fmt.Fprintf(&b, "Potentially vulnerable: %d (%s)\n", r.VulnerableCalls, pct(r.VulnerableCalls, r.TotalCalls))
+	return b.String()
+}
+
+// jsonFinding is the machine-readable projection of a Finding.
+type jsonFinding struct {
+	File               string   `json:"file"`
+	Func               string   `json:"func"`
+	Line               int      `json:"line"`
+	Mapped             string   `json:"mapped"`
+	Types              []string `json:"types,omitempty"`
+	ExposedStruct      string   `json:"exposed_struct,omitempty"`
+	DirectCallbacks    int      `json:"direct_callbacks"`
+	SpoofableCallbacks int      `json:"spoofable_callbacks"`
+	SkbSharedInfo      bool     `json:"skb_shared_info"`
+	BuildSkb           bool     `json:"build_skb"`
+	PrivateData        bool     `json:"private_data"`
+	StackMapped        bool     `json:"stack_mapped"`
+	Vulnerable         bool     `json:"vulnerable"`
+	Trace              []string `json:"trace"`
+}
+
+// JSON renders the findings machine-readably (for CI integration — the
+// paper offers SPADE "to validate the security of the system in the
+// development and deployment stages", §9.2).
+func (r *Report) JSON() ([]byte, error) {
+	out := make([]jsonFinding, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		jf := jsonFinding{
+			File: f.File, Func: f.Func, Line: f.Line, Mapped: f.MappedAs,
+			ExposedStruct:   f.ExposedStruct,
+			DirectCallbacks: f.DirectCallbacks, SpoofableCallbacks: f.SpoofableCallbacks,
+			SkbSharedInfo: f.SkbSharedInfo, BuildSkb: f.BuildSkb,
+			PrivateData: f.PrivateData, StackMapped: f.StackMapped,
+			Vulnerable: f.Vulnerable(), Trace: f.Trace,
+		}
+		for _, t := range []VulnType{TypeA, TypeB, TypeC} {
+			if f.Types[t] {
+				jf.Types = append(jf.Types, t.String())
+			}
+		}
+		out = append(out, jf)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// TraceFor renders the Fig. 2-style output for the first finding in the
+// given file that exposes callbacks (or the first finding at all).
+func (r *Report) TraceFor(file string) string {
+	var pick *Finding
+	for _, f := range r.Findings {
+		if f.File != file {
+			continue
+		}
+		if pick == nil || (!pick.CallbacksExposed() && f.CallbacksExposed()) {
+			pick = f
+		}
+	}
+	if pick == nil {
+		return fmt.Sprintf("spade: no dma-map calls in %s\n", file)
+	}
+	return pick.Format()
+}
+
+// Format renders one finding's recursive trace.
+func (f *Finding) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spade: %s:%d: %s\n", f.File, f.Line, f.MappedAs)
+	for i, line := range f.Trace {
+		fmt.Fprintf(&b, " [%d] %s\n", i+1, line)
+	}
+	types := make([]string, 0, 3)
+	for _, t := range []VulnType{TypeA, TypeB, TypeC} {
+		if f.Types[t] {
+			types = append(types, t.String())
+		}
+	}
+	if len(types) > 0 {
+		fmt.Fprintf(&b, " => sub-page vulnerability type(s): %s\n", strings.Join(types, ", "))
+	} else if f.Vulnerable() {
+		fmt.Fprintf(&b, " => exposure without callback metadata\n")
+	} else {
+		fmt.Fprintf(&b, " => no exposure detected\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package spade
+
+import (
+	"sort"
+
+	"dmafault/internal/cminor"
+)
+
+// Xref is the Cscope-equivalent: function definitions, call sites, and
+// per-function variable declarations/assignments, indexed for the recursive
+// backtracking the analysis performs.
+type Xref struct {
+	// Funcs maps a function name to its definition.
+	Funcs map[string]*FuncInfo
+	// Callers maps a callee name to every call site.
+	Callers map[string][]CallSite
+}
+
+// FuncInfo locates one function definition.
+type FuncInfo struct {
+	File *cminor.File
+	Def  *cminor.FuncDef
+}
+
+// CallSite is one call expression inside a function.
+type CallSite struct {
+	File   *cminor.File
+	Caller *cminor.FuncDef
+	Call   *cminor.Call
+}
+
+// NewXref indexes a set of parsed files.
+func NewXref(files []*cminor.File) *Xref {
+	x := &Xref{Funcs: make(map[string]*FuncInfo), Callers: make(map[string][]CallSite)}
+	for _, f := range files {
+		for _, fn := range f.Funcs {
+			// Prototypes (nil body) must not shadow real definitions.
+			if fn.Body == nil {
+				if _, have := x.Funcs[fn.Name]; !have {
+					x.Funcs[fn.Name] = &FuncInfo{File: f, Def: fn}
+				}
+				continue
+			}
+			x.Funcs[fn.Name] = &FuncInfo{File: f, Def: fn}
+			fileRef, fnRef := f, fn
+			cminor.WalkStmts(fn.Body, nil, func(e cminor.Expr) {
+				if c, ok := e.(*cminor.Call); ok {
+					if name := c.FunName(); name != "" {
+						x.Callers[name] = append(x.Callers[name], CallSite{File: fileRef, Caller: fnRef, Call: c})
+					}
+				}
+			})
+		}
+	}
+	return x
+}
+
+// CallSitesOf returns the call sites of a function, in deterministic order.
+func (x *Xref) CallSitesOf(name string) []CallSite {
+	sites := append([]CallSite(nil), x.Callers[name]...)
+	sort.SliceStable(sites, func(i, j int) bool {
+		if sites[i].File.Name != sites[j].File.Name {
+			return sites[i].File.Name < sites[j].File.Name
+		}
+		return sites[i].Call.Pos.Line < sites[j].Call.Pos.Line
+	})
+	return sites
+}
+
+// DeclOf finds the declared type of a name inside a function: a local
+// declaration or a parameter.
+func DeclOf(fn *cminor.FuncDef, name string) (*cminor.Type, cminor.Pos, bool) {
+	var typ *cminor.Type
+	var pos cminor.Pos
+	cminor.WalkStmts(fn.Body, func(s cminor.Stmt) {
+		if d, ok := s.(*cminor.DeclStmt); ok && d.Name == name && typ == nil {
+			typ = d.Type
+			pos = d.Pos
+		}
+	}, nil)
+	if typ != nil {
+		return typ, pos, true
+	}
+	for _, p := range fn.Params {
+		if p.Name == name {
+			return p.Type, fn.Pos, true
+		}
+	}
+	return nil, cminor.Pos{}, false
+}
+
+// AssignmentsTo collects the right-hand sides assigned to a plain variable
+// inside a function (declarations with initializers included).
+func AssignmentsTo(fn *cminor.FuncDef, name string) []cminor.Expr {
+	var out []cminor.Expr
+	cminor.WalkStmts(fn.Body, func(s cminor.Stmt) {
+		if d, ok := s.(*cminor.DeclStmt); ok && d.Name == name && d.Init != nil {
+			out = append(out, d.Init)
+		}
+	}, func(e cminor.Expr) {
+		if a, ok := e.(*cminor.Assign); ok && a.Op == "=" {
+			if id, ok := a.LHS.(*cminor.Ident); ok && id.Name == name {
+				out = append(out, a.RHS)
+			}
+		}
+	})
+	return out
+}
+
+// AssignmentsToMember collects the right-hand sides assigned to a member
+// expression like base->field within a function.
+func AssignmentsToMember(fn *cminor.FuncDef, base, field string) []cminor.Expr {
+	var out []cminor.Expr
+	cminor.WalkStmts(fn.Body, nil, func(e cminor.Expr) {
+		a, ok := e.(*cminor.Assign)
+		if !ok || a.Op != "=" {
+			return
+		}
+		m, ok := a.LHS.(*cminor.Member)
+		if !ok || m.Name != field {
+			return
+		}
+		if id, ok := m.X.(*cminor.Ident); ok && id.Name == base {
+			out = append(out, a.RHS)
+		}
+	})
+	return out
+}
+
+// UsedAsArgOf reports whether the variable appears as argument `idx` of a
+// call to `callee` within the function (e.g. buf passed to build_skb).
+func UsedAsArgOf(fn *cminor.FuncDef, varName, callee string, idx int) (*cminor.Call, bool) {
+	var found *cminor.Call
+	cminor.WalkStmts(fn.Body, nil, func(e cminor.Expr) {
+		c, ok := e.(*cminor.Call)
+		if !ok || found != nil || c.FunName() != callee || len(c.Args) <= idx {
+			return
+		}
+		if id, ok := c.Args[idx].(*cminor.Ident); ok && id.Name == varName {
+			found = c
+		}
+	})
+	return found, found != nil
+}

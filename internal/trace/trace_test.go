@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dmafault/internal/sim"
+)
+
+func TestRingRetentionAndDrop(t *testing.T) {
+	clk := sim.NewClock()
+	l := NewLog(clk, 4)
+	for i := 0; i < 6; i++ {
+		clk.Advance(sim.Millisecond)
+		l.Append(EvDMAMap, 1, uint64(i), 0, "")
+	}
+	evs := l.Events()
+	if len(evs) != 4 || l.Dropped != 2 {
+		t.Fatalf("retained %d, dropped %d", len(evs), l.Dropped)
+	}
+	if evs[0].Addr != 2 || evs[3].Addr != 5 {
+		t.Errorf("order wrong: %+v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Error("events out of time order")
+		}
+	}
+}
+
+func TestCountKindAndRender(t *testing.T) {
+	clk := sim.NewClock()
+	l := NewLog(clk, 0) // default capacity
+	l.Append(EvFault, 2, 0x1000, 1, "blocked")
+	l.Append(EvEscalation, 0, 0, 0, "boom")
+	l.Append(EvFault, 2, 0x2000, 1, "blocked")
+	if l.CountKind(EvFault) != 2 || l.CountKind(EvEscalation) != 1 || l.CountKind(EvDMAMap) != 0 {
+		t.Error("CountKind wrong")
+	}
+	out := l.Render(0)
+	for _, want := range []string{"IOMMU-FAULT", "ESCALATION", "3 events retained"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if out2 := l.Render(1); strings.Count(out2, "\n") != 2 {
+		t.Errorf("Render(1) = %q", out2)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := EvDMAMap; k <= EvEscalation; k++ {
+		if k.String() == "?" || k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if Kind(99).String() != "?" {
+		t.Error("unknown kind not ?")
+	}
+}

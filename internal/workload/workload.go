@@ -1,0 +1,143 @@
+// Package workload drives the simulated victim with the mixed load the
+// paper used to evaluate D-KASAN (§4.2): "we cloned a large project from a
+// Git repository and compiled it concurrently with light network traffic
+// (i.e., ICMP ping)". The build side exercises exec/ELF loading, inode and
+// socket allocation, and associative-array bookkeeping; the network side
+// keeps NIC DMA mappings churning. The interleaving puts fresh kernel
+// objects on device-mapped slab pages — the random type (d) exposures of
+// Fig. 3.
+package workload
+
+import (
+	"fmt"
+
+	"dmafault/internal/core"
+	"dmafault/internal/dma"
+	"dmafault/internal/iommu"
+	"dmafault/internal/layout"
+	"dmafault/internal/netstack"
+)
+
+// Config scales the workload.
+type Config struct {
+	// Iterations is the number of build+ping rounds.
+	Iterations int
+	// NICDevice is the (benign) NIC the ping traffic flows through.
+	NICDevice iommu.DeviceID
+}
+
+// Result summarizes one run.
+type Result struct {
+	Builds, Pings  int
+	ObjectsAlloced int
+}
+
+// The Fig. 3 allocation sites: function+offset of the allocators whose
+// objects were found on DMA-mapped pages, with their sizes.
+var buildSites = []struct {
+	site string
+	size uint64
+}{
+	{"__alloc_skb+0xe0/0x3f0", 512},
+	{"load_elf_phdrs+0xbf/0x130", 512},
+	{"__do_execve_file.isra.0+0x287/0x1080", 512},
+	{"sock_alloc_inode+0x4f/0x120", 64},
+	{"assoc_array_insert+0xa9/0x7e0", 328},
+}
+
+// Run executes the workload against a booted system with an attached NIC.
+func Run(sys *core.System, nic *netstack.NIC, cfg Config) (*Result, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 8
+	}
+	res := &Result{}
+	cpu := nic.CPU
+
+	// The driver keeps kmalloc'd I/O buffers mapped while the "build" runs:
+	// a bidirectional admin block (512 class), a write-mapped RX copybreak
+	// buffer (512 class), and a small descriptor (64 class). These are the
+	// mappings whose pages the build's objects land on.
+	type ioBuf struct {
+		kva layout.Addr
+		va  iommu.IOVA
+		n   uint64
+		dir dma.Direction
+	}
+	var mapped []ioBuf
+	mapBuf := func(n uint64, site string, dir dma.Direction) error {
+		kva, err := sys.Mem.Slab.Kmalloc(cpu, n, site)
+		if err != nil {
+			return err
+		}
+		va, err := sys.Mapper.MapSingle(nic.Dev, kva, n, dir)
+		if err != nil {
+			return err
+		}
+		mapped = append(mapped, ioBuf{kva, va, n, dir})
+		return nil
+	}
+	if err := mapBuf(512, "nic_admin_block", dma.Bidirectional); err != nil {
+		return nil, err
+	}
+	if err := mapBuf(512, "rx_copybreak_buf", dma.FromDevice); err != nil {
+		return nil, err
+	}
+	if err := mapBuf(64, "rx_small_desc", dma.FromDevice); err != nil {
+		return nil, err
+	}
+
+	for round := 0; round < cfg.Iterations; round++ {
+		// "git clone + make": bursts of kernel allocations from the Fig. 3
+		// sites. Objects of the 512/64 classes share slab pages with the
+		// driver's mapped buffers — the exposures D-KASAN reports.
+		var transient []layout.Addr
+		for i := range buildSites {
+			// Rotate the site order per round: build phases interleave, so
+			// every allocator gets turns early in a slab's lifetime.
+			bs := buildSites[(i+round)%len(buildSites)]
+			for k := 0; k < 2+i%2; k++ {
+				a, err := sys.Mem.Slab.Kmalloc(cpu, bs.size, bs.site)
+				if err != nil {
+					return nil, err
+				}
+				transient = append(transient, a)
+				res.ObjectsAlloced++
+			}
+		}
+		res.Builds++
+
+		// Light network traffic: a ping (RX in, echo out).
+		slot := round % len(nic.RXRing())
+		if nic.RXRing()[slot].Ready {
+			d := nic.RXRing()[slot]
+			if err := sys.Bus.Write(nic.Dev, d.IOVA, []byte("icmp-echo-request")); err != nil {
+				return nil, fmt.Errorf("workload: ping rx: %w", err)
+			}
+			if err := nic.ReceiveOn(slot, 17, netstack.ProtoUDP, uint32(round)); err != nil {
+				return nil, fmt.Errorf("workload: ping deliver: %w", err)
+			}
+			res.Pings++
+		}
+
+		// Half the transient objects are freed each round (compile jobs
+		// finishing), keeping slabs churning.
+		for i, a := range transient {
+			if i%2 == 0 {
+				if err := sys.Mem.Slab.Kfree(a); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Teardown: unmap the driver buffers.
+	for _, b := range mapped {
+		if err := sys.Mapper.UnmapSingle(nic.Dev, b.va, b.n, b.dir); err != nil {
+			return nil, err
+		}
+		if err := sys.Mem.Slab.Kfree(b.kva); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
