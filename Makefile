@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the tier-1 gate plus vet and the
+# race detector; CI should run exactly that.
+
+GO ?= go
+
+.PHONY: check build vet test race bench campaign
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The campaign engine is the repo's first real use of host parallelism;
+# always exercise it (and the attack substrates under it) with -race.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# A quick §6-shaped mixed campaign; see EXPERIMENTS.md for the full runs.
+campaign:
+	$(GO) run ./cmd/campaign -preset mixed -n 24 -quiet

@@ -9,9 +9,11 @@ package dmafault
 // (who wins, by what factor) via each experiment's OK flag.
 
 import (
+	"fmt"
 	"testing"
 
 	"dmafault/internal/attacks"
+	"dmafault/internal/campaign"
 	"dmafault/internal/cminor"
 	"dmafault/internal/core"
 	"dmafault/internal/corpus"
@@ -234,5 +236,29 @@ func BenchmarkBootOnce(b *testing.B) {
 		if _, _, _, err := attacks.BootOnce(attacks.Kernel50, int64(i), 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCampaignThroughput measures scenarios/sec through the campaign
+// engine at several pool sizes. Scenarios are embarrassingly parallel
+// (isolated simulated machines), so on a multi-core host throughput should
+// scale with workers until it hits the core count; the summary stays
+// byte-identical regardless (campaign package tests assert that).
+func BenchmarkCampaignThroughput(b *testing.B) {
+	set := campaign.MixedPreset(8, 2021)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := campaign.Engine{Workers: workers}
+				sum, err := eng.Run(set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Scenarios != len(set) {
+					b.Fatalf("ran %d scenarios, want %d", sum.Scenarios, len(set))
+				}
+			}
+			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
 	}
 }

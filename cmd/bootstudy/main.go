@@ -3,17 +3,23 @@
 // footprint), with an optional sweep over the early-boot drift amplitude
 // (the D5 ablation).
 //
+// The study loops run on the campaign engine's worker pool (one worker per
+// CPU by default; see internal/par) — statistics are seed-identical to the
+// historical sequential runs at any worker count.
+//
 // Usage:
 //
 //	bootstudy                     # both kernels, 256 reboots each
 //	bootstudy -trials 64          # faster
 //	bootstudy -sweep              # jitter sweep: repeat rate vs drift
+//	bootstudy -workers 1          # pin the pool (reboots stay seed-driven)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dmafault/internal/attacks"
 )
@@ -23,7 +29,11 @@ func main() {
 	seed := flag.Int64("seed", 2021, "seed base")
 	sweep := flag.Bool("sweep", false, "sweep boot jitter amplitude (D5 ablation)")
 	queues := flag.Bool("queues", false, "sweep RX queue count (larger machines, §5.3)")
+	workers := flag.Int("workers", 0, "boot-pool size (0 = one per CPU)")
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *sweep {
 		runSweep(*trials, *seed)
@@ -68,6 +78,9 @@ func runSweep(trials int, seed int64) {
 	fmt.Println("which is why HW LRO (26x footprint) makes RingFlood near-deterministic")
 }
 
+// runQueueSweep delegates to the pool-backed study (the hand-rolled
+// aggregation loop this command used to carry now lives behind
+// attacks.RunBootStudyQueues).
 func runQueueSweep(trials int, seed int64) {
 	if trials > 32 {
 		trials = 32 // multi-queue boots are heavy
@@ -75,32 +88,11 @@ func runQueueSweep(trials int, seed int64) {
 	fmt.Printf("repeat rate vs RX queue count (%d reboots per point, kernel 5.0, heavy drift)\n\n", trials)
 	fmt.Printf("%-10s %-14s %-10s\n", "queues", "footprint", "modal")
 	for _, q := range []int{1, 2, 4, 8} {
-		freq := map[uint64]int{}
-		var ref map[uint64]bool
-		footprint := 0
-		for i := 0; i < trials; i++ {
-			_, _, rec, err := attacks.BootOnceQueues(attacks.Kernel50, seed+int64(i), 0, 2048, q)
-			if err != nil {
-				fatal(err)
-			}
-			if ref == nil {
-				ref = map[uint64]bool{}
-				for p := range rec.BufStart {
-					ref[uint64(p)] = true
-				}
-				footprint = rec.CoveredPages
-			}
-			for p := range rec.BufStart {
-				freq[uint64(p)]++
-			}
+		st, err := attacks.RunBootStudyQueues(attacks.Kernel50, trials, seed, 2048, q)
+		if err != nil {
+			fatal(err)
 		}
-		best := 0
-		for p := range ref {
-			if freq[p] > best {
-				best = freq[p]
-			}
-		}
-		fmt.Printf("%-10d %5d pages    %5.1f%%\n", q, footprint, 100*float64(best)/float64(trials))
+		fmt.Printf("%-10d %5d pages    %5.1f%%\n", q, st.FootprintPages, st.ModalRate*100)
 	}
 	fmt.Println("\n§5.3: \"such attacks have a higher chance of success on larger machines\"")
 }

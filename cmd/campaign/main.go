@@ -1,0 +1,129 @@
+// Command campaign runs declarative scenario campaigns on the parallel
+// engine (internal/campaign): generate or load a scenario set, shard it
+// across workers, and emit a deterministic text or JSON summary. The same
+// seed always produces the same scenario set and byte-identical JSON at any
+// worker count.
+//
+// Usage:
+//
+//	campaign                                  # 24-scenario mixed smoke run
+//	campaign -preset mixed -n 200 -workers 8  # the §6-shaped grind
+//	campaign -preset ladder -n 16 -json       # Fig. 7 matrix as a campaign
+//	campaign -preset fuzz -n 64 -save set.json  # generate, save, and run
+//	campaign -scenarios set.json -workers 4   # re-run a saved set
+//	campaign -list                            # available presets and kinds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/par"
+)
+
+func main() {
+	preset := flag.String("preset", "mixed", "scenario generator: mixed|fuzz|bootstudy|ringflood|ladder")
+	n := flag.Int("n", 24, "scenario count to generate")
+	seed := flag.Int64("seed", 2021, "campaign seed (drives generation and every boot)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	scenarioFile := flag.String("scenarios", "", "load scenario set from JSON instead of generating")
+	save := flag.String("save", "", "write the scenario set to this JSON file before running")
+	jsonOut := flag.Bool("json", false, "emit the JSON summary instead of the text report")
+	out := flag.String("out", "", "also write the JSON summary to this file")
+	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	list := flag.Bool("list", false, "list presets and scenario kinds, then exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(campaign.Presets))
+		for name := range campaign.Presets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("presets:", names)
+		fmt.Println("kinds:  ", campaign.Kinds())
+		return
+	}
+
+	var scenarios []campaign.Scenario
+	if *scenarioFile != "" {
+		var err error
+		if scenarios, err = campaign.LoadScenarioFile(*scenarioFile); err != nil {
+			fatal(err)
+		}
+	} else {
+		gen, ok := campaign.Presets[*preset]
+		if !ok {
+			fatal(fmt.Errorf("unknown preset %q (try -list)", *preset))
+		}
+		scenarios = gen(*n, *seed)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := campaign.SaveScenarios(f, scenarios); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	eng := campaign.Engine{Workers: *workers}
+	var done atomic.Int64
+	if !*quiet {
+		total := len(scenarios)
+		eng.OnResult = func(i int, r *campaign.Result) {
+			d := done.Add(1)
+			status := "ok"
+			if r.Err != "" {
+				status = "ERR"
+			} else if !r.Success {
+				status = "miss"
+			}
+			fmt.Fprintf(os.Stderr, "[%4d/%d] %-40s %s\n", d, total, r.ID, status)
+		}
+	}
+	start := time.Now()
+	summary, err := eng.Run(scenarios)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *out != "" || *jsonOut {
+		data, err := summary.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if *jsonOut {
+			os.Stdout.Write(append(data, '\n'))
+		}
+	}
+	if !*jsonOut {
+		fmt.Print(summary.Render())
+	}
+	w := *workers
+	if w <= 0 {
+		w = par.DefaultWorkers()
+	}
+	fmt.Fprintf(os.Stderr, "ran %d scenarios in %.1fs (%.1f scenarios/s, %d workers)\n",
+		len(scenarios), elapsed.Seconds(), float64(len(scenarios))/elapsed.Seconds(), w)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@ import (
 	"dmafault/internal/iommu"
 	"dmafault/internal/layout"
 	"dmafault/internal/netstack"
+	"dmafault/internal/par"
 )
 
 // Boot determinism study (§5.3). "At every reboot, the same set of commands
@@ -38,10 +39,11 @@ func driverFor(v KernelVersion) netstack.DriverModel {
 	return netstack.DriverMlx5
 }
 
-// bootJitterPages bounds the early-boot allocation drift between reboots
+// BootJitterPages bounds the early-boot allocation drift between reboots
 // ("we do not expect the drift to be too large"): up to 2 MiB of transient
-// boot-time allocations survive or not depending on timing.
-const bootJitterPages = 512
+// boot-time allocations survive or not depending on timing. It is the
+// default amplitude; the D5 ablation and campaign scenarios override it.
+const BootJitterPages = 512
 
 // bootFixedPages is the deterministic early-boot footprint (modules, initrd
 // processing) allocated identically on every boot.
@@ -65,7 +67,7 @@ type BootRecord struct {
 // BootOnce boots a machine with the version's driver and returns both the
 // system (for attack continuation) and the ring record.
 func BootOnce(version KernelVersion, seed int64, memBytes uint64) (*core.System, *netstack.NIC, *BootRecord, error) {
-	return BootOnceJitter(version, seed, memBytes, bootJitterPages)
+	return BootOnceJitter(version, seed, memBytes, BootJitterPages)
 }
 
 // BootOnceJitter is BootOnce with an explicit early-boot drift amplitude —
@@ -144,6 +146,8 @@ func maxInt(a, b int) int {
 type BootStudy struct {
 	Version KernelVersion
 	Trials  int
+	// Queues is the RX ring count each boot used (1 for the classic study).
+	Queues int
 	// Freq counts, per PFN, the boots whose ring included it.
 	Freq map[layout.PFN]int
 	// ModalPFN is the most-repeated ring frame; ModalRate its frequency.
@@ -161,22 +165,32 @@ type BootStudy struct {
 
 // RunBootStudy simulates `trials` reboots and computes the §5.3 statistics.
 func RunBootStudy(version KernelVersion, trials int, seedBase int64) (*BootStudy, error) {
-	return RunBootStudyJitter(version, trials, seedBase, bootJitterPages)
+	return RunBootStudyJitter(version, trials, seedBase, BootJitterPages)
 }
 
 // RunBootStudyJitter is RunBootStudy with an explicit drift amplitude (D5).
 func RunBootStudyJitter(version KernelVersion, trials int, seedBase int64, jitterPages int) (*BootStudy, error) {
-	st := &BootStudy{Version: version, Trials: trials, Freq: make(map[layout.PFN]int)}
-	var reference *BootRecord
-	for i := 0; i < trials; i++ {
-		_, _, rec, err := BootOnceJitter(version, seedBase+int64(i), 0, jitterPages)
-		if err != nil {
-			return nil, err
-		}
-		if reference == nil {
-			reference = rec
-			st.FootprintPages = rec.CoveredPages
-		}
+	return RunBootStudyQueues(version, trials, seedBase, jitterPages, 1)
+}
+
+// RunBootStudyQueues is the general study: explicit drift amplitude (D5)
+// and RX-queue count (§5.3 "larger machines"). Boots run on the campaign
+// engine's worker pool (internal/par): each reboot is an isolated machine
+// fully determined by its seed, and records merge in trial order, so the
+// statistics are identical to the historical sequential loop at any worker
+// count.
+func RunBootStudyQueues(version KernelVersion, trials int, seedBase int64, jitterPages, queues int) (*BootStudy, error) {
+	st := &BootStudy{Version: version, Trials: trials, Queues: queues, Freq: make(map[layout.PFN]int)}
+	records, err := par.Map(trials, 0, func(i int) (*BootRecord, error) {
+		_, _, rec, err := BootOnceQueues(version, seedBase+int64(i), 0, jitterPages, queues)
+		return rec, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	reference := records[0]
+	st.FootprintPages = reference.CoveredPages
+	for _, rec := range records {
 		for p := range rec.BufStart {
 			st.Freq[p]++
 		}

@@ -10,11 +10,11 @@ import (
 // number of cores (number of RX rings) on the server. This means such
 // attacks have a higher chance of success on larger machines."
 func TestFootprintScalesWithQueues(t *testing.T) {
-	_, _, one, err := BootOnceQueues(Kernel50, 9, 0, bootJitterPages, 1)
+	_, _, one, err := BootOnceQueues(Kernel50, 9, 0, BootJitterPages, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, four, err := BootOnceQueues(Kernel50, 9, 0, bootJitterPages, 4)
+	_, _, four, err := BootOnceQueues(Kernel50, 9, 0, BootJitterPages, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,13 +20,21 @@ package attacks
 
 import "fmt"
 
+// MaxSteps bounds the per-result step trace. Like trace.Log, the trace is
+// a ring: once full, the oldest line falls off and DroppedSteps counts it —
+// million-scenario campaigns must not hold every step line in memory.
+const MaxSteps = 64
+
 // Result is the outcome of one attack run: a human-readable step trace plus
 // the success criterion (privilege escalations observed by the kernel).
 type Result struct {
-	Name        string
+	Name string
+	// Steps holds the most recent MaxSteps trace lines, oldest first.
 	Steps       []string
 	Success     bool
 	Escalations int
+	// DroppedSteps counts older lines shed once Steps reached MaxSteps.
+	DroppedSteps uint64
 	// Detail carries attack-specific numbers (hit rates, leaked bytes...).
 	Detail map[string]string
 }
@@ -35,8 +43,14 @@ func newResult(name string) *Result {
 	return &Result{Name: name, Detail: make(map[string]string)}
 }
 
-// logf appends a formatted step to the trace.
+// logf appends a formatted step to the trace, shedding the oldest line at
+// the MaxSteps cap.
 func (r *Result) logf(format string, args ...any) {
+	if len(r.Steps) >= MaxSteps {
+		copy(r.Steps, r.Steps[1:])
+		r.Steps = r.Steps[:len(r.Steps)-1]
+		r.DroppedSteps++
+	}
 	r.Steps = append(r.Steps, fmt.Sprintf(format, args...))
 }
 
@@ -47,11 +61,15 @@ func (r *Result) fail(err error) *Result {
 	return r
 }
 
-// String renders the trace.
+// String renders the trace. Step numbering stays absolute: a capped trace
+// starts at DroppedSteps+1.
 func (r *Result) String() string {
 	out := fmt.Sprintf("=== %s (success=%v, escalations=%d) ===\n", r.Name, r.Success, r.Escalations)
+	if r.DroppedSteps > 0 {
+		out += fmt.Sprintf("  ... %d earlier step(s) dropped ...\n", r.DroppedSteps)
+	}
 	for i, s := range r.Steps {
-		out += fmt.Sprintf("  %2d. %s\n", i+1, s)
+		out += fmt.Sprintf("  %2d. %s\n", uint64(i+1)+r.DroppedSteps, s)
 	}
 	return out
 }

@@ -21,6 +21,29 @@ func TestResultFormatting(t *testing.T) {
 	}
 }
 
+func TestResultStepCap(t *testing.T) {
+	r := newResult("chatty attack")
+	for i := 0; i < MaxSteps*3; i++ {
+		r.logf("step %d", i)
+	}
+	if len(r.Steps) != MaxSteps {
+		t.Fatalf("retained %d steps, want %d", len(r.Steps), MaxSteps)
+	}
+	if r.DroppedSteps != MaxSteps*2 {
+		t.Fatalf("DroppedSteps = %d, want %d", r.DroppedSteps, MaxSteps*2)
+	}
+	// Ring semantics mirror trace.Log: oldest lines fall off, newest stay.
+	if r.Steps[0] != "step 128" || r.Steps[MaxSteps-1] != "step 191" {
+		t.Fatalf("window = [%s .. %s]", r.Steps[0], r.Steps[MaxSteps-1])
+	}
+	out := r.String()
+	for _, want := range []string{"128 earlier step(s) dropped", "129. step 128", "192. step 191"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestResultFail(t *testing.T) {
 	r := newResult("doomed")
 	r.Success = true

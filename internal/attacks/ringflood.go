@@ -9,6 +9,7 @@ import (
 	"dmafault/internal/kexec"
 	"dmafault/internal/layout"
 	"dmafault/internal/netstack"
+	"dmafault/internal/par"
 )
 
 // RingFlood (§5.3). The device floods every RX buffer with a poisoned
@@ -116,14 +117,23 @@ func RunRingFlood(sys *core.System, nic *netstack.NIC, study *BootStudy) *Result
 // then attack `attempts` fresh boots with unseen seeds and count successes.
 // The hit rate should track the study's PFN repeat rate — the paper's §5.3
 // claim.
+//
+// Attempts run on the campaign engine's worker pool (internal/par): each
+// attempt boots its own isolated machine from seedBase+i, and results land
+// in attempt order, so the outcome is seed-identical to the historical
+// sequential loop at any worker count.
 func RingFloodCampaign(version KernelVersion, study *BootStudy, attempts int, seedBase int64) (hits int, results []*Result, err error) {
-	for i := 0; i < attempts; i++ {
+	results, err = par.Map(attempts, 0, func(i int) (*Result, error) {
 		sys, nic, _, err := BootOnce(version, seedBase+int64(i), 0)
 		if err != nil {
-			return hits, results, err
+			return nil, err
 		}
-		res := RunRingFlood(sys, nic, study)
-		results = append(results, res)
+		return RunRingFlood(sys, nic, study), nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, res := range results {
 		if res.Success {
 			hits++
 		}

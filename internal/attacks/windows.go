@@ -139,7 +139,7 @@ func WindowMatrix(seed int64) ([]WindowCell, error) {
 			}
 			// Pick a slot whose neighbour shares its page so path (iii) has
 			// its preconditions (§5.2.2: pairs of successive descriptors).
-			slot := pickNeighborSlot(nic)
+			slot := PickNeighborSlot(nic)
 			path, err := ProbeTimeWindow(sys, nic, slot)
 			if err != nil {
 				return nil, err
@@ -150,9 +150,9 @@ func WindowMatrix(seed int64) ([]WindowCell, error) {
 	return out, nil
 }
 
-// pickNeighborSlot returns a slot for which a neighbouring descriptor can
+// PickNeighborSlot returns a slot for which a neighbouring descriptor can
 // reach its shared info page, or 0 if none.
-func pickNeighborSlot(nic *netstack.NIC) int {
+func PickNeighborSlot(nic *netstack.NIC) int {
 	ring := nic.RXRing()
 	for i := range ring {
 		if _, ok := device.RingNeighborFor(ring, i); ok {

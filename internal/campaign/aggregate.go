@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KindSummary is the per-kind roll-up.
+type KindSummary struct {
+	Runs        int     `json:"runs"`
+	Successes   int     `json:"successes"`
+	SuccessRate float64 `json:"success_rate"`
+	Escalations int     `json:"escalations"`
+	Errors      int     `json:"errors"`
+}
+
+// Summary is the merged outcome of a campaign. Every map is JSON-encoded
+// with sorted keys (encoding/json's map behavior) and every float is
+// derived from integer counts, so equal campaigns encode byte-identically
+// regardless of worker count or scheduling.
+type Summary struct {
+	Scenarios int `json:"scenarios"`
+	Successes int `json:"successes"`
+	Errors    int `json:"errors"`
+	// Escalations is the total privilege escalations across all scenarios.
+	Escalations int `json:"escalations"`
+	// ByKind breaks the campaign down per scenario kind.
+	ByKind map[Kind]*KindSummary `json:"by_kind"`
+	// WindowPaths is the Fig. 7 path histogram over every injection the
+	// campaign performed (including per-attempt paths inside ring floods).
+	WindowPaths map[string]int `json:"window_paths,omitempty"`
+	// DKASAN tallies sanitizer reports by class across dkasan scenarios.
+	DKASAN map[string]uint64 `json:"dkasan,omitempty"`
+	// TraceEvents/TraceDropped aggregate the forensic rings' retention.
+	TraceEvents  int    `json:"trace_events"`
+	TraceDropped uint64 `json:"trace_dropped"`
+	// StepsDropped counts attack-log lines shed by the Result step cap.
+	StepsDropped uint64 `json:"steps_dropped"`
+	// Results lists every scenario outcome in campaign (input) order.
+	Results []*Result `json:"results"`
+}
+
+// dkasanClasses are the metric keys runDKASAN emits, mirrored into the
+// summary tally.
+var dkasanClasses = []string{"alloc_after_map", "map_after_alloc", "access_after_map", "multiple_map"}
+
+// Aggregate merges per-scenario results, in order, into one summary.
+func Aggregate(results []*Result) *Summary {
+	s := &Summary{
+		Scenarios:   len(results),
+		ByKind:      map[Kind]*KindSummary{},
+		WindowPaths: map[string]int{},
+		DKASAN:      map[string]uint64{},
+		Results:     results,
+	}
+	for _, r := range results {
+		ks := s.ByKind[r.Kind]
+		if ks == nil {
+			ks = &KindSummary{}
+			s.ByKind[r.Kind] = ks
+		}
+		ks.Runs++
+		if r.Err != "" {
+			ks.Errors++
+			s.Errors++
+		}
+		if r.Success {
+			ks.Successes++
+			s.Successes++
+		}
+		ks.Escalations += r.Escalations
+		s.Escalations += r.Escalations
+		s.TraceEvents += r.TraceEvents
+		s.TraceDropped += r.TraceDropped
+		s.StepsDropped += r.StepsDropped
+		if r.WindowPath != "" {
+			s.WindowPaths[r.WindowPath]++
+		}
+		for k, v := range r.Metrics {
+			// Ring-flood scenarios carry per-attempt path counts as
+			// "path[<name>]" metrics; fold them into the histogram.
+			if strings.HasPrefix(k, "path[") && strings.HasSuffix(k, "]") {
+				var n int
+				fmt.Sscanf(v, "%d", &n)
+				s.WindowPaths[k[len("path["):len(k)-1]] += n
+			}
+		}
+		if r.Kind == KindDKASAN {
+			for _, c := range dkasanClasses {
+				var n uint64
+				fmt.Sscanf(r.Metrics[c], "%d", &n)
+				s.DKASAN[c] += n
+			}
+		}
+	}
+	for _, ks := range s.ByKind {
+		if ks.Runs > 0 {
+			ks.SuccessRate = float64(ks.Successes) / float64(ks.Runs)
+		}
+	}
+	return s
+}
+
+// JSON encodes the summary deterministically (indented, sorted map keys).
+func (s *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Render prints the human-readable report.
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d scenarios, %d successes, %d errors, %d escalations\n",
+		s.Scenarios, s.Successes, s.Errors, s.Escalations)
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ks := s.ByKind[Kind(k)]
+		fmt.Fprintf(&b, "  %-18s %4d runs  %4d ok (%5.1f%%)  %4d escalations  %d errors\n",
+			k, ks.Runs, ks.Successes, ks.SuccessRate*100, ks.Escalations, ks.Errors)
+	}
+	if len(s.WindowPaths) > 0 {
+		b.WriteString("window paths:\n")
+		paths := make([]string, 0, len(s.WindowPaths))
+		for p := range s.WindowPaths {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			fmt.Fprintf(&b, "  %-40s %d\n", p, s.WindowPaths[p])
+		}
+	}
+	if len(s.DKASAN) > 0 {
+		b.WriteString("D-KASAN report classes:\n")
+		for _, c := range dkasanClasses {
+			fmt.Fprintf(&b, "  %-20s %d\n", c, s.DKASAN[c])
+		}
+	}
+	fmt.Fprintf(&b, "forensics: %d trace events retained, %d dropped; %d attack-log lines capped\n",
+		s.TraceEvents, s.TraceDropped, s.StepsDropped)
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"fmt"
+
+	"dmafault/internal/par"
+)
+
+// Engine shards scenarios across a worker pool. Each worker boots fully
+// isolated core.Systems, so shards are embarrassingly parallel; results are
+// written into index-addressed slots (par's contract) and aggregated in
+// input order, making the summary byte-identical at any worker count.
+type Engine struct {
+	// Workers is the pool size (<= 0: one per schedulable CPU).
+	Workers int
+	// OnResult, if set, observes each finished scenario (called from worker
+	// goroutines; index identifies the scenario). Used for progress output.
+	OnResult func(index int, r *Result)
+}
+
+// Run normalizes, validates, executes, and aggregates the scenario set.
+// Scenario execution failures land in the per-result Err field and the
+// summary's error tally; only an invalid spec aborts the run.
+func (e Engine) Run(scenarios []Scenario) (*Summary, error) {
+	scs := make([]Scenario, len(scenarios))
+	copy(scs, scenarios)
+	for i := range scs {
+		scs[i].Normalize(i)
+		if err := scs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %d (%s): %w", i, scs[i].ID, err)
+		}
+	}
+	results := make([]*Result, len(scs))
+	err := par.ForEach(len(scs), e.Workers, func(i int) error {
+		r, err := RunScenario(scs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		if e.OnResult != nil {
+			e.OnResult(i, r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(results), nil
+}

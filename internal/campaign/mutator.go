@@ -1,0 +1,145 @@
+package campaign
+
+import "math/rand"
+
+// The mutator generates campaign grids and randomized explorations of the
+// scenario space without hand-written loops, in the spirit of DyMA-Fuzz's
+// DMA-channel configuration mutation: start from a base scenario and
+// systematically sweep or perturb its dimensions. All generation is driven
+// by the base scenario's Seed, so a campaign's scenario set — and therefore
+// its summary — is reproducible from (base, counts) alone.
+
+// GridSpec lists the axis values a Grid sweep crosses. Nil axes keep the
+// base scenario's value; Replicas > 1 repeats each cell with fresh seeds
+// (success *rates* need more than one draw per cell).
+type GridSpec struct {
+	Kinds    []Kind
+	Modes    []string
+	Kernels  []string
+	Drivers  []string
+	Queues   []int
+	Jitters  []int
+	Replicas int
+}
+
+// orDefault returns the axis or a single-element slice holding the base
+// value, so the cross product always has every dimension.
+func orDefault[T any](axis []T, base T) []T {
+	if len(axis) == 0 {
+		return []T{base}
+	}
+	return axis
+}
+
+// Grid expands base over the spec's cross product. Cell seeds are derived
+// deterministically from base.Seed and the cell index; scenario IDs are
+// assigned by Normalize at run time.
+func Grid(base Scenario, spec GridSpec) []Scenario {
+	replicas := spec.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	var out []Scenario
+	for _, kind := range orDefault(spec.Kinds, base.Kind) {
+		for _, mode := range orDefault(spec.Modes, base.Mode) {
+			for _, kernel := range orDefault(spec.Kernels, base.Kernel) {
+				for _, driver := range orDefault(spec.Drivers, base.Driver) {
+					for _, queues := range orDefault(spec.Queues, base.Queues) {
+						for _, jitter := range orDefault(spec.Jitters, base.JitterPages) {
+							for rep := 0; rep < replicas; rep++ {
+								s := base
+								s.ID = ""
+								s.Kind = kind
+								s.Mode = mode
+								s.Kernel = kernel
+								s.Driver = driver
+								s.Queues = queues
+								s.JitterPages = jitter
+								// Stride seeds so replica and profiling
+								// ranges never collide across cells.
+								s.Seed = base.Seed + int64(len(out))*10_007
+								out = append(out, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mutator draws randomized perturbations of a base scenario from a seeded
+// stream. The same (base, seed) always yields the same scenario sequence.
+type Mutator struct {
+	base Scenario
+	rng  *rand.Rand
+	// Kinds limits which kinds mutation may select (nil = all).
+	Kinds []Kind
+	n     int
+}
+
+// NewMutator builds a mutator; seed 0 falls back to base.Seed.
+func NewMutator(base Scenario, seed int64) *Mutator {
+	if seed == 0 {
+		seed = base.Seed
+	}
+	return &Mutator{base: base, rng: rand.New(rand.NewSource(seed ^ 0xD1CE))}
+}
+
+// mutations are the per-dimension perturbations; each fires independently
+// with probability 1/3, and the seed is always redrawn.
+var mutations = []func(*rand.Rand, *Scenario){
+	func(rng *rand.Rand, s *Scenario) {
+		s.Mode = []string{"deferred", "strict"}[rng.Intn(2)]
+	},
+	func(rng *rand.Rand, s *Scenario) {
+		s.Kernel = []string{"5.0", "4.15"}[rng.Intn(2)]
+	},
+	func(rng *rand.Rand, s *Scenario) {
+		s.Driver = []string{"i40e", "correct"}[rng.Intn(2)]
+	},
+	func(rng *rand.Rand, s *Scenario) {
+		s.Queues = 1 << rng.Intn(3) // 1, 2, 4
+	},
+	func(rng *rand.Rand, s *Scenario) {
+		s.JitterPages = 64 << rng.Intn(6) // 64 .. 2048
+	},
+	func(rng *rand.Rand, s *Scenario) {
+		s.Forwarding = rng.Intn(2) == 1
+	},
+	func(rng *rand.Rand, s *Scenario) {
+		s.OutOfLineSharedInfo = rng.Intn(2) == 1
+	},
+	func(rng *rand.Rand, s *Scenario) {
+		s.NoKASLR = rng.Intn(4) == 0 // KASLR mostly on, as deployed
+	},
+}
+
+// Next draws one mutated scenario.
+func (m *Mutator) Next() Scenario {
+	s := m.base
+	s.ID = ""
+	kinds := m.Kinds
+	if len(kinds) == 0 {
+		kinds = Kinds()
+	}
+	s.Kind = kinds[m.rng.Intn(len(kinds))]
+	for _, mutate := range mutations {
+		if m.rng.Intn(3) == 0 {
+			mutate(m.rng, &s)
+		}
+	}
+	m.n++
+	s.Seed = m.base.Seed + int64(m.n)*104_729 + int64(m.rng.Intn(10_000))
+	return s
+}
+
+// Generate draws n scenarios.
+func (m *Mutator) Generate(n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = m.Next()
+	}
+	return out
+}

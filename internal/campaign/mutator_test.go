@@ -1,0 +1,93 @@
+package campaign
+
+import "testing"
+
+func TestGridCrossProduct(t *testing.T) {
+	set := Grid(Scenario{Kind: KindWindowLadder, Seed: 5}, GridSpec{
+		Drivers:  []string{"i40e", "correct"},
+		Modes:    []string{"deferred", "strict"},
+		Replicas: 3,
+	})
+	if len(set) != 2*2*3 {
+		t.Fatalf("grid size %d, want 12", len(set))
+	}
+	seeds := map[int64]bool{}
+	for _, s := range set {
+		if seeds[s.Seed] {
+			t.Fatalf("duplicate seed %d in grid", s.Seed)
+		}
+		seeds[s.Seed] = true
+	}
+}
+
+func TestGridKeepsBaseForNilAxes(t *testing.T) {
+	set := Grid(Scenario{Kind: KindBootStudy, Seed: 5, Kernel: "4.15", Queues: 2}, GridSpec{
+		Jitters: []int{64, 128},
+	})
+	if len(set) != 2 {
+		t.Fatalf("grid size %d, want 2", len(set))
+	}
+	for _, s := range set {
+		if s.Kernel != "4.15" || s.Queues != 2 {
+			t.Errorf("base values not preserved: %+v", s)
+		}
+	}
+}
+
+func TestMutatorDeterminism(t *testing.T) {
+	a := NewMutator(Scenario{Seed: 123}, 7).Generate(50)
+	b := NewMutator(Scenario{Seed: 123}, 7).Generate(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed mutators diverged at %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+	c := NewMutator(Scenario{Seed: 123}, 8).Generate(50)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different-seed mutators produced identical sets")
+	}
+}
+
+func TestMutatorRespectsKindFilter(t *testing.T) {
+	m := NewMutator(Scenario{Seed: 9}, 9)
+	m.Kinds = []Kind{KindWindowLadder}
+	for _, s := range m.Generate(20) {
+		if s.Kind != KindWindowLadder {
+			t.Fatalf("kind filter violated: %s", s.Kind)
+		}
+	}
+}
+
+func TestMutatedScenariosAreValid(t *testing.T) {
+	for i, s := range NewMutator(Scenario{Seed: 77}, 77).Generate(200) {
+		s.Normalize(i)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("mutation %d invalid: %v (%+v)", i, err, s)
+		}
+	}
+}
+
+func TestPresetsAreDeterministicAndSized(t *testing.T) {
+	for name, gen := range Presets {
+		a, b := gen(16, 3), gen(16, 3)
+		if len(a) == 0 {
+			t.Errorf("preset %s generated nothing", name)
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("preset %s not deterministic at %d", name, i)
+				break
+			}
+		}
+	}
+	if got := len(MixedPreset(200, 1)); got != 200 {
+		t.Errorf("mixed preset: %d scenarios, want 200", got)
+	}
+}

@@ -1,0 +1,94 @@
+// Package par is the deterministic parallel-execution substrate under the
+// campaign engine (internal/campaign) and the study loops in
+// internal/attacks. The simulation is single-machine-deterministic — one
+// booted core.System never shares state with another — so independent
+// scenarios/boots are embarrassingly parallel. The only thing parallelism
+// can break is *merge order*, and par removes that hazard by construction:
+// work is addressed by index, every worker writes only its own index's
+// slot, and callers merge slots in index order. The result is byte-identical
+// to the sequential loop at any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0:
+// one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) across min(workers, n)
+// goroutines (workers <= 0 means DefaultWorkers). fn must confine its
+// writes to data owned by index i (e.g. results[i]); under that contract
+// the outcome is independent of scheduling.
+//
+// Errors are made deterministic too: every index runs to completion and
+// the error reported is the one from the LOWEST failing index — exactly
+// what a sequential loop that continued past failures would report first.
+// (Sequential early-exit loops and parallel execution cannot agree on
+// "first error observed", but they always agree on "lowest failing index".)
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Fast path: plain loop, no goroutines — also what keeps
+		// -workers=1 runs trivially comparable in a debugger.
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) with ForEach semantics and returns the
+// index-ordered results. On error the partial slice is discarded.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 16, 0} {
+		n := 100
+		hits := make([]atomic.Int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	if err := ForEach(0, 4, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Fatalf("n=0: err=%v ran=%v", err, ran)
+	}
+	if err := ForEach(-5, 4, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Fatalf("n<0: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(50, workers, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("workers=%d: err = %v, want fail@3", workers, err)
+		}
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		out, err := Map(64, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapDiscardsPartialOnError(t *testing.T) {
+	out, err := Map(8, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v, want nil + error", out, err)
+	}
+}
