@@ -1,11 +1,16 @@
-# Developer entry points. `make check` is the tier-1 gate plus vet and the
-# race detector; CI should run exactly that.
+# Developer entry points. `make check` is the tier-1 gate plus formatting,
+# vet, and the race detector; CI runs exactly that (.github/workflows/ci.yml).
 
 GO ?= go
 
-.PHONY: check build vet test race bench campaign
+.PHONY: check fmt build vet test race bench campaign
 
-check: vet build race
+check: fmt vet build race
+
+# gofmt gate: fail listing any file that needs formatting.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

@@ -262,3 +262,32 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCampaignMetricsOverhead measures what the unified metrics layer
+// costs on campaign throughput: the same scenario set with metric capture
+// (registry attached at boot, per-scenario Gather, order-stable merge) vs
+// the SkipMetrics ablation. The acceptance budget is <5% — subsystems keep
+// plain stats structs on their hot paths and pay only one Gather per
+// scenario, so the delta should sit in the noise (numbers recorded in
+// EXPERIMENTS.md).
+func BenchmarkCampaignMetricsOverhead(b *testing.B) {
+	set := campaign.MixedPreset(8, 2021)
+	for _, arm := range []struct {
+		name string
+		skip bool
+	}{{"metrics=on", false}, {"metrics=off", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := campaign.Engine{Workers: 4, SkipMetrics: arm.skip}
+				sum, err := eng.Run(set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !arm.skip && sum.Metrics.Total("iommu_maps_total") == 0 {
+					b.Fatal("metrics arm captured nothing")
+				}
+			}
+			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
+	}
+}

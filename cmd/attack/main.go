@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"dmafault/internal/attacks"
+	"dmafault/internal/cliutil"
 	"dmafault/internal/core"
 	"dmafault/internal/device"
 	"dmafault/internal/iommu"
@@ -19,20 +20,14 @@ import (
 
 func main() {
 	name := flag.String("attack", "poisonedtx", "singlestep | ringflood | poisonedtx | forward | surveillance | dos")
-	seed := flag.Int64("seed", 2021, "boot seed")
-	strict := flag.Bool("strict", false, "strict IOTLB invalidation (default: deferred, the Linux default)")
 	trials := flag.Int("trials", 16, "offline boot-study trials (ringflood)")
 	traceN := flag.Int("trace", 0, "print the last N machine events after the attack (0 = off)")
-	flag.Parse()
+	cf := cliutil.New("attack").WithSeed().WithStrict()
+	cf.Parse()
 
-	mode := iommu.Deferred
-	if *strict {
-		mode = iommu.Strict
-	}
-	r, err := run(*name, *seed, mode, *trials, *traceN)
+	r, err := run(*name, *cf.Seed, cf.Mode(), *trials, *traceN)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "attack: %v\n", err)
-		os.Exit(1)
+		cf.Fatal(err)
 	}
 	fmt.Print(r.String())
 	if !r.Success {
@@ -53,7 +48,7 @@ func run(name string, seed int64, mode iommu.Mode, trials, traceN int) (*attacks
 		}
 		return attacks.RunRingFlood(sys, nic, study), nil
 	case "singlestep":
-		sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: mode})
+		sys, err := core.New(core.WithSeed(seed), core.WithIOMMUMode(mode))
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +66,7 @@ func run(name string, seed int64, mode iommu.Mode, trials, traceN int) (*attacks
 		}
 		return attacks.RunSingleStep(sys, atk, blk), nil
 	case "dos":
-		sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: mode})
+		sys, err := core.New(core.WithSeed(seed), core.WithIOMMUMode(mode))
 		if err != nil {
 			return nil, err
 		}
@@ -85,8 +80,11 @@ func run(name string, seed int64, mode iommu.Mode, trials, traceN int) (*attacks
 		atk := device.NewAttacker(1, sys.Bus, sys.Layout.Symbols(), build)
 		return attacks.RunFreelistDoS(sys, atk), nil
 	case "poisonedtx", "forward", "surveillance":
-		forwarding := name != "poisonedtx"
-		sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: mode, Forwarding: forwarding})
+		opts := []core.Option{core.WithSeed(seed), core.WithIOMMUMode(mode)}
+		if name != "poisonedtx" {
+			opts = append(opts, core.WithForwarding())
+		}
+		sys, err := core.New(opts...)
 		if err != nil {
 			return nil, err
 		}

@@ -18,37 +18,36 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"runtime"
 
 	"dmafault/internal/attacks"
+	"dmafault/internal/cliutil"
 )
 
 func main() {
 	trials := flag.Int("trials", 256, "reboots per configuration")
-	seed := flag.Int64("seed", 2021, "seed base")
 	sweep := flag.Bool("sweep", false, "sweep boot jitter amplitude (D5 ablation)")
 	queues := flag.Bool("queues", false, "sweep RX queue count (larger machines, §5.3)")
-	workers := flag.Int("workers", 0, "boot-pool size (0 = one per CPU)")
-	flag.Parse()
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
+	cf := cliutil.New("bootstudy").WithSeed().WithWorkers()
+	cf.Parse()
+	if *cf.Workers > 0 {
+		runtime.GOMAXPROCS(*cf.Workers)
 	}
 
 	if *sweep {
-		runSweep(*trials, *seed)
+		runSweep(cf, *trials, *cf.Seed)
 		return
 	}
 	if *queues {
-		runQueueSweep(*trials, *seed)
+		runQueueSweep(cf, *trials, *cf.Seed)
 		return
 	}
 	fmt.Printf("%d simulated reboots per kernel (paper §5.3: 256 physical reboots)\n\n", *trials)
 	fmt.Printf("%-28s %-16s %-12s %-12s %s\n", "kernel", "footprint", "modal PFN", "repeat", "median")
 	for _, v := range []attacks.KernelVersion{attacks.Kernel50, attacks.Kernel415} {
-		st, err := attacks.RunBootStudy(v, *trials, *seed)
+		st, err := attacks.RunBootStudy(v, *trials, *cf.Seed)
 		if err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 		fmt.Printf("%-28s %5d pages     %-12d %5.1f%%      %5.1f%%\n",
 			label(v), st.FootprintPages, st.ModalPFN, st.ModalRate*100, st.MedianRate*100)
@@ -64,13 +63,13 @@ func label(v attacks.KernelVersion) string {
 	return "5.0 (LRO off, 2 KiB bufs)"
 }
 
-func runSweep(trials int, seed int64) {
+func runSweep(cf *cliutil.Flags, trials int, seed int64) {
 	fmt.Printf("repeat rate vs early-boot drift (%d reboots per point, kernel 5.0)\n\n", trials)
 	fmt.Printf("%-16s %-12s %s\n", "jitter (pages)", "modal", "median")
 	for _, jitter := range []int{32, 64, 128, 256, 512, 1024, 2048} {
 		st, err := attacks.RunBootStudyJitter(attacks.Kernel50, trials, seed+int64(jitter), jitter)
 		if err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 		fmt.Printf("%-16d %5.1f%%      %5.1f%%\n", jitter, st.ModalRate*100, st.MedianRate*100)
 	}
@@ -81,7 +80,7 @@ func runSweep(trials int, seed int64) {
 // runQueueSweep delegates to the pool-backed study (the hand-rolled
 // aggregation loop this command used to carry now lives behind
 // attacks.RunBootStudyQueues).
-func runQueueSweep(trials int, seed int64) {
+func runQueueSweep(cf *cliutil.Flags, trials int, seed int64) {
 	if trials > 32 {
 		trials = 32 // multi-queue boots are heavy
 	}
@@ -90,14 +89,9 @@ func runQueueSweep(trials int, seed int64) {
 	for _, q := range []int{1, 2, 4, 8} {
 		st, err := attacks.RunBootStudyQueues(attacks.Kernel50, trials, seed, 2048, q)
 		if err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 		fmt.Printf("%-10d %5d pages    %5.1f%%\n", q, st.FootprintPages, st.ModalRate*100)
 	}
 	fmt.Println("\n§5.3: \"such attacks have a higher chance of success on larger machines\"")
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "bootstudy: %v\n", err)
-	os.Exit(1)
 }

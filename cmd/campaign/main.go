@@ -23,21 +23,19 @@ import (
 	"time"
 
 	"dmafault/internal/campaign"
+	"dmafault/internal/cliutil"
 	"dmafault/internal/par"
 )
 
 func main() {
 	preset := flag.String("preset", "mixed", "scenario generator: mixed|fuzz|bootstudy|ringflood|ladder")
 	n := flag.Int("n", 24, "scenario count to generate")
-	seed := flag.Int64("seed", 2021, "campaign seed (drives generation and every boot)")
-	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 	scenarioFile := flag.String("scenarios", "", "load scenario set from JSON instead of generating")
 	save := flag.String("save", "", "write the scenario set to this JSON file before running")
-	jsonOut := flag.Bool("json", false, "emit the JSON summary instead of the text report")
-	out := flag.String("out", "", "also write the JSON summary to this file")
-	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	list := flag.Bool("list", false, "list presets and scenario kinds, then exit")
-	flag.Parse()
+	cf := cliutil.New("campaign").WithSeed().WithWorkers().WithJSON().WithOut().WithQuiet()
+	cf.Parse()
+	seed, workers, jsonOut, quiet := cf.Seed, cf.Workers, cf.JSON, cf.Quiet
 
 	if *list {
 		names := make([]string, 0, len(campaign.Presets))
@@ -54,25 +52,25 @@ func main() {
 	if *scenarioFile != "" {
 		var err error
 		if scenarios, err = campaign.LoadScenarioFile(*scenarioFile); err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 	} else {
 		gen, ok := campaign.Presets[*preset]
 		if !ok {
-			fatal(fmt.Errorf("unknown preset %q (try -list)", *preset))
+			cf.Fatal(fmt.Errorf("unknown preset %q (try -list)", *preset))
 		}
 		scenarios = gen(*n, *seed)
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 		if err := campaign.SaveScenarios(f, scenarios); err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 	}
 
@@ -94,19 +92,17 @@ func main() {
 	start := time.Now()
 	summary, err := eng.Run(scenarios)
 	if err != nil {
-		fatal(err)
+		cf.Fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	if *out != "" || *jsonOut {
+	if *cf.Out != "" || *jsonOut {
 		data, err := summary.JSON()
 		if err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
-		if *out != "" {
-			if err := os.WriteFile(*out, data, 0o644); err != nil {
-				fatal(err)
-			}
+		if err := cf.WriteOut(data); err != nil {
+			cf.Fatal(err)
 		}
 		if *jsonOut {
 			os.Stdout.Write(append(data, '\n'))
@@ -121,9 +117,4 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "ran %d scenarios in %.1fs (%.1f scenarios/s, %d workers)\n",
 		len(scenarios), elapsed.Seconds(), float64(len(scenarios))/elapsed.Seconds(), w)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
-	os.Exit(1)
 }

@@ -6,38 +6,33 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"dmafault/internal/cliutil"
 	"dmafault/internal/core"
 	"dmafault/internal/dkasan"
-	"dmafault/internal/iommu"
 	"dmafault/internal/netstack"
 	"dmafault/internal/workload"
 )
 
 func main() {
 	iterations := flag.Int("iterations", 16, "build+ping workload rounds")
-	seed := flag.Int64("seed", 2021, "boot seed")
-	strict := flag.Bool("strict", false, "use strict IOTLB invalidation")
-	flag.Parse()
+	cf := cliutil.New("dkasan").WithSeed().WithStrict()
+	cf.Parse()
 
-	mode := iommu.Deferred
-	if *strict {
-		mode = iommu.Strict
-	}
+	mode := cf.Mode()
 	dk := dkasan.New()
-	sys, err := core.NewSystem(core.Config{Seed: *seed, KASLR: true, Mode: mode, Tracer: dk})
+	sys, err := core.New(core.WithSeed(*cf.Seed), core.WithIOMMUMode(mode), core.WithTracer(dk))
 	if err != nil {
-		fatal(err)
+		cf.Fatal(err)
 	}
 	dk.Attach(sys.Mem, sys.Mapper)
 	nic, err := sys.AddNIC(1, netstack.DriverI40E, 0)
 	if err != nil {
-		fatal(err)
+		cf.Fatal(err)
 	}
 	res, err := workload.Run(sys, nic, workload.Config{Iterations: *iterations, NICDevice: 1})
 	if err != nil {
-		fatal(err)
+		cf.Fatal(err)
 	}
 	fmt.Printf("workload: %d build rounds, %d pings, %d kernel objects allocated (IOMMU %s)\n\n",
 		res.Builds, res.Pings, res.ObjectsAlloced, mode)
@@ -45,9 +40,4 @@ func main() {
 	st := dk.Stats()
 	fmt.Printf("\nraw events: alloc-after-map=%d map-after-alloc=%d access-after-map=%d multiple-map=%d\n",
 		st.AllocAfterMap, st.MapAfterAlloc, st.AccessAfterMap, st.MultipleMap)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dkasan: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,39 @@
+// Command dmafaultd serves the campaign engine over HTTP: submit scenario
+// sets as jobs, poll their progress, and scrape the unified metric surface
+// in Prometheus text format.
+//
+// Usage:
+//
+//	dmafaultd                     # listen on :8077
+//	dmafaultd -addr 127.0.0.1:9000 -workers 8
+//
+//	curl -s localhost:8077/healthz
+//	curl -s -X POST localhost:8077/campaigns -d '{"preset":"ladder","n":8,"seed":2021}'
+//	curl -s localhost:8077/campaigns/1 | head
+//	curl -s localhost:8077/metrics | grep iommu_
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"dmafault/internal/cliutil"
+	"dmafault/internal/faultd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	cf := cliutil.New("dmafaultd").WithWorkers().WithQuiet()
+	cf.Parse()
+
+	srv := faultd.NewServer()
+	srv.Workers = *cf.Workers
+	if !*cf.Quiet {
+		fmt.Fprintf(os.Stderr, "dmafaultd: listening on %s (POST /campaigns, GET /metrics, /healthz, /debug/pprof)\n", *addr)
+	}
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		cf.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"dmafault/internal/cliutil"
 	"dmafault/internal/experiments"
 )
 
@@ -22,8 +23,8 @@ func main() {
 	id := flag.String("run", "", "experiment ID (T1,T2,F1..F9,S2.4,S5.2.1,S5.3,S6,S7); empty = all")
 	quick := flag.Bool("quick", false, "reduced trial counts")
 	trials := flag.Int("trials", 0, "override boot-study trial count")
-	out := flag.String("out", "", "also write the combined output to this file")
-	flag.Parse()
+	cf := cliutil.New("experiments").WithOut()
+	cf.Parse()
 
 	cfg := experiments.DefaultConfig
 	if *quick {
@@ -37,14 +38,14 @@ func main() {
 	if *id != "" {
 		o, err := experiments.Run(*id, cfg)
 		if err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 		outcomes = []*experiments.Outcome{o}
 	} else {
 		var err error
 		outcomes, err = experiments.All(cfg)
 		if err != nil {
-			fatal(err)
+			cf.Fatal(err)
 		}
 	}
 	var b strings.Builder
@@ -58,17 +59,10 @@ func main() {
 	}
 	fmt.Fprintf(&b, "=== %d/%d experiments reproduced the paper's claims ===\n", len(outcomes)-failed, len(outcomes))
 	fmt.Print(b.String())
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-			fatal(err)
-		}
+	if err := cf.WriteOut([]byte(b.String())); err != nil {
+		cf.Fatal(err)
 	}
 	if failed > 0 {
 		os.Exit(2)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-	os.Exit(1)
 }

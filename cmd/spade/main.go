@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"dmafault/internal/cliutil"
 	"dmafault/internal/cminor"
 	"dmafault/internal/corpus"
 	"dmafault/internal/spade"
@@ -28,22 +29,20 @@ func main() {
 	trace := flag.String("trace", "", "print the recursive trace for this file (path as analyzed)")
 	curated := flag.Bool("curated", false, "analyze the curated nvme_fc/i40e sources instead of the corpus")
 	depth := flag.Int("depth", 4, "cross-function backtracking depth limit")
-	asJSON := flag.Bool("json", false, "emit findings as JSON")
-	flag.Parse()
+	cf := cliutil.New("spade").WithJSON()
+	cf.Parse()
 
 	files, err := loadSources(*dir, *curated)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "spade: %v\n", err)
-		os.Exit(1)
+		cf.Fatal(err)
 	}
 	an := spade.NewAnalyzer(files)
 	an.MaxDepth = *depth
 	rep := an.Run()
-	if *asJSON {
+	if *cf.JSON {
 		out, err := rep.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spade: %v\n", err)
-			os.Exit(1)
+			cf.Fatal(err)
 		}
 		os.Stdout.Write(out)
 		fmt.Println()

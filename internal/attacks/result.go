@@ -18,7 +18,12 @@
 // paper does.
 package attacks
 
-import "fmt"
+import (
+	"fmt"
+
+	"dmafault/internal/core"
+	"dmafault/internal/metrics"
+)
 
 // MaxSteps bounds the per-result step trace. Like trace.Log, the trace is
 // a ring: once full, the oldest line falls off and DroppedSteps counts it —
@@ -26,17 +31,21 @@ import "fmt"
 const MaxSteps = 64
 
 // Result is the outcome of one attack run: a human-readable step trace plus
-// the success criterion (privilege escalations observed by the kernel).
+// the success criterion (privilege escalations observed by the kernel). The
+// JSON encoding is snake_case, matching the repo's wire-format convention.
 type Result struct {
-	Name string
+	Name string `json:"name"`
 	// Steps holds the most recent MaxSteps trace lines, oldest first.
-	Steps       []string
-	Success     bool
-	Escalations int
+	Steps       []string `json:"steps"`
+	Success     bool     `json:"success"`
+	Escalations int      `json:"escalations"`
 	// DroppedSteps counts older lines shed once Steps reached MaxSteps.
-	DroppedSteps uint64
+	DroppedSteps uint64 `json:"dropped_steps,omitempty"`
 	// Detail carries attack-specific numbers (hit rates, leaked bytes...).
-	Detail map[string]string
+	Detail map[string]string `json:"detail,omitempty"`
+	// Snapshot, when the attacked machine carried a metrics registry, is its
+	// full metric dump gathered after the attack finished.
+	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
 }
 
 func newResult(name string) *Result {
@@ -59,6 +68,21 @@ func (r *Result) fail(err error) *Result {
 	r.logf("BLOCKED: %v", err)
 	r.Success = false
 	return r
+}
+
+// CaptureMetrics gathers the machine's metric registry into the result. It
+// is a no-op on systems booted without metrics; a gather failure (a Source
+// contract bug) is recorded in Detail rather than aborting the attack.
+func (r *Result) CaptureMetrics(sys *core.System) {
+	if sys.Metrics == nil {
+		return
+	}
+	snap, err := sys.Metrics.Gather()
+	if err != nil {
+		r.Detail["metrics_error"] = err.Error()
+		return
+	}
+	r.Snapshot = snap
 }
 
 // String renders the trace. Step numbering stays absolute: a capped trace

@@ -110,6 +110,7 @@ func RunRingFlood(sys *core.System, nic *netstack.NIC, study *BootStudy) *Result
 	r.Detail["modal_rate"] = fmt.Sprintf("%.2f", study.ModalRate)
 	r.Detail["planted"] = fmt.Sprintf("%d", planted)
 	r.Detail["window_path"] = path.String()
+	r.CaptureMetrics(sys)
 	return r
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"dmafault/internal/metrics"
 )
 
 // KindSummary is the per-kind roll-up.
@@ -38,9 +40,20 @@ type Summary struct {
 	TraceDropped uint64 `json:"trace_dropped"`
 	// StepsDropped counts attack-log lines shed by the Result step cap.
 	StepsDropped uint64 `json:"steps_dropped"`
+	// VirtualNanos totals the virtual time simulated by metric-capturing
+	// scenarios.
+	VirtualNanos uint64 `json:"virtual_nanos"`
+	// Metrics is the campaign-level metric dump: the campaign_* roll-up
+	// families plus every per-scenario machine snapshot merged in input
+	// order, so it is byte-identical at any worker count.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 	// Results lists every scenario outcome in campaign (input) order.
 	Results []*Result `json:"results"`
 }
+
+// VirtualNanosBuckets are the campaign_virtual_nanos histogram bounds, in
+// virtual nanoseconds (1ms .. 10s of simulated time per scenario).
+var VirtualNanosBuckets = []float64{1e6, 1e7, 1e8, 1e9, 1e10}
 
 // dkasanClasses are the metric keys runDKASAN emits, mirrored into the
 // summary tally.
@@ -100,7 +113,53 @@ func Aggregate(results []*Result) *Summary {
 			ks.SuccessRate = float64(ks.Successes) / float64(ks.Runs)
 		}
 	}
+	s.buildMetrics(results)
 	return s
+}
+
+// buildMetrics assembles the campaign-level snapshot: the campaign_* roll-up
+// families gathered through a registry, then every scenario's machine
+// snapshot merged in input order.
+func (s *Summary) buildMetrics(results []*Result) {
+	scenarios := metrics.NewCounter("campaign_scenarios_total", "Scenarios executed by the campaign.")
+	successes := metrics.NewCounter("campaign_successes_total", "Scenarios meeting their success criterion.")
+	errors := metrics.NewCounter("campaign_errors_total", "Scenarios that failed with an execution error.")
+	escalations := metrics.NewCounter("campaign_escalations_total", "Privilege escalations across all scenarios.")
+	vtime := metrics.NewHistogram("campaign_virtual_nanos",
+		"Virtual time simulated per metric-capturing scenario.", VirtualNanosBuckets)
+	scenarios.Add(uint64(s.Scenarios))
+	successes.Add(uint64(s.Successes))
+	errors.Add(uint64(s.Errors))
+	escalations.Add(uint64(s.Escalations))
+	for _, r := range results {
+		if r.Snapshot != nil {
+			vtime.Observe(float64(r.VirtualNanos))
+		}
+		s.VirtualNanos += r.VirtualNanos
+	}
+	reg := metrics.NewRegistry()
+	reg.MustRegister(scenarios, successes, errors, escalations, vtime)
+	snap, err := reg.Gather()
+	if err != nil {
+		// Static instruments cannot violate the Source contract.
+		panic("campaign: " + err.Error())
+	}
+	for _, r := range results {
+		if err := snap.Merge(r.Snapshot); err != nil {
+			s.Errors++
+			r.Err = "metrics merge: " + err.Error()
+		}
+	}
+	s.Metrics = snap
+}
+
+// MetricsText renders the campaign-level snapshot in the Prometheus text
+// exposition format (empty when the summary carries no metrics).
+func (s *Summary) MetricsText() []byte {
+	if s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Text()
 }
 
 // JSON encodes the summary deterministically (indented, sorted map keys).

@@ -16,6 +16,10 @@ type Engine struct {
 	// OnResult, if set, observes each finished scenario (called from worker
 	// goroutines; index identifies the scenario). Used for progress output.
 	OnResult func(index int, r *Result)
+	// SkipMetrics forces skip_metrics on every scenario: machines boot
+	// without a registry and results carry no snapshot. This is the ablation
+	// arm of the metrics-overhead benchmark.
+	SkipMetrics bool
 }
 
 // Run normalizes, validates, executes, and aggregates the scenario set.
@@ -25,6 +29,9 @@ func (e Engine) Run(scenarios []Scenario) (*Summary, error) {
 	scs := make([]Scenario, len(scenarios))
 	copy(scs, scenarios)
 	for i := range scs {
+		if e.SkipMetrics {
+			scs[i].SkipMetrics = true
+		}
 		scs[i].Normalize(i)
 		if err := scs[i].Validate(); err != nil {
 			return nil, fmt.Errorf("scenario %d (%s): %w", i, scs[i].ID, err)

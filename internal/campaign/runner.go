@@ -7,6 +7,7 @@ import (
 	"dmafault/internal/core"
 	"dmafault/internal/dkasan"
 	"dmafault/internal/iommu"
+	"dmafault/internal/metrics"
 	"dmafault/internal/netstack"
 	"dmafault/internal/workload"
 )
@@ -39,8 +40,31 @@ type Result struct {
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 	// StepsDropped counts attack-log lines shed by the Result step cap.
 	StepsDropped uint64 `json:"steps_dropped,omitempty"`
+	// VirtualNanos is the final virtual-clock reading of the machine(s) the
+	// scenario booted, summed (0 for kinds that don't capture metrics).
+	VirtualNanos uint64 `json:"virtual_nanos,omitempty"`
+	// Snapshot is the machine's full metric dump gathered once the scenario
+	// finished (nil under skip_metrics, or for kinds that don't capture one).
+	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
 	// Err records a scenario-level failure; the campaign keeps going.
 	Err string `json:"err,omitempty"`
+}
+
+// captureMetrics gathers the system registry into the result. A gather
+// failure is a Source contract bug; it surfaces as a scenario error.
+func (r *Result) captureMetrics(sys *core.System) {
+	if sys.Metrics == nil {
+		return
+	}
+	snap, err := sys.Metrics.Gather()
+	if err != nil {
+		if r.Err == "" {
+			r.Err = "metrics: " + err.Error()
+		}
+		return
+	}
+	r.Snapshot = snap
+	r.VirtualNanos += uint64(sys.Clock.Now())
 }
 
 func (s *Scenario) newResult() *Result {
@@ -112,6 +136,21 @@ func runRingFlood(s *Scenario, r *Result) error {
 			paths[p]++
 		}
 	}
+	// Merge the per-attempt machine snapshots in attempt order — the same
+	// order the historical sequential loop produced — so the merged dump is
+	// byte-identical at any worker count.
+	if !s.SkipMetrics {
+		snap := &metrics.Snapshot{}
+		for _, res := range results {
+			if err := snap.Merge(res.Snapshot); err != nil {
+				return err
+			}
+		}
+		if len(snap.Families) > 0 {
+			r.Snapshot = snap
+			r.VirtualNanos = uint64(snap.Total("sim_virtual_time_nanos"))
+		}
+	}
 	for p, n := range paths {
 		r.Metrics["path["+p+"]"] = fmt.Sprintf("%d", n)
 	}
@@ -125,15 +164,15 @@ func runRingFlood(s *Scenario, r *Result) error {
 // bootAttackSystem boots a single-NIC system per the scenario spec with the
 // forensic trace ring attached.
 func (s *Scenario) bootAttackSystem() (*core.System, *netstack.NIC, func(*Result), error) {
-	cfg, err := s.coreConfig()
+	opts, err := s.options()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sys, err := core.NewSystem(cfg)
+	sys, err := core.New(append(opts, core.WithTracing(traceRingCap))...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	log := sys.EnableTracing(traceRingCap)
+	log := sys.Trace()
 	model, _ := s.driverModel()
 	nic, err := sys.AddNIC(attackerDev, model, 0)
 	if err != nil {
@@ -142,6 +181,7 @@ func (s *Scenario) bootAttackSystem() (*core.System, *netstack.NIC, func(*Result
 	finish := func(r *Result) {
 		r.TraceEvents = len(log.Events())
 		r.TraceDropped = log.Dropped
+		r.captureMetrics(sys)
 	}
 	return sys, nic, finish, nil
 }
@@ -191,17 +231,19 @@ func runWindowLadder(s *Scenario, r *Result) error {
 
 // runDKASAN boots with the sanitizer attached and tallies its reports.
 func runDKASAN(s *Scenario, r *Result) error {
-	cfg, err := s.coreConfig()
+	opts, err := s.options()
 	if err != nil {
 		return err
 	}
 	dk := dkasan.New()
-	cfg.Tracer = dk
-	sys, err := core.NewSystem(cfg)
+	sys, err := core.New(append(opts, core.WithTracer(dk))...)
 	if err != nil {
 		return err
 	}
 	dk.Attach(sys.Mem, sys.Mapper)
+	if sys.Metrics != nil {
+		sys.Metrics.MustRegister(dk)
+	}
 	model, _ := s.driverModel()
 	nic, err := sys.AddNIC(attackerDev, model, 0)
 	if err != nil {
@@ -217,5 +259,6 @@ func runDKASAN(s *Scenario, r *Result) error {
 	r.Metrics["multiple_map"] = fmt.Sprintf("%d", st.MultipleMap)
 	r.Metrics["reports"] = fmt.Sprintf("%d", len(dk.Reports()))
 	r.Success = len(dk.Reports()) > 0
+	r.captureMetrics(sys)
 	return nil
 }

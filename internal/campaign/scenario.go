@@ -92,6 +92,11 @@ type Scenario struct {
 	Attempts int `json:"attempts,omitempty"`
 	// Iterations sizes the D-KASAN workload (0 = 8).
 	Iterations int `json:"iterations,omitempty"`
+
+	// SkipMetrics runs the scenario without metric collection (no registry
+	// on booted machines, no snapshot in the result) — the ablation knob of
+	// the overhead benchmark. Engine.SkipMetrics forces it campaign-wide.
+	SkipMetrics bool `json:"skip_metrics,omitempty"`
 }
 
 // Defaults applied by Normalize.
@@ -188,21 +193,33 @@ func (s *Scenario) jitter() int {
 	return s.JitterPages
 }
 
-// coreConfig assembles the core.Config for single-boot kinds.
-func (s *Scenario) coreConfig() (core.Config, error) {
+// options assembles the core.New options for single-boot kinds.
+func (s *Scenario) options() ([]core.Option, error) {
 	mode, err := s.iommuMode()
 	if err != nil {
-		return core.Config{}, err
+		return nil, err
 	}
-	return core.Config{
-		Seed:                s.Seed,
-		KASLR:               !s.NoKASLR,
-		Mode:                mode,
-		CPUs:                s.CPUs,
-		MemBytes:            s.MemBytes,
-		Forwarding:          s.Forwarding,
-		OutOfLineSharedInfo: s.OutOfLineSharedInfo,
-	}, nil
+	opts := []core.Option{
+		core.WithSeed(s.Seed),
+		core.WithKASLR(!s.NoKASLR),
+		core.WithIOMMUMode(mode),
+	}
+	if s.CPUs > 0 {
+		opts = append(opts, core.WithCPUs(s.CPUs))
+	}
+	if s.MemBytes > 0 {
+		opts = append(opts, core.WithMemBytes(s.MemBytes))
+	}
+	if s.Forwarding {
+		opts = append(opts, core.WithForwarding())
+	}
+	if s.OutOfLineSharedInfo {
+		opts = append(opts, core.WithOutOfLineSharedInfo())
+	}
+	if s.SkipMetrics {
+		opts = append(opts, core.WithoutMetrics())
+	}
+	return opts, nil
 }
 
 // LoadScenarios reads a JSON scenario array (or a {"scenarios": [...]}

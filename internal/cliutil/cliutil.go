@@ -1,0 +1,113 @@
+// Package cliutil is the shared flag surface of the dmafault commands.
+// Every cmd/* main used to re-declare the same knobs (seed, worker count,
+// IOMMU mode, output format) with drifting help strings; this package pins
+// one spelling and one default per knob, so `-seed` or `-workers` means the
+// same thing to every binary, including the dmafaultd service.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmafault/internal/iommu"
+)
+
+// DefaultSeed is the repo-wide boot seed (the paper's publication year).
+const DefaultSeed = 2021
+
+// Flags carries the common knobs a command opted into. Fields are nil until
+// the matching With* method runs, so a binary only advertises the flags it
+// actually reads.
+type Flags struct {
+	Seed    *int64
+	Workers *int
+	Strict  *bool
+	JSON    *bool
+	Out     *string
+	Quiet   *bool
+
+	prog string
+	fs   *flag.FlagSet
+}
+
+// New binds a flag group for the named program to the process-wide flag set.
+func New(prog string) *Flags {
+	return NewWith(prog, flag.CommandLine)
+}
+
+// NewWith binds to an explicit FlagSet (tests, embedded services).
+func NewWith(prog string, fs *flag.FlagSet) *Flags {
+	return &Flags{prog: prog, fs: fs}
+}
+
+// WithSeed registers -seed: the deterministic boot seed.
+func (f *Flags) WithSeed() *Flags {
+	f.Seed = f.fs.Int64("seed", DefaultSeed, "boot seed (equal seeds boot identical machines)")
+	return f
+}
+
+// WithWorkers registers -workers: the scenario/boot pool size.
+func (f *Flags) WithWorkers() *Flags {
+	f.Workers = f.fs.Int("workers", 0, "worker pool size (0 = one per CPU)")
+	return f
+}
+
+// WithStrict registers -strict: strict IOTLB invalidation instead of the
+// Linux-default deferred policy.
+func (f *Flags) WithStrict() *Flags {
+	f.Strict = f.fs.Bool("strict", false, "strict IOTLB invalidation (default: deferred, the Linux default)")
+	return f
+}
+
+// WithJSON registers -json: machine-readable output instead of text.
+func (f *Flags) WithJSON() *Flags {
+	f.JSON = f.fs.Bool("json", false, "emit JSON instead of the text report")
+	return f
+}
+
+// WithOut registers -out: also write the primary artifact to a file.
+func (f *Flags) WithOut() *Flags {
+	f.Out = f.fs.String("out", "", "also write the output to this file")
+	return f
+}
+
+// WithQuiet registers -quiet: suppress progress lines on stderr.
+func (f *Flags) WithQuiet() *Flags {
+	f.Quiet = f.fs.Bool("quiet", false, "suppress progress lines")
+	return f
+}
+
+// Parse parses the underlying flag set (command line when bound via New).
+func (f *Flags) Parse() {
+	if f.fs == flag.CommandLine {
+		flag.Parse()
+		return
+	}
+	// Explicit sets are parsed by the embedder with its own argv.
+}
+
+// Mode resolves the -strict flag to the IOMMU invalidation policy
+// (Deferred when the flag was not registered or not set).
+func (f *Flags) Mode() iommu.Mode {
+	if f.Strict != nil && *f.Strict {
+		return iommu.Strict
+	}
+	return iommu.Deferred
+}
+
+// Fatal prints "prog: err" and exits 1 — the shared error epilogue of every
+// command.
+func (f *Flags) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", f.prog, err)
+	os.Exit(1)
+}
+
+// WriteOut writes data to the -out file when one was given (no-op
+// otherwise).
+func (f *Flags) WriteOut(data []byte) error {
+	if f.Out == nil || *f.Out == "" {
+		return nil
+	}
+	return os.WriteFile(*f.Out, data, 0o644)
+}

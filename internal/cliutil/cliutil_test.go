@@ -1,0 +1,87 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmafault/internal/iommu"
+)
+
+func TestFlagsRegisterOnlyWhatWasAsked(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := NewWith("t", fs).WithSeed().WithWorkers()
+	if f.Seed == nil || f.Workers == nil {
+		t.Fatal("opted-in flags not registered")
+	}
+	if f.Strict != nil || f.JSON != nil || f.Out != nil || f.Quiet != nil {
+		t.Fatal("flags registered without opt-in")
+	}
+	if fs.Lookup("seed") == nil || fs.Lookup("workers") == nil {
+		t.Fatal("flag set missing registered names")
+	}
+	if fs.Lookup("strict") != nil {
+		t.Fatal("strict registered without opt-in")
+	}
+	if err := fs.Parse([]string{"-seed", "7", "-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if *f.Seed != 7 || *f.Workers != 3 {
+		t.Fatalf("parsed seed=%d workers=%d", *f.Seed, *f.Workers)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := NewWith("t", fs).WithSeed().WithStrict()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *f.Seed != DefaultSeed {
+		t.Errorf("default seed = %d, want %d", *f.Seed, DefaultSeed)
+	}
+	if f.Mode() != iommu.Deferred {
+		t.Error("default mode is not deferred")
+	}
+}
+
+func TestModeResolution(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := NewWith("t", fs).WithStrict()
+	if err := fs.Parse([]string{"-strict"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mode() != iommu.Strict {
+		t.Error("-strict did not resolve to strict mode")
+	}
+	// Mode without the flag registered stays at the Linux default.
+	if NewWith("t", flag.NewFlagSet("t", flag.ContinueOnError)).Mode() != iommu.Deferred {
+		t.Error("unregistered strict flag must mean deferred")
+	}
+}
+
+func TestWriteOut(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := NewWith("t", fs).WithOut()
+	// No -out: silently skip.
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteOut([]byte("x")); err != nil {
+		t.Fatalf("WriteOut without -out: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	f2 := NewWith("t", fs2).WithOut()
+	if err := fs2.Parse([]string{"-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.WriteOut([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("artifact = %q, %v", got, err)
+	}
+}

@@ -3,6 +3,15 @@
 // policy, the DMA API, the kernel execution model (NX/ROP/JOP), and the
 // network stack. It is the top-level entry point library users start from;
 // the attack and experiment packages operate on a *System.
+//
+// Boot a machine with New and functional options:
+//
+//	sys, err := core.New(core.WithSeed(2021), core.WithIOMMUMode(iommu.Strict),
+//	    core.WithCPUs(4), core.WithTracing(1024))
+//
+// Every booted System carries a metrics.Registry (System.Metrics) with all
+// subsystem Sources registered, so one Gather yields the machine's complete
+// counter state in a deterministic, mergeable snapshot.
 package core
 
 import (
@@ -13,12 +22,15 @@ import (
 	"dmafault/internal/kexec"
 	"dmafault/internal/layout"
 	"dmafault/internal/mem"
+	"dmafault/internal/metrics"
 	"dmafault/internal/netstack"
 	"dmafault/internal/sim"
 	"dmafault/internal/trace"
 )
 
-// Config describes one simulated machine boot.
+// Config describes one simulated machine boot. It is the legacy positional
+// surface consumed by NewSystem and the carrier the options of New resolve
+// into; new call sites should prefer New.
 type Config struct {
 	// Seed drives every randomized component (KASLR draw, text image,
 	// boot-order jitter). Equal seeds boot identical machines.
@@ -50,6 +62,14 @@ type System struct {
 	Bus    *dma.Bus
 	Kernel *kexec.Kernel
 	Net    *netstack.Stack
+
+	// Metrics is the machine's registry with every subsystem Source
+	// registered (nil when booted WithoutMetrics). Gather it only while the
+	// machine is quiescent.
+	Metrics *metrics.Registry
+
+	trace       *trace.Log
+	traceHooked bool
 }
 
 // Defaults used when Config fields are zero.
@@ -58,8 +78,43 @@ const (
 	DefaultMemBytes = 128 << 20
 )
 
-// NewSystem boots a machine.
+// New boots a machine from functional options. Defaults: KASLR on, deferred
+// IOMMU invalidation, DefaultCPUs cores, DefaultMemBytes of memory, metrics
+// registry attached, tracing off.
+func New(opts ...Option) (*System, error) {
+	st := settings{cfg: Config{KASLR: true}}
+	for _, o := range opts {
+		o(&st)
+	}
+	s, err := boot(st.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !st.noMetrics {
+		s.initMetrics()
+	}
+	if st.tracing {
+		s.EnableTracing(st.traceCap)
+	}
+	return s, nil
+}
+
+// NewSystem boots a machine from the legacy positional Config.
+//
+// Deprecated: use New with Options. NewSystem remains as a shim so call
+// sites can migrate incrementally; unlike New it keeps Config's zero-value
+// semantics (KASLR off unless set).
 func NewSystem(cfg Config) (*System, error) {
+	s, err := boot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.initMetrics()
+	return s, nil
+}
+
+// boot assembles the substrates.
+func boot(cfg Config) (*System, error) {
 	if cfg.CPUs <= 0 {
 		cfg.CPUs = DefaultCPUs
 	}
@@ -88,12 +143,61 @@ func NewSystem(cfg Config) (*System, error) {
 	}, nil
 }
 
+// initMetrics builds the registry and registers every subsystem Source. The
+// trace ring is registered through an indirection so EnableTracing can swap
+// the live ring without re-registering.
+func (s *System) initMetrics() {
+	s.Metrics = metrics.NewRegistry()
+	s.Metrics.MustRegister(s.IOMMU, s.Mem, s.Net,
+		clockSource{s.Clock}, traceSource{s})
+}
+
+// clockSource exposes the virtual clock as a gauge.
+type clockSource struct{ clk *sim.Clock }
+
+func (c clockSource) Describe() []metrics.Desc {
+	return []metrics.Desc{{
+		Name: "sim_virtual_time_nanos",
+		Help: "Current virtual time of the machine clock.",
+		Kind: metrics.KindGauge,
+	}}
+}
+
+func (c clockSource) Collect(emit func(string, metrics.Sample)) {
+	emit("sim_virtual_time_nanos", metrics.Sample{Value: float64(c.clk.Now())})
+}
+
+// traceSource delegates to the system's current forensic ring, so the
+// registry follows EnableTracing swaps and emits nothing before tracing is
+// armed.
+type traceSource struct{ s *System }
+
+func (t traceSource) Describe() []metrics.Desc { return (*trace.Log)(nil).Describe() }
+
+func (t traceSource) Collect(emit func(string, metrics.Sample)) {
+	if t.s.trace != nil {
+		t.s.trace.Collect(emit)
+	}
+}
+
+// Trace returns the forensic event ring, or nil if tracing was never
+// enabled.
+func (s *System) Trace() *trace.Log { return s.trace }
+
 // EnableTracing attaches an event log to every subsystem: DMA map/unmap,
 // device accesses (with faults), IOMMU faults, callback dispatches, and
 // privilege escalations all become time-stamped events. Returns the log.
+//
+// Calling it again swaps in a fresh ring of the new capacity (the previous
+// log stops receiving events and keeps its retained history); the
+// subsystem hooks are installed only once.
 func (s *System) EnableTracing(capacity int) *trace.Log {
-	log := trace.NewLog(s.Clock, capacity)
-	s.Mapper.AddHook(&traceHook{log})
+	s.trace = trace.NewLog(s.Clock, capacity)
+	if s.traceHooked {
+		return s.trace
+	}
+	s.traceHooked = true
+	s.Mapper.AddHook(&traceHook{s})
 	s.Bus.OnAccess = func(dev iommu.DeviceID, va iommu.IOVA, n int, write bool, err error) {
 		kind := trace.EvDeviceRead
 		if write {
@@ -103,10 +207,10 @@ func (s *System) EnableTracing(capacity int) *trace.Log {
 		if err != nil {
 			note = "FAULTED"
 		}
-		log.Append(kind, uint16(dev), uint64(va), uint64(n), note)
+		s.trace.Append(kind, uint16(dev), uint64(va), uint64(n), note)
 	}
 	s.IOMMU.OnFault = func(f *iommu.Fault) {
-		log.Append(trace.EvFault, uint16(f.Dev), uint64(f.Addr), uint64(f.Perm), f.Error())
+		s.trace.Append(trace.EvFault, uint16(f.Dev), uint64(f.Addr), uint64(f.Perm), f.Error())
 	}
 	s.Kernel.OnDispatch = func(fn layout.Addr, arg uint64) {
 		note := ""
@@ -115,23 +219,24 @@ func (s *System) EnableTracing(capacity int) *trace.Log {
 		} else {
 			note = "NON-TEXT TARGET"
 		}
-		log.Append(trace.EvCallback, 0, uint64(fn), arg, note)
+		s.trace.Append(trace.EvCallback, 0, uint64(fn), arg, note)
 	}
 	s.Kernel.OnEscalation = func() {
-		log.Append(trace.EvEscalation, 0, 0, 0, "privilege escalation (commit_creds with forged cred)")
+		s.trace.Append(trace.EvEscalation, 0, 0, 0, "privilege escalation (commit_creds with forged cred)")
 	}
-	return log
+	return s.trace
 }
 
-// traceHook adapts trace.Log to the dma.Hook interface.
-type traceHook struct{ log *trace.Log }
+// traceHook adapts the system's current trace ring to the dma.Hook
+// interface.
+type traceHook struct{ s *System }
 
 func (h *traceHook) OnMap(dev iommu.DeviceID, kva layout.Addr, n uint64, dir dma.Direction, va iommu.IOVA) {
-	h.log.Append(trace.EvDMAMap, uint16(dev), uint64(va), n, dir.String())
+	h.s.trace.Append(trace.EvDMAMap, uint16(dev), uint64(va), n, dir.String())
 }
 
 func (h *traceHook) OnUnmap(dev iommu.DeviceID, kva layout.Addr, n uint64, dir dma.Direction, va iommu.IOVA) {
-	h.log.Append(trace.EvDMAUnmap, uint16(dev), uint64(va), n, dir.String())
+	h.s.trace.Append(trace.EvDMAUnmap, uint16(dev), uint64(va), n, dir.String())
 }
 
 // AddNIC attaches a NIC in its own IOMMU domain and fills its RX ring.

@@ -1,0 +1,31 @@
+package dkasan
+
+import "dmafault/internal/metrics"
+
+// Sanitizer implements metrics.Source: raw event counts per vulnerability
+// class (pre-deduplication) plus the deduplicated report gauge — the Fig. 3
+// exposure view as a scrapeable family.
+
+// Describe implements metrics.Source.
+func (s *Sanitizer) Describe() []metrics.Desc {
+	return []metrics.Desc{
+		{Name: "dkasan_events_total", Help: "Raw sanitizer events by class (pre-deduplication).", Kind: metrics.KindCounter},
+		{Name: "dkasan_reports", Help: "Deduplicated findings.", Kind: metrics.KindGauge},
+	}
+}
+
+// Collect implements metrics.Source.
+func (s *Sanitizer) Collect(emit func(name string, sm metrics.Sample)) {
+	for _, c := range []struct {
+		class string
+		n     uint64
+	}{
+		{"access_after_map", s.stats.AccessAfterMap},
+		{"alloc_after_map", s.stats.AllocAfterMap},
+		{"map_after_alloc", s.stats.MapAfterAlloc},
+		{"multiple_map", s.stats.MultipleMap},
+	} {
+		emit("dkasan_events_total", metrics.Sample{Labels: metrics.L("class", c.class), Value: float64(c.n)})
+	}
+	emit("dkasan_reports", metrics.Sample{Value: float64(len(s.reports))})
+}

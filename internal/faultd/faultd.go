@@ -1,0 +1,301 @@
+// Package faultd is the campaign service behind cmd/dmafaultd: a stdlib
+// net/http server that accepts scenario-set JSON, runs each submission as a
+// job on the campaign engine's worker pool, reports live progress, and
+// exposes the unified metric surface of internal/metrics.
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness probe
+//	GET  /metrics          Prometheus text exposition: service counters plus
+//	                       every completed campaign's machine metrics, merged
+//	POST /campaigns        submit a campaign (scenario array, campaign
+//	                       document, or {"preset": ...}); returns the job ID
+//	GET  /campaigns        list jobs
+//	GET  /campaigns/{id}   job status: live progress, final aggregate
+//	GET  /debug/pprof/...  runtime profiles
+//
+// Two metric planes coexist deliberately. Service-level counters are atomic
+// instruments (scrapes race with request handling); campaign snapshots come
+// from quiescent machines and are merged under the server mutex, preserving
+// the registry's determinism contract.
+package faultd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/metrics"
+)
+
+// MaxScenarios bounds one submission; larger sets are rejected with 400
+// rather than silently truncated.
+const MaxScenarios = 4096
+
+// JobStatus is the lifecycle of a submitted campaign.
+type JobStatus string
+
+const (
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// Job is one submitted campaign. Progress fields are updated by worker
+// goroutines under the server mutex; Summary appears when the job finishes.
+type Job struct {
+	ID     int       `json:"id"`
+	Name   string    `json:"name,omitempty"`
+	Status JobStatus `json:"status"`
+	// ScenariosTotal/ScenariosDone report live progress.
+	ScenariosTotal int `json:"scenarios_total"`
+	ScenariosDone  int `json:"scenarios_done"`
+	// Error is set when the whole run aborted (invalid spec, pool failure).
+	Error string `json:"error,omitempty"`
+	// Summary is the final aggregate (done jobs only).
+	Summary *campaign.Summary `json:"summary,omitempty"`
+}
+
+// Request is the POST /campaigns body. Exactly one of Scenarios or Preset
+// must be given.
+type Request struct {
+	Name    string `json:"name,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	// Scenarios is an explicit scenario set (campaign.Scenario JSON).
+	Scenarios []campaign.Scenario `json:"scenarios,omitempty"`
+	// Preset generates the set server-side: mixed|fuzz|bootstudy|ringflood|ladder.
+	Preset string `json:"preset,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// Server is the service state: the job table, the merged campaign metric
+// dump, and the service-plane instruments.
+type Server struct {
+	// Workers is the default engine pool size for jobs that don't set one.
+	Workers int
+	// Synchronous makes POST /campaigns run the job inline before
+	// responding — deterministic single-request behavior for tests and
+	// scripted use. Production keeps it false and polls.
+	Synchronous bool
+
+	mu     sync.Mutex
+	jobs   []*Job
+	merged *metrics.Snapshot
+	wg     sync.WaitGroup
+
+	reg                *metrics.Registry
+	requests           *metrics.Counter
+	campaignsStarted   *metrics.Counter
+	campaignsDone      *metrics.Counter
+	campaignsFailed    *metrics.Counter
+	scenariosCompleted *metrics.Counter
+	running            *metrics.Gauge
+}
+
+// NewServer builds an empty service.
+func NewServer() *Server {
+	s := &Server{
+		merged:             &metrics.Snapshot{},
+		reg:                metrics.NewRegistry(),
+		requests:           metrics.NewCounter("faultd_requests_total", "HTTP requests served."),
+		campaignsStarted:   metrics.NewCounter("faultd_campaigns_started_total", "Campaign jobs accepted."),
+		campaignsDone:      metrics.NewCounter("faultd_campaigns_completed_total", "Campaign jobs finished successfully."),
+		campaignsFailed:    metrics.NewCounter("faultd_campaigns_failed_total", "Campaign jobs aborted by an error."),
+		scenariosCompleted: metrics.NewCounter("faultd_scenarios_completed_total", "Scenarios finished across all jobs."),
+		running:            metrics.NewGauge("faultd_campaigns_running", "Campaign jobs currently executing."),
+	}
+	s.reg.MustRegister(s.requests, s.campaignsStarted, s.campaignsDone,
+		s.campaignsFailed, s.scenariosCompleted, s.running)
+	return s
+}
+
+// Handler builds the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleJob)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// Wait blocks until every accepted job has finished — test and shutdown
+// hygiene.
+func (s *Server) Wait() { s.wg.Wait() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the service plane merged with every completed
+// campaign's machine metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.reg.Gather()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	err = snap.Merge(s.merged)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = snap.WriteText(w)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "parse request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	scs, err := resolveScenarios(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	job := &Job{ID: len(s.jobs) + 1, Name: req.Name,
+		Status: StatusRunning, ScenariosTotal: len(scs)}
+	s.jobs = append(s.jobs, job)
+	s.mu.Unlock()
+	s.campaignsStarted.Inc()
+	s.running.Add(1)
+	s.wg.Add(1)
+	run := func() {
+		defer s.wg.Done()
+		defer s.running.Add(-1)
+		s.runJob(job, scs, req.Workers)
+	}
+	if s.Synchronous {
+		run()
+	} else {
+		go run()
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"id": job.ID, "url": fmt.Sprintf("/campaigns/%d", job.ID),
+		"scenarios_total": job.ScenariosTotal,
+	})
+}
+
+// resolveScenarios turns a request into a validated scenario set.
+func resolveScenarios(req *Request) ([]campaign.Scenario, error) {
+	switch {
+	case len(req.Scenarios) > 0 && req.Preset != "":
+		return nil, fmt.Errorf("give scenarios or a preset, not both")
+	case req.Preset != "":
+		gen, ok := campaign.Presets[req.Preset]
+		if !ok {
+			names := make([]string, 0, len(campaign.Presets))
+			for n := range campaign.Presets {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown preset %q (have %v)", req.Preset, names)
+		}
+		n := req.N
+		if n <= 0 {
+			n = 8
+		}
+		if n > MaxScenarios {
+			return nil, fmt.Errorf("n %d exceeds the per-job cap %d", n, MaxScenarios)
+		}
+		return gen(n, req.Seed), nil
+	case len(req.Scenarios) > MaxScenarios:
+		return nil, fmt.Errorf("%d scenarios exceed the per-job cap %d", len(req.Scenarios), MaxScenarios)
+	case len(req.Scenarios) > 0:
+		return req.Scenarios, nil
+	default:
+		return nil, fmt.Errorf("empty campaign: no scenarios and no preset")
+	}
+}
+
+// runJob executes the campaign and publishes the outcome.
+func (s *Server) runJob(job *Job, scs []campaign.Scenario, workers int) {
+	if workers <= 0 {
+		workers = s.Workers
+	}
+	eng := campaign.Engine{
+		Workers: workers,
+		OnResult: func(i int, r *campaign.Result) {
+			s.scenariosCompleted.Inc()
+			s.mu.Lock()
+			job.ScenariosDone++
+			s.mu.Unlock()
+		},
+	}
+	sum, err := eng.Run(scs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		job.Status = StatusFailed
+		job.Error = err.Error()
+		s.campaignsFailed.Inc()
+		return
+	}
+	job.Status = StatusDone
+	job.Summary = sum
+	if mergeErr := s.merged.Merge(sum.Metrics); mergeErr != nil {
+		// Incompatible layouts across jobs (a bucket change mid-flight):
+		// keep serving, but surface it on the job.
+		job.Error = "metrics merge: " + mergeErr.Error()
+	}
+	s.campaignsDone.Inc()
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]Job, len(s.jobs))
+	for i, j := range s.jobs {
+		list[i] = *j
+		list[i].Summary = nil // keep the listing lightweight
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"jobs": list})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad job id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if id < 1 || id > len(s.jobs) {
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("no job %d", id), http.StatusNotFound)
+		return
+	}
+	job := *s.jobs[id-1]
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&job)
+}

@@ -24,7 +24,19 @@ type PageAllocator struct {
 	hot      [][]layout.PFN             // per-CPU order-0 hot cache
 	nfree    uint64
 	reserved uint64
+	stats    PageStats
 }
+
+// PageStats counts page allocator activity.
+type PageStats struct {
+	Allocs, Frees uint64
+	// HotHits counts order-0 allocations served from a per-CPU hot cache —
+	// the fast-reuse path that makes stale IOTLB windows exploitable.
+	HotHits uint64
+}
+
+// Stats returns a copy of the counters.
+func (pa *PageAllocator) Stats() PageStats { return pa.stats }
 
 func newPageAllocator(m *Memory, cpus int) (*PageAllocator, error) {
 	pa := &PageAllocator{m: m, hot: make([][]layout.PFN, cpus)}
@@ -93,6 +105,7 @@ func (pa *PageAllocator) AllocPages(cpu int, order uint) (layout.PFN, error) {
 		if h := pa.hot[cpu]; len(h) > 0 {
 			p := h[len(h)-1]
 			pa.hot[cpu] = h[:len(h)-1]
+			pa.stats.HotHits++
 			pa.finishAlloc(p, 0)
 			return p, nil
 		}
@@ -115,6 +128,7 @@ func (pa *PageAllocator) AllocPages(cpu int, order uint) (layout.PFN, error) {
 }
 
 func (pa *PageAllocator) finishAlloc(p layout.PFN, order uint) {
+	pa.stats.Allocs++
 	head := pa.m.mustPage(p)
 	head.Flags = 0
 	head.Order = order
@@ -154,6 +168,7 @@ func (pa *PageAllocator) Free(cpu int, p layout.PFN, order uint) error {
 		return nil
 	}
 	pa.m.tracerOnPageFree(p, order)
+	pa.stats.Frees++
 	pi.RefCount = 0
 	if order == 0 && cpu >= 0 && cpu < len(pa.hot) && len(pa.hot[cpu]) < hotCacheSize {
 		pi.Flags = FlagFree

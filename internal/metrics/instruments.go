@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// The instruments below are lock-free and safe for concurrent use; each one
+// implements Source for its own single family, so a service can register
+// them directly (dmafaultd does). Simulation subsystems generally do NOT use
+// them — they keep plain stats structs on their single-owner hot paths and
+// implement Source over those, paying zero atomic traffic per event.
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	desc Desc
+	v    atomic.Uint64
+}
+
+// NewCounter builds a counter family with one unlabeled sample.
+func NewCounter(name, help string) *Counter {
+	return &Counter{desc: Desc{Name: name, Help: help, Kind: KindCounter}}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Describe implements Source.
+func (c *Counter) Describe() []Desc { return []Desc{c.desc} }
+
+// Collect implements Source.
+func (c *Counter) Collect(emit func(name string, s Sample)) {
+	emit(c.desc.Name, Sample{Value: float64(c.v.Load())})
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	desc Desc
+	bits atomic.Uint64
+}
+
+// NewGauge builds a gauge family with one unlabeled sample.
+func NewGauge(name, help string) *Gauge {
+	return &Gauge{desc: Desc{Name: name, Help: help, Kind: KindGauge}}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Add increases the gauge by delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Describe implements Source.
+func (g *Gauge) Describe() []Desc { return []Desc{g.desc} }
+
+// Collect implements Source.
+func (g *Gauge) Collect(emit func(name string, s Sample)) {
+	emit(g.desc.Name, Sample{Value: g.Value()})
+}
+
+// Histogram is a fixed-bucket atomic histogram.
+type Histogram struct {
+	desc    Desc
+	buckets []atomic.Uint64 // len(desc.Buckets)+1; last is +Inf overflow
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// NewHistogram builds a histogram family with the given ascending upper
+// bounds (the +Inf overflow bucket is implicit).
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := &Histogram{
+		desc:    Desc{Name: name, Help: help, Kind: KindHistogram, Buckets: append([]float64(nil), buckets...)},
+		buckets: make([]atomic.Uint64, len(buckets)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := len(h.desc.Buckets) // overflow by default
+	for b, ub := range h.desc.Buckets {
+		if v <= ub {
+			i = b
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Describe implements Source.
+func (h *Histogram) Describe() []Desc { return []Desc{h.desc} }
+
+// Collect implements Source.
+func (h *Histogram) Collect(emit func(name string, s Sample)) {
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	emit(h.desc.Name, Sample{
+		BucketCounts: counts,
+		Sum:          math.Float64frombits(h.sumBits.Load()),
+		Count:        h.count.Load(),
+	})
+}

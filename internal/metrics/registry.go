@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry holds Sources and gathers them into canonical Snapshots. It is
+// safe for concurrent Register/Gather; whether a given Source may be
+// collected concurrently with updates is the Source's own contract (see the
+// package comment).
+type Registry struct {
+	mu      sync.Mutex
+	sources []Source
+	descs   map[string]Desc
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{descs: make(map[string]Desc)}
+}
+
+// Register adds a source, validating its descriptors. A family name may be
+// described by only one source; re-describing an identical Desc from the
+// same or another source is rejected too (one family, one owner).
+func (r *Registry) Register(s Source) error {
+	descs := s.Describe()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range descs {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if _, dup := r.descs[d.Name]; dup {
+			return fmt.Errorf("metrics: family %q already registered", d.Name)
+		}
+	}
+	for _, d := range descs {
+		r.descs[d.Name] = d
+	}
+	r.sources = append(r.sources, s)
+	return nil
+}
+
+// MustRegister is Register, panicking on programmer error.
+func (r *Registry) MustRegister(sources ...Source) {
+	for _, s := range sources {
+		if err := r.Register(s); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Gather collects every source into a canonical Snapshot: families sorted
+// by name, samples sorted by label signature, empty families omitted. A
+// sample emitted under an undescribed name is an error (it would silently
+// vanish from dumps otherwise).
+func (r *Registry) Gather() (*Snapshot, error) {
+	r.mu.Lock()
+	sources := make([]Source, len(r.sources))
+	copy(sources, r.sources)
+	descs := make(map[string]Desc, len(r.descs))
+	for k, v := range r.descs {
+		descs[k] = v
+	}
+	r.mu.Unlock()
+
+	byName := make(map[string][]Sample, len(descs))
+	var firstErr error
+	emit := func(name string, s Sample) {
+		d, ok := descs[name]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("metrics: sample for undescribed family %q", name)
+			}
+			return
+		}
+		if d.Kind == KindHistogram && len(s.BucketCounts) != len(d.Buckets)+1 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("metrics: histogram %q sample has %d buckets, want %d",
+					name, len(s.BucketCounts), len(d.Buckets)+1)
+			}
+			return
+		}
+		sortLabels(s.Labels)
+		byName[name] = append(byName[name], s)
+	}
+	for _, src := range sources {
+		src.Collect(emit)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	snap := &Snapshot{}
+	for name, samples := range byName {
+		d := descs[name]
+		snap.Families = append(snap.Families, Family{
+			Name:    d.Name,
+			Help:    d.Help,
+			Kind:    d.Kind,
+			Buckets: append([]float64(nil), d.Buckets...),
+			Samples: samples,
+		})
+	}
+	snap.normalize()
+	return snap, nil
+}

@@ -1,0 +1,69 @@
+package netstack
+
+import (
+	"strconv"
+
+	"dmafault/internal/metrics"
+)
+
+// Stack implements metrics.Source: packet-path counters plus per-NIC ring
+// occupancy gauges (labeled by requester ID and driver model) — the queue
+// view a RingFlood campaign saturates.
+//
+// Collection reads plain counters; gather only while the machine is
+// quiescent (see the metrics package comment).
+
+// Describe implements metrics.Source.
+func (ns *Stack) Describe() []metrics.Desc {
+	return []metrics.Desc{
+		{Name: "netstack_skbs_allocated_total", Help: "sk_buffs allocated (netdev_alloc_skb path).", Kind: metrics.KindCounter},
+		{Name: "netstack_skbs_built_total", Help: "sk_buffs wrapped around ring buffers (build_skb path).", Kind: metrics.KindCounter},
+		{Name: "netstack_skbs_released_total", Help: "sk_buffs released.", Kind: metrics.KindCounter},
+		{Name: "netstack_rx_packets_total", Help: "Packets entering the stack from driver RX.", Kind: metrics.KindCounter},
+		{Name: "netstack_tx_packets_total", Help: "Packets transmitted.", Kind: metrics.KindCounter},
+		{Name: "netstack_forwarded_total", Help: "Packets routed out the egress port (§5.5).", Kind: metrics.KindCounter},
+		{Name: "netstack_gro_merged_total", Help: "Packets merged into GRO aggregates.", Kind: metrics.KindCounter},
+		{Name: "netstack_gro_flushed_total", Help: "GRO aggregates flushed up the stack.", Kind: metrics.KindCounter},
+		{Name: "netstack_frag_release_errors_total", Help: "page_frag releases that failed.", Kind: metrics.KindCounter},
+		{Name: "netstack_tx_timeouts_total", Help: "Transmit-completion watchdog expirations (§5.4).", Kind: metrics.KindCounter},
+		{Name: "netstack_nic_rx_ready", Help: "RX descriptors posted to hardware, per NIC.", Kind: metrics.KindGauge},
+		{Name: "netstack_nic_rx_ring_size", Help: "RX ring capacity, per NIC.", Kind: metrics.KindGauge},
+		{Name: "netstack_nic_tx_inflight", Help: "TX descriptors awaiting completion, per NIC.", Kind: metrics.KindGauge},
+	}
+}
+
+// Collect implements metrics.Source.
+func (ns *Stack) Collect(emit func(name string, s metrics.Sample)) {
+	st := ns.stats
+	emit("netstack_skbs_allocated_total", metrics.Sample{Value: float64(st.SKBsAllocated)})
+	emit("netstack_skbs_built_total", metrics.Sample{Value: float64(st.SKBsBuilt)})
+	emit("netstack_skbs_released_total", metrics.Sample{Value: float64(st.SKBsReleased)})
+	emit("netstack_rx_packets_total", metrics.Sample{Value: float64(st.RXPackets)})
+	emit("netstack_tx_packets_total", metrics.Sample{Value: float64(st.TXPackets)})
+	emit("netstack_forwarded_total", metrics.Sample{Value: float64(st.Forwarded)})
+	emit("netstack_gro_merged_total", metrics.Sample{Value: float64(st.GROMerged)})
+	emit("netstack_gro_flushed_total", metrics.Sample{Value: float64(st.GROFlushed)})
+	emit("netstack_frag_release_errors_total", metrics.Sample{Value: float64(st.FragReleaseErrors)})
+	emit("netstack_tx_timeouts_total", metrics.Sample{Value: float64(st.TXTimeouts)})
+	for _, n := range ns.nics {
+		labels := []metrics.Label{
+			{Key: "dev", Value: strconv.Itoa(int(n.Dev))},
+			{Key: "driver", Value: n.Model.Name},
+		}
+		ready := 0
+		for i := range n.rx {
+			if n.rx[i].Ready {
+				ready++
+			}
+		}
+		inflight := 0
+		for i := range n.tx {
+			if !n.tx[i].Completed {
+				inflight++
+			}
+		}
+		emit("netstack_nic_rx_ready", metrics.Sample{Labels: labels, Value: float64(ready)})
+		emit("netstack_nic_rx_ring_size", metrics.Sample{Labels: labels, Value: float64(len(n.rx))})
+		emit("netstack_nic_tx_inflight", metrics.Sample{Labels: labels, Value: float64(inflight)})
+	}
+}

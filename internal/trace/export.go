@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dmafault/internal/metrics"
+	"dmafault/internal/sim"
+)
+
+// JSONL export: one structured event per line, so forensic traces can be
+// shipped to a collector instead of only pretty-printed. The encoding is
+// lossless — ReadJSONL(WriteJSONL(events)) returns the same events — and
+// snake_case, matching the repo's wire-format convention.
+
+// jsonEvent is the wire form of one Event.
+type jsonEvent struct {
+	TNanos uint64 `json:"t_nanos"`
+	Kind   string `json:"kind"`
+	Dev    uint16 `json:"dev"`
+	Addr   uint64 `json:"addr"`
+	Aux    uint64 `json:"aux"`
+	Note   string `json:"note,omitempty"`
+}
+
+// kindNames maps every Kind to its stable wire name (the String() form).
+var kindNames = map[string]Kind{}
+
+func init() {
+	for k := EvDMAMap; k <= EvEscalation; k++ {
+		kindNames[k.String()] = k
+	}
+}
+
+// WriteJSONL writes the retained events, oldest first, one JSON object per
+// line.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, l.Events())
+}
+
+// WriteJSONL encodes events as JSON lines.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(jsonEvent{
+			TNanos: uint64(e.T), Kind: e.Kind.String(),
+			Dev: e.Dev, Addr: e.Addr, Aux: e.Aux, Note: e.Note,
+		}); err != nil {
+			return fmt.Errorf("trace: encode event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL event stream written by WriteJSONL. Unknown
+// kinds and malformed lines are errors — a shipped trace must not silently
+// lose records.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode event %d: %w", len(out), err)
+		}
+		k, ok := kindNames[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: event %d: unknown kind %q", len(out), je.Kind)
+		}
+		out = append(out, Event{
+			T: sim.Nanos(je.TNanos), Kind: k,
+			Dev: je.Dev, Addr: je.Addr, Aux: je.Aux, Note: je.Note,
+		})
+	}
+}
+
+// Log implements metrics.Source: the forensic ring's retention counters.
+
+// Describe implements metrics.Source.
+func (l *Log) Describe() []metrics.Desc {
+	return []metrics.Desc{
+		{Name: "trace_events_retained", Help: "Events currently held in the forensic ring.", Kind: metrics.KindGauge},
+		{Name: "trace_events_dropped_total", Help: "Events shed by ring wraparound.", Kind: metrics.KindCounter},
+	}
+}
+
+// Collect implements metrics.Source.
+func (l *Log) Collect(emit func(name string, s metrics.Sample)) {
+	emit("trace_events_retained", metrics.Sample{Value: float64(l.count)})
+	emit("trace_events_dropped_total", metrics.Sample{Value: float64(l.Dropped)})
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dmafault/internal/metrics"
+	"dmafault/internal/sim"
+)
+
+// TestWraparoundDropAccuracy drives the ring far past capacity and checks
+// the retained window and the drop counter agree exactly.
+func TestWraparoundDropAccuracy(t *testing.T) {
+	clk := sim.NewClock()
+	const capacity, total = 16, 1000
+	l := NewLog(clk, capacity)
+	for i := 0; i < total; i++ {
+		clk.Advance(1)
+		l.Append(EvDeviceWrite, 1, uint64(i), uint64(i), "")
+	}
+	evs := l.Events()
+	if len(evs) != capacity {
+		t.Fatalf("retained %d events, want %d", len(evs), capacity)
+	}
+	if l.Dropped != total-capacity {
+		t.Fatalf("Dropped = %d, want %d", l.Dropped, total-capacity)
+	}
+	for i, e := range evs {
+		if want := uint64(total - capacity + i); e.Addr != want {
+			t.Fatalf("event %d has addr %d, want %d (window misaligned)", i, e.Addr, want)
+		}
+	}
+	// Metrics view agrees with the ring.
+	got := map[string]float64{}
+	l.Collect(func(name string, s metrics.Sample) { got[name] = s.Value })
+	if got["trace_events_retained"] != capacity {
+		t.Errorf("trace_events_retained = %v, want %d", got["trace_events_retained"], capacity)
+	}
+	if got["trace_events_dropped_total"] != total-capacity {
+		t.Errorf("trace_events_dropped_total = %v, want %d", got["trace_events_dropped_total"], total-capacity)
+	}
+}
+
+func TestJSONLRoundTripLossless(t *testing.T) {
+	clk := sim.NewClock()
+	l := NewLog(clk, 8)
+	notes := []string{"", "FAULTED", "into kernel text", `quote " and \ backslash`, "日本語"}
+	for i := 0; i < 5; i++ {
+		clk.Advance(sim.Millisecond)
+		l.Append(Kind(i%int(EvEscalation+1)), uint16(i), 0xffff_8880_0000_0000+uint64(i), uint64(i)*7, notes[i%len(notes)])
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 5 {
+		t.Fatalf("JSONL has %d lines, want 5:\n%s", got, buf.String())
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := l.Events()
+	if len(back) != len(orig) {
+		t.Fatalf("round trip returned %d events, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Errorf("event %d changed: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestJSONLRoundTripAfterWraparound(t *testing.T) {
+	clk := sim.NewClock()
+	l := NewLog(clk, 4)
+	for i := 0; i < 10; i++ {
+		clk.Advance(1)
+		l.Append(EvDMAUnmap, 2, uint64(i), 0, "wrap")
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 || back[0].Addr != 6 || back[3].Addr != 9 {
+		t.Errorf("exported window wrong: %+v", back)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"t_nanos":1,"kind":"warp","dev":0,"addr":0,"aux":0}` + "\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestLargeAddressesSurviveJSONL(t *testing.T) {
+	// KVAs exceed 2^53; the wire format must not round through float64.
+	clk := sim.NewClock()
+	l := NewLog(clk, 2)
+	const kva = uint64(0xffff_ffff_ffff_fff1)
+	l.Append(EvDMAMap, 1, kva, kva-2, "")
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Addr != kva || back[0].Aux != kva-2 {
+		t.Errorf("precision lost: %#x / %#x", back[0].Addr, back[0].Aux)
+	}
+}
