@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test race bench campaign
+.PHONY: check fmt build vet test race bench campaign faultsmoke
 
-check: fmt vet build race
+check: fmt vet build race faultsmoke
 
 # gofmt gate: fail listing any file that needs formatting.
 fmt:
@@ -32,3 +32,10 @@ bench:
 # A quick §6-shaped mixed campaign; see EXPERIMENTS.md for the full runs.
 campaign:
 	$(GO) run ./cmd/campaign -preset mixed -n 24 -quiet
+
+# Fault-injection smoke: a short mixed campaign with DMA corruption, allocator
+# pressure, and scenario panics armed — proves the hardened execution layer
+# (injection hooks, retries, panic isolation) end to end on every `make check`.
+faultsmoke:
+	$(GO) run ./cmd/campaign -preset mixed -n 8 -quiet \
+		-fault "dma-corrupt:0.01,alloc-fail:0.002,scenario-panic:0.1" >/dev/null

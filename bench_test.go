@@ -10,6 +10,7 @@ package dmafault
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"dmafault/internal/attacks"
@@ -285,6 +286,48 @@ func BenchmarkCampaignMetricsOverhead(b *testing.B) {
 				}
 				if !arm.skip && sum.Metrics.Total("iommu_maps_total") == 0 {
 					b.Fatal("metrics arm captured nothing")
+				}
+			}
+			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
+	}
+}
+
+// BenchmarkCampaignHardeningOverhead measures what the hardened execution
+// layer costs on a clean (no injected faults) campaign: the panic-isolation
+// goroutine per attempt, the context plumbing, the nil-injector checks on
+// every DMA write / translation / refill / allocation, and optionally the
+// JSONL journal append per scenario. The acceptance budget is <5% vs the
+// pre-hardening engine — the guards are a goroutine spawn and a handful of
+// nil checks per scenario, and the journal is one buffered write. Numbers
+// are recorded in EXPERIMENTS.md.
+func BenchmarkCampaignHardeningOverhead(b *testing.B) {
+	set := campaign.MixedPreset(8, 2021)
+	for _, arm := range []struct {
+		name    string
+		journal bool
+	}{{"journal=off", false}, {"journal=on", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				eng := campaign.Engine{Workers: 4}
+				if arm.journal {
+					j, err := campaign.OpenJournal(
+						filepath.Join(dir, fmt.Sprintf("bench-%d.jsonl", i)), set, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng.Journal = j
+				}
+				sum, err := eng.Run(set)
+				if eng.Journal != nil {
+					eng.Journal.Close()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Scenarios != len(set) {
+					b.Fatalf("ran %d scenarios, want %d", sum.Scenarios, len(set))
 				}
 			}
 			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")

@@ -11,6 +11,9 @@
 //	campaign -preset ladder -n 16 -json       # Fig. 7 matrix as a campaign
 //	campaign -preset fuzz -n 64 -save set.json  # generate, save, and run
 //	campaign -scenarios set.json -workers 4   # re-run a saved set
+//	campaign -fault "dma-corrupt:0.01" -n 16  # inject faults into every boot
+//	campaign -journal run.jsonl ...           # record completed scenarios
+//	campaign -journal run.jsonl -resume ...   # skip scenarios already done
 //	campaign -list                            # available presets and kinds
 package main
 
@@ -24,6 +27,7 @@ import (
 
 	"dmafault/internal/campaign"
 	"dmafault/internal/cliutil"
+	"dmafault/internal/faultinject"
 	"dmafault/internal/par"
 )
 
@@ -33,6 +37,9 @@ func main() {
 	scenarioFile := flag.String("scenarios", "", "load scenario set from JSON instead of generating")
 	save := flag.String("save", "", "write the scenario set to this JSON file before running")
 	list := flag.Bool("list", false, "list presets and scenario kinds, then exit")
+	faultSpec := flag.String("fault", "", "fault-injection spec applied to scenarios without their own (e.g. \"dma-corrupt:0.01,alloc-fail@3\")")
+	journalPath := flag.String("journal", "", "record completed scenarios to this JSONL journal")
+	resume := flag.Bool("resume", false, "with -journal: skip scenarios the journal already records and append new ones")
 	cf := cliutil.New("campaign").WithSeed().WithWorkers().WithJSON().WithOut().WithQuiet()
 	cf.Parse()
 	seed, workers, jsonOut, quiet := cf.Seed, cf.Workers, cf.JSON, cf.Quiet
@@ -61,6 +68,16 @@ func main() {
 		}
 		scenarios = gen(*n, *seed)
 	}
+	if *faultSpec != "" {
+		if _, err := faultinject.ParseSpec(*faultSpec); err != nil {
+			cf.Fatal(err)
+		}
+		for i := range scenarios {
+			if scenarios[i].FaultSpec == "" {
+				scenarios[i].FaultSpec = *faultSpec
+			}
+		}
+	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
@@ -73,9 +90,32 @@ func main() {
 			cf.Fatal(err)
 		}
 	}
+	if *resume && *journalPath == "" {
+		cf.Fatal(fmt.Errorf("-resume requires -journal"))
+	}
 
 	eng := campaign.Engine{Workers: *workers}
+	if *journalPath != "" {
+		if *resume {
+			restored, err := campaign.LoadJournal(*journalPath, scenarios)
+			if err != nil {
+				cf.Fatal(err)
+			}
+			eng.Completed = restored
+			if !*quiet && len(restored) > 0 {
+				fmt.Fprintf(os.Stderr, "campaign: resumed %d/%d scenarios from %s\n",
+					len(restored), len(scenarios), *journalPath)
+			}
+		}
+		j, err := campaign.OpenJournal(*journalPath, scenarios, *resume)
+		if err != nil {
+			cf.Fatal(err)
+		}
+		defer j.Close()
+		eng.Journal = j
+	}
 	var done atomic.Int64
+	done.Store(int64(len(eng.Completed)))
 	if !*quiet {
 		total := len(scenarios)
 		eng.OnResult = func(i int, r *campaign.Result) {
@@ -85,6 +125,9 @@ func main() {
 				status = "ERR"
 			} else if !r.Success {
 				status = "miss"
+			}
+			if r.Outcome != "" {
+				status = r.Outcome
 			}
 			fmt.Fprintf(os.Stderr, "[%4d/%d] %-40s %s\n", d, total, r.ID, status)
 		}

@@ -1,23 +1,32 @@
 // Command dmafaultd serves the campaign engine over HTTP: submit scenario
-// sets as jobs, poll their progress, and scrape the unified metric surface
-// in Prometheus text format.
+// sets as jobs, poll their progress, cancel them, and scrape the unified
+// metric surface in Prometheus text format. SIGTERM/SIGINT trigger a
+// graceful shutdown: the listener closes, running jobs drain (cancelled if
+// the -shutdown-timeout expires first), and journals are flushed.
 //
 // Usage:
 //
 //	dmafaultd                     # listen on :8077
-//	dmafaultd -addr 127.0.0.1:9000 -workers 8
+//	dmafaultd -addr 127.0.0.1:9000 -workers 8 -journal-dir /var/lib/dmafaultd
 //
 //	curl -s localhost:8077/healthz
 //	curl -s -X POST localhost:8077/campaigns -d '{"preset":"ladder","n":8,"seed":2021}'
 //	curl -s localhost:8077/campaigns/1 | head
+//	curl -s -X DELETE localhost:8077/campaigns/1
 //	curl -s localhost:8077/metrics | grep iommu_
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dmafault/internal/cliutil"
 	"dmafault/internal/faultd"
@@ -25,15 +34,51 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second,
+		"on SIGTERM/SIGINT, how long to drain in-flight requests and jobs before cancelling them")
+	journalDir := flag.String("journal-dir", "",
+		"directory for per-job campaign journals (job-<id>.jsonl); empty disables journaling")
 	cf := cliutil.New("dmafaultd").WithWorkers().WithQuiet()
 	cf.Parse()
 
 	srv := faultd.NewServer()
 	srv.Workers = *cf.Workers
-	if !*cf.Quiet {
-		fmt.Fprintf(os.Stderr, "dmafaultd: listening on %s (POST /campaigns, GET /metrics, /healthz, /debug/pprof)\n", *addr)
-	}
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	srv.JournalDir = *journalDir
+
+	// Bind before announcing: "listening on" is only printed once the
+	// listener actually exists, and a bind failure exits nonzero.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		cf.Fatal(err)
 	}
+	if !*cf.Quiet {
+		fmt.Fprintf(os.Stderr, "dmafaultd: listening on %s (POST /campaigns, GET /metrics, /healthz, /debug/pprof)\n", ln.Addr())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		<-sig
+		if !*cf.Quiet {
+			fmt.Fprintf(os.Stderr, "dmafaultd: shutting down (draining up to %s)\n", *shutdownTimeout)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		// Stop accepting, finish in-flight requests, then drain (or cancel)
+		// running jobs so their journals record every completed scenario.
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dmafaultd: shutdown: %v\n", err)
+		}
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dmafaultd: drain: cancelled remaining jobs (%v)\n", err)
+		}
+	}()
+
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cf.Fatal(err)
+	}
+	<-idle
 }

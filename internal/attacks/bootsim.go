@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dmafault/internal/core"
+	"dmafault/internal/faultinject"
 	"dmafault/internal/iommu"
 	"dmafault/internal/layout"
 	"dmafault/internal/netstack"
@@ -64,16 +65,35 @@ type BootRecord struct {
 	CoveredPages int
 }
 
+// BootOptions bundles the knobs of a single simulated boot. The zero value
+// matches BootOnce's historical defaults except JitterPages (0 means no
+// drift; pass BootJitterPages for the classic study amplitude).
+type BootOptions struct {
+	// MemBytes is the simulated physical memory size (0 auto-sizes to the
+	// ring footprint).
+	MemBytes uint64
+	// JitterPages is the early-boot allocation drift amplitude (D5 knob).
+	JitterPages int
+	// Queues is the RX ring count (0 means 1).
+	Queues int
+	// FaultPlan, when non-nil, boots the machine with deterministic fault
+	// injection armed (internal/faultinject) — DMA corruption, IOMMU
+	// stalls, RX descriptor loss, and allocator pressure all become
+	// possible, and errors from injected allocator pressure wrap
+	// faultinject.ErrTransient so campaign retry can classify them.
+	FaultPlan *faultinject.Plan
+}
+
 // BootOnce boots a machine with the version's driver and returns both the
 // system (for attack continuation) and the ring record.
 func BootOnce(version KernelVersion, seed int64, memBytes uint64) (*core.System, *netstack.NIC, *BootRecord, error) {
-	return BootOnceJitter(version, seed, memBytes, BootJitterPages)
+	return BootOnceOpts(version, seed, BootOptions{MemBytes: memBytes, JitterPages: BootJitterPages})
 }
 
 // BootOnceJitter is BootOnce with an explicit early-boot drift amplitude —
 // the D5 ablation knob: repeat probability is footprint vs drift.
 func BootOnceJitter(version KernelVersion, seed int64, memBytes uint64, jitterPages int) (*core.System, *netstack.NIC, *BootRecord, error) {
-	return BootOnceQueues(version, seed, memBytes, jitterPages, 1)
+	return BootOnceOpts(version, seed, BootOptions{MemBytes: memBytes, JitterPages: jitterPages})
 }
 
 // BootOnceQueues boots with `queues` RX rings (§5.2.2: one RX ring per core;
@@ -81,6 +101,13 @@ func BootOnceJitter(version KernelVersion, seed int64, memBytes uint64, jitterPa
 // because the footprint scales with the number of rings). The returned NIC
 // is queue 0; the record covers every queue.
 func BootOnceQueues(version KernelVersion, seed int64, memBytes uint64, jitterPages, queues int) (*core.System, *netstack.NIC, *BootRecord, error) {
+	return BootOnceOpts(version, seed, BootOptions{MemBytes: memBytes, JitterPages: jitterPages, Queues: queues})
+}
+
+// BootOnceOpts is the general boot: every knob explicit, including an
+// optional fault plan. All other BootOnce* variants delegate here.
+func BootOnceOpts(version KernelVersion, seed int64, o BootOptions) (*core.System, *netstack.NIC, *BootRecord, error) {
+	memBytes, jitterPages, queues := o.MemBytes, o.JitterPages, o.Queues
 	if queues <= 0 {
 		queues = 1
 	}
@@ -93,7 +120,7 @@ func BootOnceQueues(version KernelVersion, seed int64, memBytes uint64, jitterPa
 			memBytes *= 2
 		}
 	}
-	sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: iommu.Deferred, CPUs: maxInt(queues, 2), MemBytes: memBytes})
+	sys, err := core.NewSystem(core.Config{Seed: seed, KASLR: true, Mode: iommu.Deferred, CPUs: maxInt(queues, 2), MemBytes: memBytes, FaultPlan: o.FaultPlan})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -121,6 +148,11 @@ func BootOnceQueues(version KernelVersion, seed int64, memBytes uint64, jitterPa
 			first = nic
 		}
 		for _, d := range nic.RXRing() {
+			if !d.Ready {
+				// Injected RX descriptor loss leaves slots unposted; an
+				// empty descriptor has no frame to record.
+				continue
+			}
 			fp, _ := sys.Layout.KVAToPFN(d.Data)
 			lp, _ := sys.Layout.KVAToPFN(d.Data + layout.Addr(netstack.TruesizeFor(d.Cap)-1))
 			if _, ok := rec.BufStart[fp]; !ok {
@@ -180,15 +212,31 @@ func RunBootStudyJitter(version KernelVersion, trials int, seedBase int64, jitte
 // statistics are identical to the historical sequential loop at any worker
 // count.
 func RunBootStudyQueues(version KernelVersion, trials int, seedBase int64, jitterPages, queues int) (*BootStudy, error) {
+	return RunBootStudyOpts(version, trials, seedBase, BootOptions{JitterPages: jitterPages, Queues: queues})
+}
+
+// RunBootStudyOpts is the general study with every boot knob explicit — in
+// particular a fault plan, under which some boots may fail with transient
+// injected errors (surfaced with par's deterministic lowest-trial error).
+func RunBootStudyOpts(version KernelVersion, trials int, seedBase int64, o BootOptions) (*BootStudy, error) {
+	queues := o.Queues
+	if queues <= 0 {
+		queues = 1
+	}
 	st := &BootStudy{Version: version, Trials: trials, Queues: queues, Freq: make(map[layout.PFN]int)}
 	records, err := par.Map(trials, 0, func(i int) (*BootRecord, error) {
-		_, _, rec, err := BootOnceQueues(version, seedBase+int64(i), 0, jitterPages, queues)
+		_, _, rec, err := BootOnceOpts(version, seedBase+int64(i), o)
 		return rec, err
 	})
 	if err != nil {
 		return nil, err
 	}
 	reference := records[0]
+	if len(reference.BufStart) == 0 {
+		// Possible only under injected RX descriptor loss: the reference
+		// boot posted nothing, so there is no profile to build.
+		return nil, fmt.Errorf("attacks: reference boot posted no RX buffers")
+	}
 	st.FootprintPages = reference.CoveredPages
 	for _, rec := range records {
 		for p := range rec.BufStart {

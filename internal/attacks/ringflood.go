@@ -5,6 +5,7 @@ import (
 
 	"dmafault/internal/core"
 	"dmafault/internal/device"
+	"dmafault/internal/faultinject"
 	"dmafault/internal/iommu"
 	"dmafault/internal/kexec"
 	"dmafault/internal/layout"
@@ -124,8 +125,17 @@ func RunRingFlood(sys *core.System, nic *netstack.NIC, study *BootStudy) *Result
 // in attempt order, so the outcome is seed-identical to the historical
 // sequential loop at any worker count.
 func RingFloodCampaign(version KernelVersion, study *BootStudy, attempts int, seedBase int64) (hits int, results []*Result, err error) {
+	return RingFloodCampaignOpts(version, study, attempts, seedBase, nil)
+}
+
+// RingFloodCampaignOpts is RingFloodCampaign with an optional fault plan:
+// each attempted boot runs with injection armed, so the attack's success
+// rate can be measured under DMA corruption, IOMMU stalls, descriptor loss,
+// and allocator pressure. A nil plan is byte-identical to RingFloodCampaign.
+func RingFloodCampaignOpts(version KernelVersion, study *BootStudy, attempts int, seedBase int64, plan *faultinject.Plan) (hits int, results []*Result, err error) {
 	results, err = par.Map(attempts, 0, func(i int) (*Result, error) {
-		sys, nic, _, err := BootOnce(version, seedBase+int64(i), 0)
+		sys, nic, _, err := BootOnceOpts(version, seedBase+int64(i),
+			BootOptions{JitterPages: BootJitterPages, FaultPlan: plan})
 		if err != nil {
 			return nil, err
 		}

@@ -26,6 +26,13 @@ type Summary struct {
 	Scenarios int `json:"scenarios"`
 	Successes int `json:"successes"`
 	Errors    int `json:"errors"`
+	// Panics counts scenarios the engine isolated after a panic; Timeouts
+	// counts per-scenario deadline expiries; Retries totals the extra
+	// attempts spent on transient injected faults. All are omitted from the
+	// encoding when zero, so clean campaigns encode as before.
+	Panics   int `json:"panics,omitempty"`
+	Timeouts int `json:"timeouts,omitempty"`
+	Retries  int `json:"retries,omitempty"`
 	// Escalations is the total privilege escalations across all scenarios.
 	Escalations int `json:"escalations"`
 	// ByKind breaks the campaign down per scenario kind.
@@ -79,6 +86,13 @@ func Aggregate(results []*Result) *Summary {
 			ks.Errors++
 			s.Errors++
 		}
+		switch r.Outcome {
+		case OutcomePanic:
+			s.Panics++
+		case OutcomeTimeout:
+			s.Timeouts++
+		}
+		s.Retries += r.Retries
 		if r.Success {
 			ks.Successes++
 			s.Successes++
@@ -172,6 +186,10 @@ func (s *Summary) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign: %d scenarios, %d successes, %d errors, %d escalations\n",
 		s.Scenarios, s.Successes, s.Errors, s.Escalations)
+	if s.Panics > 0 || s.Timeouts > 0 || s.Retries > 0 {
+		fmt.Fprintf(&b, "hardening: %d panics isolated, %d deadline timeouts, %d transient-fault retries\n",
+			s.Panics, s.Timeouts, s.Retries)
+	}
 	kinds := make([]string, 0, len(s.ByKind))
 	for k := range s.ByKind {
 		kinds = append(kinds, string(k))

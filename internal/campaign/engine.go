@@ -1,15 +1,39 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
+	"regexp"
+	"runtime/debug"
+	"time"
 
 	"dmafault/internal/par"
+)
+
+// Retry policy defaults. Only failures wrapping faultinject.ErrTransient
+// (injected allocator pressure and friends) are retried; real scenario
+// errors fail fast.
+const (
+	// DefaultMaxRetries bounds extra attempts per transient-failing scenario.
+	DefaultMaxRetries = 3
+	// DefaultRetryBackoff is the wall-clock delay before the first retry;
+	// it doubles per attempt up to MaxRetryBackoff.
+	DefaultRetryBackoff = 2 * time.Millisecond
+	// MaxRetryBackoff caps the exponential backoff.
+	MaxRetryBackoff = 250 * time.Millisecond
 )
 
 // Engine shards scenarios across a worker pool. Each worker boots fully
 // isolated core.Systems, so shards are embarrassingly parallel; results are
 // written into index-addressed slots (par's contract) and aggregated in
 // input order, making the summary byte-identical at any worker count.
+//
+// The engine hardens execution per scenario: a panic becomes a structured
+// Result (Outcome "panic" with a sanitized stack) instead of a process
+// crash, a TimeoutMS deadline becomes Outcome "timeout", and failures
+// wrapping faultinject.ErrTransient are retried with capped exponential
+// backoff. None of this perturbs determinism — outcome classification and
+// retry decisions derive from the scenario's own seeded execution.
 type Engine struct {
 	// Workers is the pool size (<= 0: one per schedulable CPU).
 	Workers int
@@ -20,12 +44,32 @@ type Engine struct {
 	// without a registry and results carry no snapshot. This is the ablation
 	// arm of the metrics-overhead benchmark.
 	SkipMetrics bool
+	// MaxRetries bounds retries of transient injected failures per scenario
+	// (0 means DefaultMaxRetries; negative disables retry).
+	MaxRetries int
+	// RetryBackoff is the initial retry delay (0 means DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// Journal, if set, records each completed scenario as a durable JSONL
+	// line, enabling crash/kill resume (see OpenJournal). Cancelled
+	// scenarios are never journaled — on resume they re-execute.
+	Journal *Journal
+	// Completed seeds results for already-finished scenario indexes (from
+	// LoadJournal): those indexes are not re-executed, but their results
+	// still aggregate, so a resumed campaign's summary is byte-identical to
+	// an uninterrupted run's.
+	Completed map[int]*Result
 }
 
-// Run normalizes, validates, executes, and aggregates the scenario set.
-// Scenario execution failures land in the per-result Err field and the
-// summary's error tally; only an invalid spec aborts the run.
+// Run executes the scenario set without external cancellation.
 func (e Engine) Run(scenarios []Scenario) (*Summary, error) {
+	return e.RunCtx(context.Background(), scenarios)
+}
+
+// RunCtx normalizes, validates, executes, and aggregates the scenario set.
+// Scenario execution failures land in the per-result Err field and the
+// summary's error tally; only an invalid spec or ctx cancellation aborts
+// the run (already-claimed scenarios finish and are journaled first).
+func (e Engine) RunCtx(ctx context.Context, scenarios []Scenario) (*Summary, error) {
 	scs := make([]Scenario, len(scenarios))
 	copy(scs, scenarios)
 	for i := range scs {
@@ -38,10 +82,28 @@ func (e Engine) Run(scenarios []Scenario) (*Summary, error) {
 		}
 	}
 	results := make([]*Result, len(scs))
-	err := par.ForEach(len(scs), e.Workers, func(i int) error {
-		r, err := RunScenario(scs[i])
+	for i, r := range e.Completed {
+		if i >= 0 && i < len(results) {
+			results[i] = r
+		}
+	}
+	err := par.ForEachCtx(ctx, len(scs), e.Workers, func(ctx context.Context, i int) error {
+		if results[i] != nil {
+			return nil // restored from the journal
+		}
+		r, err := e.execute(ctx, scs[i])
 		if err != nil {
 			return err
+		}
+		if r == nil {
+			// Cancelled mid-attempt: leave the slot empty and unjournaled
+			// so a resume re-executes the scenario from scratch.
+			return nil
+		}
+		if e.Journal != nil {
+			if err := e.Journal.Record(i, r); err != nil {
+				return fmt.Errorf("journal: %w", err)
+			}
 		}
 		results[i] = r
 		if e.OnResult != nil {
@@ -53,4 +115,102 @@ func (e Engine) Run(scenarios []Scenario) (*Summary, error) {
 		return nil, err
 	}
 	return Aggregate(results), nil
+}
+
+// execute runs one scenario through the guarded attempt loop, retrying
+// transient injected failures with capped exponential backoff. A nil result
+// (no error) means the context fired mid-attempt.
+func (e Engine) execute(ctx context.Context, s Scenario) (*Result, error) {
+	maxRetries := e.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := e.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	var r *Result
+	for attempt := 0; ; attempt++ {
+		nr, err := e.guarded(ctx, s, attempt)
+		if err != nil || nr == nil {
+			return nil, err
+		}
+		nr.Retries = attempt
+		r = nr
+		if !(r.transient && attempt < maxRetries) {
+			return r, nil
+		}
+		select {
+		case <-ctx.Done():
+			// The last attempt's result is real and completed: keep it.
+			return r, nil
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > MaxRetryBackoff {
+			backoff = MaxRetryBackoff
+		}
+	}
+}
+
+// guarded runs one attempt in its own goroutine so a panic is contained and
+// a TimeoutMS deadline can abandon it. A panicking attempt yields a Result
+// with Outcome "panic" and a sanitized stack; an expired deadline yields
+// Outcome "timeout" (the abandoned goroutine drains into a buffered
+// channel). A nil result (no error) means ctx fired first.
+func (e Engine) guarded(ctx context.Context, s Scenario, attempt int) (*Result, error) {
+	type outcome struct {
+		r   *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.Normalize(0)
+				r := s.newResult()
+				r.Outcome = OutcomePanic
+				r.Err = fmt.Sprintf("panic: %v", p)
+				r.Stack = sanitizeStack(debug.Stack())
+				done <- outcome{r: r}
+			}
+		}()
+		r, err := runAttempt(ctx, s, attempt)
+		done <- outcome{r: r, err: err}
+	}()
+	var timeout <-chan time.Time
+	if s.TimeoutMS > 0 {
+		t := time.NewTimer(time.Duration(s.TimeoutMS) * time.Millisecond)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case o := <-done:
+		return o.r, o.err
+	case <-timeout:
+		s.Normalize(0)
+		r := s.newResult()
+		r.Outcome = OutcomeTimeout
+		r.Err = fmt.Sprintf("campaign: scenario exceeded %dms deadline", s.TimeoutMS)
+		return r, nil
+	case <-ctx.Done():
+		return nil, nil
+	}
+}
+
+// Stack traces vary by address-space layout and goroutine numbering, never
+// by scenario content; normalizing both keeps panic results byte-identical
+// across runs and worker counts.
+var (
+	stackGoroutineRE   = regexp.MustCompile(`(?m)^goroutine \d+ .*$`)
+	stackInGoroutineRE = regexp.MustCompile(`in goroutine \d+`)
+	stackHexRE         = regexp.MustCompile(`0x[0-9a-f]+`)
+)
+
+func sanitizeStack(stack []byte) string {
+	s := stackGoroutineRE.ReplaceAllString(string(stack), "goroutine N [running]:")
+	s = stackInGoroutineRE.ReplaceAllString(s, "in goroutine N")
+	return stackHexRE.ReplaceAllString(s, "0x?")
 }

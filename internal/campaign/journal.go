@@ -1,0 +1,195 @@
+package campaign
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Campaign journal: a JSONL file recording each completed scenario so a
+// killed campaign can resume without re-executing finished work. Line 1 is
+// a header binding the journal to its scenario set (a hash over the
+// normalized specs — resuming against a different set is an error); every
+// further line is one {index, result} record, appended atomically under a
+// mutex in whatever order workers finish. Because results are deterministic
+// per scenario, replay order never matters: LoadJournal keys records by
+// index, and a resumed run's summary is byte-identical to an uninterrupted
+// run's. A torn final line (the crash case) is tolerated on read and
+// truncated away on resume-for-append.
+
+// journalVersion gates the on-disk format.
+const journalVersion = 1
+
+type journalHeader struct {
+	V         int    `json:"v"`
+	Scenarios int    `json:"scenarios"`
+	Hash      string `json:"hash"`
+}
+
+type journalRecord struct {
+	Index  int     `json:"index"`
+	Result *Result `json:"result"`
+}
+
+// scenarioSetHash fingerprints the normalized scenario set so a journal can
+// only resume the campaign it was written for.
+func scenarioSetHash(scs []Scenario) string {
+	norm := make([]Scenario, len(scs))
+	copy(norm, scs)
+	for i := range norm {
+		norm[i].Normalize(i)
+	}
+	data, err := json.Marshal(norm)
+	if err != nil {
+		// Scenario is a plain struct of scalars; Marshal cannot fail.
+		panic("campaign: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Journal appends completed-scenario records to an open JSONL file.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal creates (resume=false) or reopens (resume=true) the journal
+// at path for the given scenario set. A fresh open truncates and writes the
+// header; a resume validates the header against the set, truncates any torn
+// final line, and positions for append. Resuming a path that does not exist
+// falls back to a fresh journal, so `--resume` on a first run just works.
+func OpenJournal(path string, scs []Scenario, resume bool) (*Journal, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			return reopenJournal(path, scs)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("campaign: journal: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	hdr, err := json.Marshal(journalHeader{V: journalVersion, Scenarios: len(scs), Hash: scenarioSetHash(scs)})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// reopenJournal validates an existing journal and prepares it for append,
+// truncating a torn tail left by a crash.
+func reopenJournal(path string, scs []Scenario) (*Journal, error) {
+	_, good, err := readJournal(path, scs)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Record appends one completed scenario. Each record is marshalled to a
+// single line and written with one Write call under the journal mutex, so
+// concurrent workers never interleave bytes.
+func (j *Journal) Record(index int, r *Result) error {
+	line, err := json.Marshal(journalRecord{Index: index, Result: r})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(line, '\n'))
+	return err
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// LoadJournal reads the completed-scenario records of a previous run,
+// validated against the scenario set, keyed by index — the value for
+// Engine.Completed. A missing file yields an empty map (nothing restored);
+// a torn final line is ignored.
+func LoadJournal(path string, scs []Scenario) (map[int]*Result, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return map[int]*Result{}, nil
+	}
+	restored, _, err := readJournal(path, scs)
+	return restored, err
+}
+
+// readJournal parses the journal, returning the restored results and the
+// byte offset just past the last intact line. Parsing stops (without error)
+// at the first torn or unparseable line — the expected shape of a crash
+// mid-append; header mismatches and out-of-range indexes are real errors.
+func readJournal(path string, scs []Scenario) (map[int]*Result, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: journal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var offset int64
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: journal %s: missing header", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, 0, fmt.Errorf("campaign: journal %s: bad header: %w", path, err)
+	}
+	if hdr.V != journalVersion {
+		return nil, 0, fmt.Errorf("campaign: journal %s: version %d, want %d", path, hdr.V, journalVersion)
+	}
+	if hdr.Scenarios != len(scs) {
+		return nil, 0, fmt.Errorf("campaign: journal %s: %d scenarios, campaign has %d", path, hdr.Scenarios, len(scs))
+	}
+	if want := scenarioSetHash(scs); hdr.Hash != want {
+		return nil, 0, fmt.Errorf("campaign: journal %s: scenario set hash %s, campaign is %s", path, hdr.Hash, want)
+	}
+	offset += int64(len(line))
+	restored := map[int]*Result{}
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// EOF without newline: a torn tail from a crash — drop it.
+			break
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Result == nil {
+			// Corrupt line: treat it and everything after as torn.
+			break
+		}
+		if rec.Index < 0 || rec.Index >= len(scs) {
+			return nil, 0, fmt.Errorf("campaign: journal %s: record index %d out of range", path, rec.Index)
+		}
+		restored[rec.Index] = rec.Result
+		offset += int64(len(line))
+	}
+	return restored, offset, nil
+}

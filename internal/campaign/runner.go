@@ -1,11 +1,15 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"dmafault/internal/attacks"
 	"dmafault/internal/core"
 	"dmafault/internal/dkasan"
+	"dmafault/internal/faultinject"
 	"dmafault/internal/iommu"
 	"dmafault/internal/metrics"
 	"dmafault/internal/netstack"
@@ -48,7 +52,31 @@ type Result struct {
 	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
 	// Err records a scenario-level failure; the campaign keeps going.
 	Err string `json:"err,omitempty"`
+	// Outcome classifies abnormal terminations the engine isolated:
+	// OutcomePanic, OutcomeTimeout, or empty for a scenario that ran to
+	// completion (successfully or not).
+	Outcome string `json:"outcome,omitempty"`
+	// Stack is the sanitized goroutine stack of a panicking scenario
+	// (addresses and goroutine IDs normalized so equal campaigns stay
+	// byte-identical at any worker count).
+	Stack string `json:"stack,omitempty"`
+	// Retries counts the extra attempts the engine spent on transient
+	// injected faults before producing this result.
+	Retries int `json:"retries,omitempty"`
+
+	// transient marks Err as wrapping faultinject.ErrTransient — the class
+	// of failure the engine's retry loop re-attempts.
+	transient bool
 }
+
+// Abnormal-termination outcomes the engine records in Result.Outcome.
+const (
+	// OutcomePanic: the scenario panicked; the engine isolated it and kept
+	// the campaign alive. Result.Stack holds the sanitized trace.
+	OutcomePanic = "panic"
+	// OutcomeTimeout: the scenario's TimeoutMS deadline expired.
+	OutcomeTimeout = "timeout"
+)
 
 // captureMetrics gathers the system registry into the result. A gather
 // failure is a Source contract bug; it surfaces as a scenario error.
@@ -75,34 +103,66 @@ func (s *Scenario) newResult() *Result {
 // captured in Result.Err (a campaign run survives individual failures);
 // only an invalid spec returns a Go error.
 func RunScenario(s Scenario) (*Result, error) {
+	return runAttempt(context.Background(), s, 0)
+}
+
+// scenarioStallWall is the wall-clock hang an injected ScenarioStall fault
+// simulates — long enough that any realistic TimeoutMS deadline fires first,
+// short enough that undeadlined campaigns still make progress.
+const scenarioStallWall = 250 * time.Millisecond
+
+// runAttempt is one execution attempt: the attempt number salts the fault
+// plan so retries re-roll rate-based injection decisions. Control-flow
+// faults (scenario-panic, scenario-stall) fire here from a scenario-scoped
+// injector before any machine boots; substrate faults arm the boots via the
+// plan. Errors wrapping faultinject.ErrTransient mark the result transient
+// for the engine's retry loop.
+func runAttempt(ctx context.Context, s Scenario, attempt int) (*Result, error) {
 	s.Normalize(0)
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	plan, err := s.faultPlan(attempt)
+	if err != nil {
+		return nil, err
+	}
 	r := s.newResult()
-	var err error
+	if inj := faultinject.New(plan, s.Seed); inj != nil {
+		if inj.Fire(faultinject.ScenarioPanic) {
+			panic(fmt.Sprintf("faultinject: injected scenario panic (%s)", s.ID))
+		}
+		if inj.Fire(faultinject.ScenarioStall) {
+			select {
+			case <-ctx.Done():
+			case <-time.After(scenarioStallWall):
+			}
+		}
+	}
+	var runErr error
 	switch s.Kind {
 	case KindBootStudy:
-		err = runBootStudy(&s, r)
+		runErr = runBootStudy(&s, r, plan)
 	case KindRingFlood:
-		err = runRingFlood(&s, r)
+		runErr = runRingFlood(&s, r, plan)
 	case KindPoisonedTX, KindForwardThinking:
-		err = runSingleBootAttack(&s, r)
+		runErr = runSingleBootAttack(&s, r, plan)
 	case KindWindowLadder:
-		err = runWindowLadder(&s, r)
+		runErr = runWindowLadder(&s, r, plan)
 	case KindDKASAN:
-		err = runDKASAN(&s, r)
+		runErr = runDKASAN(&s, r, plan)
 	}
-	if err != nil {
-		r.Err = err.Error()
+	if runErr != nil {
+		r.Err = runErr.Error()
+		r.transient = errors.Is(runErr, faultinject.ErrTransient)
 	}
 	return r, nil
 }
 
 // runBootStudy reproduces the §5.3 statistics for the scenario's cell.
-func runBootStudy(s *Scenario, r *Result) error {
+func runBootStudy(s *Scenario, r *Result, plan *faultinject.Plan) error {
 	version, _ := s.kernelVersion()
-	st, err := attacks.RunBootStudyQueues(version, s.Trials, s.Seed, s.jitter(), s.Queues)
+	st, err := attacks.RunBootStudyOpts(version, s.Trials, s.Seed,
+		attacks.BootOptions{JitterPages: s.jitter(), Queues: s.Queues, FaultPlan: plan})
 	if err != nil {
 		return err
 	}
@@ -116,15 +176,17 @@ func runBootStudy(s *Scenario, r *Result) error {
 	return nil
 }
 
-// runRingFlood profiles offline, then attacks fresh boots (§5.3).
-func runRingFlood(s *Scenario, r *Result) error {
+// runRingFlood profiles offline, then attacks fresh boots (§5.3). The
+// profiling study runs clean — it models the attacker's own machine — while
+// the attacked victim boots carry the scenario's fault plan.
+func runRingFlood(s *Scenario, r *Result, plan *faultinject.Plan) error {
 	version, _ := s.kernelVersion()
 	study, err := attacks.RunBootStudyQueues(version, s.Trials, s.Seed, s.jitter(), s.Queues)
 	if err != nil {
 		return err
 	}
 	// Attack boots draw unseen seeds, disjoint from the profiling range.
-	hits, results, err := attacks.RingFloodCampaign(version, study, s.Attempts, s.Seed+1_000_000)
+	hits, results, err := attacks.RingFloodCampaignOpts(version, study, s.Attempts, s.Seed+1_000_000, plan)
 	if err != nil {
 		return err
 	}
@@ -163,8 +225,8 @@ func runRingFlood(s *Scenario, r *Result) error {
 
 // bootAttackSystem boots a single-NIC system per the scenario spec with the
 // forensic trace ring attached.
-func (s *Scenario) bootAttackSystem() (*core.System, *netstack.NIC, func(*Result), error) {
-	opts, err := s.options()
+func (s *Scenario) bootAttackSystem(plan *faultinject.Plan) (*core.System, *netstack.NIC, func(*Result), error) {
+	opts, err := s.options(plan)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -187,12 +249,12 @@ func (s *Scenario) bootAttackSystem() (*core.System, *netstack.NIC, func(*Result
 }
 
 // runSingleBootAttack covers Poisoned TX (§5.4) and Forward Thinking (§5.5).
-func runSingleBootAttack(s *Scenario, r *Result) error {
+func runSingleBootAttack(s *Scenario, r *Result, plan *faultinject.Plan) error {
 	if s.Kind == KindForwardThinking {
 		// §5.5 has no story without the forwarding path.
 		s.Forwarding = true
 	}
-	sys, nic, finish, err := s.bootAttackSystem()
+	sys, nic, finish, err := s.bootAttackSystem(plan)
 	if err != nil {
 		return err
 	}
@@ -213,8 +275,8 @@ func runSingleBootAttack(s *Scenario, r *Result) error {
 
 // runWindowLadder probes which Fig. 7 path is open under the scenario's
 // driver ordering and IOMMU mode.
-func runWindowLadder(s *Scenario, r *Result) error {
-	sys, nic, finish, err := s.bootAttackSystem()
+func runWindowLadder(s *Scenario, r *Result, plan *faultinject.Plan) error {
+	sys, nic, finish, err := s.bootAttackSystem(plan)
 	if err != nil {
 		return err
 	}
@@ -230,8 +292,8 @@ func runWindowLadder(s *Scenario, r *Result) error {
 }
 
 // runDKASAN boots with the sanitizer attached and tallies its reports.
-func runDKASAN(s *Scenario, r *Result) error {
-	opts, err := s.options()
+func runDKASAN(s *Scenario, r *Result, plan *faultinject.Plan) error {
+	opts, err := s.options(plan)
 	if err != nil {
 		return err
 	}

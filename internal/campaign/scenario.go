@@ -8,6 +8,7 @@ import (
 
 	"dmafault/internal/attacks"
 	"dmafault/internal/core"
+	"dmafault/internal/faultinject"
 	"dmafault/internal/iommu"
 	"dmafault/internal/netstack"
 )
@@ -97,6 +98,17 @@ type Scenario struct {
 	// on booted machines, no snapshot in the result) — the ablation knob of
 	// the overhead benchmark. Engine.SkipMetrics forces it campaign-wide.
 	SkipMetrics bool `json:"skip_metrics,omitempty"`
+
+	// --- hardening knobs ---
+
+	// FaultSpec arms deterministic fault injection for every machine the
+	// scenario boots, in faultinject.ParseSpec syntax (e.g.
+	// "dma-corrupt:0.01,alloc-fail@3"). Empty means a clean run.
+	FaultSpec string `json:"fault_spec,omitempty"`
+	// TimeoutMS is the wall-clock deadline for one execution attempt of the
+	// scenario; 0 means no deadline. On expiry the engine records a
+	// structured "timeout" outcome and moves on.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Defaults applied by Normalize.
@@ -139,7 +151,32 @@ func (s *Scenario) Validate() error {
 	if _, err := s.driverModel(); err != nil {
 		return err
 	}
+	if s.FaultSpec != "" {
+		if _, err := faultinject.ParseSpec(s.FaultSpec); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("campaign: negative timeout_ms %d", s.TimeoutMS)
+	}
 	return nil
+}
+
+// faultPlan compiles the FaultSpec into a plan for one execution attempt.
+// The plan seed is the scenario seed (equal scenarios inject identically);
+// the attempt number becomes the salt, so a retry re-rolls every rate-based
+// decision while point-based rules still fire at their fixed ordinals.
+func (s *Scenario) faultPlan(attempt int) (*faultinject.Plan, error) {
+	if s.FaultSpec == "" {
+		return nil, nil
+	}
+	plan, err := faultinject.ParseSpec(s.FaultSpec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	plan.Seed = s.Seed
+	plan.Salt = int64(attempt)
+	return plan, nil
 }
 
 // iommuMode parses the Mode knob.
@@ -193,8 +230,9 @@ func (s *Scenario) jitter() int {
 	return s.JitterPages
 }
 
-// options assembles the core.New options for single-boot kinds.
-func (s *Scenario) options() ([]core.Option, error) {
+// options assembles the core.New options for single-boot kinds; a non-nil
+// plan arms fault injection on the booted machine.
+func (s *Scenario) options(plan *faultinject.Plan) ([]core.Option, error) {
 	mode, err := s.iommuMode()
 	if err != nil {
 		return nil, err
@@ -218,6 +256,9 @@ func (s *Scenario) options() ([]core.Option, error) {
 	}
 	if s.SkipMetrics {
 		opts = append(opts, core.WithoutMetrics())
+	}
+	if plan != nil {
+		opts = append(opts, core.WithFaultPlan(plan))
 	}
 	return opts, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"dmafault/internal/faultinject"
 	"dmafault/internal/iommu"
 	"dmafault/internal/mem"
 )
@@ -75,4 +76,13 @@ func WithTracing(capacity int) Option {
 // overhead benchmark uses. System.Metrics is nil.
 func WithoutMetrics() Option {
 	return func(s *settings) { s.noMetrics = true }
+}
+
+// WithFaultPlan arms deterministic fault injection: every substrate hook
+// (DMA writes, IOMMU translations, RX refills, page allocations) consults
+// an injector compiled from the plan, scoped by the machine seed. A nil
+// plan boots clean; the injector's counters join the metrics registry so
+// injected-vs-detected counts appear in every snapshot.
+func WithFaultPlan(p *faultinject.Plan) Option {
+	return func(s *settings) { s.cfg.FaultPlan = p }
 }

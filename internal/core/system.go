@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"dmafault/internal/dma"
+	"dmafault/internal/faultinject"
 	"dmafault/internal/iommu"
 	"dmafault/internal/kexec"
 	"dmafault/internal/layout"
@@ -50,6 +51,9 @@ type Config struct {
 	OutOfLineSharedInfo bool
 	// Tracer, if set, observes allocator and CPU-access events (D-KASAN).
 	Tracer mem.Tracer
+	// FaultPlan, if set, arms deterministic fault injection across every
+	// substrate hook (see internal/faultinject); nil boots a clean machine.
+	FaultPlan *faultinject.Plan
 }
 
 // System is one simulated victim machine.
@@ -67,6 +71,10 @@ type System struct {
 	// registered (nil when booted WithoutMetrics). Gather it only while the
 	// machine is quiescent.
 	Metrics *metrics.Registry
+
+	// Inject is the machine's fault injector (nil unless booted with a
+	// FaultPlan). Its counters report opportunities vs injected faults.
+	Inject *faultinject.Injector
 
 	trace       *trace.Log
 	traceHooked bool
@@ -122,7 +130,17 @@ func boot(cfg Config) (*System, error) {
 		cfg.MemBytes = DefaultMemBytes
 	}
 	l := layout.New(layout.Config{KASLR: cfg.KASLR, Seed: cfg.Seed, PhysBytes: cfg.MemBytes})
-	m, err := mem.New(mem.Config{Layout: l, CPUs: cfg.CPUs, Tracer: cfg.Tracer})
+	// The injector is scoped by the machine seed: equal (plan, seed) pairs
+	// make identical decisions, keeping fault-injected boots deterministic.
+	// Fields are only assigned when the injector exists, so a nil plan
+	// leaves every hook interface nil (no typed-nil indirection on hot
+	// paths).
+	inj := faultinject.New(cfg.FaultPlan, cfg.Seed)
+	memCfg := mem.Config{Layout: l, CPUs: cfg.CPUs, Tracer: cfg.Tracer}
+	if inj != nil {
+		memCfg.Inject = inj
+	}
+	m, err := mem.New(memCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -130,16 +148,24 @@ func boot(cfg Config) (*System, error) {
 	unit := iommu.New(cfg.Mode, clk)
 	mapper := dma.NewMapper(m, unit)
 	kern := kexec.NewKernel(m, cfg.Seed)
-	ns, err := netstack.New(netstack.Config{
+	nsCfg := netstack.Config{
 		Mem: m, Mapper: mapper, Kernel: kern, Clock: clk,
 		Forwarding: cfg.Forwarding, OutOfLineSharedInfo: cfg.OutOfLineSharedInfo,
-	})
+	}
+	bus := dma.NewBus(m, unit)
+	if inj != nil {
+		unit.Inject = inj
+		bus.Inject = inj
+		nsCfg.Inject = inj
+	}
+	ns, err := netstack.New(nsCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &System{
 		Layout: l, Mem: m, Clock: clk, IOMMU: unit,
-		Mapper: mapper, Bus: dma.NewBus(m, unit), Kernel: kern, Net: ns,
+		Mapper: mapper, Bus: bus, Kernel: kern, Net: ns,
+		Inject: inj,
 	}, nil
 }
 
@@ -150,6 +176,12 @@ func (s *System) initMetrics() {
 	s.Metrics = metrics.NewRegistry()
 	s.Metrics.MustRegister(s.IOMMU, s.Mem, s.Net,
 		clockSource{s.Clock}, traceSource{s})
+	// Fault-injected machines additionally expose injected-vs-detected
+	// counters; clean boots omit the families entirely, keeping historical
+	// snapshots (and their golden files) byte-identical.
+	if s.Inject != nil {
+		s.Metrics.MustRegister(s.Inject)
+	}
 }
 
 // clockSource exposes the virtual clock as a gauge.

@@ -17,6 +17,18 @@ type Bus struct {
 	unit *iommu.IOMMU
 	// OnAccess, if set, observes every device access attempt (tracing).
 	OnAccess func(dev iommu.DeviceID, va iommu.IOVA, n int, write bool, err error)
+	// Inject, if set, is the fault-injection hook consulted before every
+	// device write: it may drop the write (a lost posted write — the bus
+	// reports success, as real hardware would) or corrupt the payload.
+	// internal/faultinject implements it.
+	Inject WriteInjector
+}
+
+// WriteInjector is the device-write fault-injection hook. It receives a
+// private copy of the payload, so corrupting buf in place never mutates the
+// caller's memory.
+type WriteInjector interface {
+	InjectDeviceWrite(dev iommu.DeviceID, va iommu.IOVA, buf []byte) (drop bool)
 }
 
 // NewBus builds the device access path.
@@ -38,6 +50,13 @@ func (b *Bus) Write(dev iommu.DeviceID, va iommu.IOVA, buf []byte) error {
 func (b *Bus) access(dev iommu.DeviceID, va iommu.IOVA, buf []byte, write bool) (err error) {
 	if b.OnAccess != nil {
 		defer func() { b.OnAccess(dev, va, len(buf), write, err) }()
+	}
+	if write && b.Inject != nil {
+		owned := append([]byte(nil), buf...)
+		if b.Inject.InjectDeviceWrite(dev, va, owned) {
+			return nil // posted write silently lost
+		}
+		buf = owned
 	}
 	done := uint64(0)
 	n := uint64(len(buf))

@@ -12,6 +12,7 @@
 //	                       document, or {"preset": ...}); returns the job ID
 //	GET  /campaigns        list jobs
 //	GET  /campaigns/{id}   job status: live progress, final aggregate
+//	DELETE /campaigns/{id} cancel a running job (202; 409 if finished)
 //	GET  /debug/pprof/...  runtime profiles
 //
 // Two metric planes coexist deliberately. Service-level counters are atomic
@@ -21,10 +22,13 @@
 package faultd
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -41,9 +45,10 @@ const MaxScenarios = 4096
 type JobStatus string
 
 const (
-	StatusRunning JobStatus = "running"
-	StatusDone    JobStatus = "done"
-	StatusFailed  JobStatus = "failed"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
 )
 
 // Job is one submitted campaign. Progress fields are updated by worker
@@ -59,6 +64,9 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Summary is the final aggregate (done jobs only).
 	Summary *campaign.Summary `json:"summary,omitempty"`
+
+	// cancel aborts the job's engine context (set while running).
+	cancel context.CancelFunc
 }
 
 // Request is the POST /campaigns body. Exactly one of Scenarios or Preset
@@ -83,6 +91,10 @@ type Server struct {
 	// responding — deterministic single-request behavior for tests and
 	// scripted use. Production keeps it false and polls.
 	Synchronous bool
+	// JournalDir, when set, gives every job a campaign journal at
+	// <dir>/job-<id>.jsonl, so completed scenarios of a killed daemon can be
+	// replayed by cmd/campaign --resume.
+	JournalDir string
 
 	mu     sync.Mutex
 	jobs   []*Job
@@ -94,6 +106,7 @@ type Server struct {
 	campaignsStarted   *metrics.Counter
 	campaignsDone      *metrics.Counter
 	campaignsFailed    *metrics.Counter
+	campaignsCancelled *metrics.Counter
 	scenariosCompleted *metrics.Counter
 	running            *metrics.Gauge
 }
@@ -107,11 +120,12 @@ func NewServer() *Server {
 		campaignsStarted:   metrics.NewCounter("faultd_campaigns_started_total", "Campaign jobs accepted."),
 		campaignsDone:      metrics.NewCounter("faultd_campaigns_completed_total", "Campaign jobs finished successfully."),
 		campaignsFailed:    metrics.NewCounter("faultd_campaigns_failed_total", "Campaign jobs aborted by an error."),
+		campaignsCancelled: metrics.NewCounter("faultd_campaigns_cancelled_total", "Campaign jobs cancelled by request or shutdown."),
 		scenariosCompleted: metrics.NewCounter("faultd_scenarios_completed_total", "Scenarios finished across all jobs."),
 		running:            metrics.NewGauge("faultd_campaigns_running", "Campaign jobs currently executing."),
 	}
 	s.reg.MustRegister(s.requests, s.campaignsStarted, s.campaignsDone,
-		s.campaignsFailed, s.scenariosCompleted, s.running)
+		s.campaignsFailed, s.campaignsCancelled, s.scenariosCompleted, s.running)
 	return s
 }
 
@@ -123,6 +137,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -137,6 +152,35 @@ func (s *Server) Handler() http.Handler {
 // Wait blocks until every accepted job has finished — test and shutdown
 // hygiene.
 func (s *Server) Wait() { s.wg.Wait() }
+
+// CancelAll aborts every running job's engine context. The jobs finish
+// their claimed scenarios, journal them, and publish StatusCancelled.
+func (s *Server) CancelAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.Status == StatusRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// Drain is graceful shutdown for the job plane: it waits for in-flight
+// jobs to complete; if ctx expires first it cancels the stragglers (which
+// then stop claiming scenarios, journal the ones they finished, and drain)
+// and waits for them to wind down, returning the ctx error.
+func (s *Server) Drain(ctx context.Context) error {
+	idle := make(chan struct{})
+	go func() { s.wg.Wait(); close(idle) }()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.CancelAll()
+		<-idle
+		return ctx.Err()
+	}
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -174,9 +218,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	job := &Job{ID: len(s.jobs) + 1, Name: req.Name,
-		Status: StatusRunning, ScenariosTotal: len(scs)}
+		Status: StatusRunning, ScenariosTotal: len(scs), cancel: cancel}
 	s.jobs = append(s.jobs, job)
 	s.mu.Unlock()
 	s.campaignsStarted.Inc()
@@ -185,7 +230,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	run := func() {
 		defer s.wg.Done()
 		defer s.running.Add(-1)
-		s.runJob(job, scs, req.Workers)
+		defer cancel()
+		s.runJob(ctx, job, scs, req.Workers)
 	}
 	if s.Synchronous {
 		run()
@@ -234,7 +280,7 @@ func resolveScenarios(req *Request) ([]campaign.Scenario, error) {
 }
 
 // runJob executes the campaign and publishes the outcome.
-func (s *Server) runJob(job *Job, scs []campaign.Scenario, workers int) {
+func (s *Server) runJob(ctx context.Context, job *Job, scs []campaign.Scenario, workers int) {
 	if workers <= 0 {
 		workers = s.Workers
 	}
@@ -247,9 +293,28 @@ func (s *Server) runJob(job *Job, scs []campaign.Scenario, workers int) {
 			s.mu.Unlock()
 		},
 	}
-	sum, err := eng.Run(scs)
+	if s.JournalDir != "" {
+		j, err := campaign.OpenJournal(filepath.Join(s.JournalDir, fmt.Sprintf("job-%d.jsonl", job.ID)), scs, false)
+		if err != nil {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			job.Status = StatusFailed
+			job.Error = err.Error()
+			s.campaignsFailed.Inc()
+			return
+		}
+		defer j.Close()
+		eng.Journal = j
+	}
+	sum, err := eng.RunCtx(ctx, scs)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if errors.Is(err, context.Canceled) {
+		job.Status = StatusCancelled
+		job.Error = "cancelled"
+		s.campaignsCancelled.Inc()
+		return
+	}
 	if err != nil {
 		job.Status = StatusFailed
 		job.Error = err.Error()
@@ -298,4 +363,36 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(&job)
+}
+
+// handleCancel aborts a running job. The response is 202 (the engine winds
+// down asynchronously: claimed scenarios finish and are journaled); polling
+// GET /campaigns/{id} shows "cancelled" when it has.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad job id", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if id < 1 || id > len(s.jobs) {
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("no job %d", id), http.StatusNotFound)
+		return
+	}
+	job := s.jobs[id-1]
+	if job.Status != StatusRunning {
+		status := job.Status
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("job %d is %s, not running", id, status), http.StatusConflict)
+		return
+	}
+	cancel := job.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]any{"id": id, "status": "cancelling"})
 }

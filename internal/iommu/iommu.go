@@ -126,6 +126,17 @@ type IOMMU struct {
 	// OnFault, if set, observes every blocked translation (tracing; a real
 	// IOMMU raises a fault interrupt the OS logs).
 	OnFault func(*Fault)
+	// Inject, if set, is the fault-injection hook consulted on every
+	// translation: it may stall the device (advancing the virtual clock,
+	// which can carry a deferred-flush deadline past its window) or force a
+	// spurious not-present fault. internal/faultinject implements it; the
+	// interface lives here so this package stays dependency-free.
+	Inject Injector
+}
+
+// Injector is the translation-time fault-injection hook.
+type Injector interface {
+	InjectTranslate(dev DeviceID, v IOVA, write bool) (stall sim.Nanos, spurious bool)
 }
 
 // New builds an IOMMU in the given mode using the shared virtual clock.
@@ -326,6 +337,18 @@ func (u *IOMMU) Translate(dev DeviceID, v IOVA, write bool) (layout.PFN, error) 
 		return 0, err
 	}
 	u.stats.Translations++
+	if u.Inject != nil {
+		stall, spurious := u.Inject.InjectTranslate(dev, v, write)
+		if stall > 0 {
+			// The device is stalled, not the OS: deferred-flush deadlines
+			// keep running, so re-check them after the delay.
+			u.clock.Advance(stall)
+			u.Tick()
+		}
+		if spurious {
+			return 0, u.fault(&Fault{Dev: dev, Addr: v, Write: write, Perm: PermNone})
+		}
+	}
 	if pfn, perm, ok := d.tlb.Lookup(v); ok {
 		if !perm.Allows(write) {
 			return 0, u.fault(&Fault{Dev: dev, Addr: v, Write: write, Perm: perm})

@@ -48,6 +48,17 @@ type Config struct {
 	CPUs int
 	// Tracer, if non-nil, observes allocator and access events.
 	Tracer Tracer
+	// Inject, if non-nil, is the fault-injection hook consulted on every
+	// page-block allocation (the buddy allocator feeds the slab and
+	// page_frag paths too, so one hook site models allocator pressure
+	// everywhere). internal/faultinject implements it.
+	Inject AllocInjector
+}
+
+// AllocInjector is the allocator-pressure fault-injection hook: true makes
+// the allocation fail with an error wrapping faultinject.ErrTransient.
+type AllocInjector interface {
+	InjectAllocFailure() bool
 }
 
 // Memory is the simulated physical memory plus its allocators.
@@ -56,6 +67,7 @@ type Memory struct {
 	data   []byte
 	pages  []PageInfo
 	tracer Tracer
+	inject AllocInjector
 
 	Pages *PageAllocator
 	Slab  *SlabAllocator
@@ -78,6 +90,7 @@ func New(cfg Config) (*Memory, error) {
 		data:   make([]byte, cfg.Layout.PhysBytes),
 		pages:  make([]PageInfo, cfg.Layout.PhysBytes/layout.PageSize),
 		tracer: cfg.Tracer,
+		inject: cfg.Inject,
 	}
 	var err error
 	m.Pages, err = newPageAllocator(m, cfg.CPUs)

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"dmafault/internal/faultinject"
 	"dmafault/internal/layout"
 )
 
@@ -100,6 +101,10 @@ func (pa *PageAllocator) FreePages() uint64 {
 func (pa *PageAllocator) AllocPages(cpu int, order uint) (layout.PFN, error) {
 	if order > MaxOrder {
 		return 0, fmt.Errorf("mem: order %d exceeds MaxOrder %d", order, MaxOrder)
+	}
+	if pa.m.inject != nil && pa.m.inject.InjectAllocFailure() {
+		return 0, fmt.Errorf("mem: order-%d allocation failed under injected pressure: %w",
+			order, faultinject.ErrTransient)
 	}
 	if order == 0 && cpu >= 0 && cpu < len(pa.hot) {
 		if h := pa.hot[cpu]; len(h) > 0 {

@@ -131,6 +131,9 @@ func (n *NIC) FillRX() error {
 		if n.rx[i].Ready {
 			continue
 		}
+		if n.ns.inject != nil && n.ns.inject.InjectRXRefillDrop(n.Dev, i) {
+			continue // injected descriptor loss: the slot stays unposted
+		}
 		truesize := TruesizeFor(n.Model.RXBufferSize)
 		var data layout.Addr
 		if truesize > mem.FragRegionBytes {

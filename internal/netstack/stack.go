@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dmafault/internal/dma"
+	"dmafault/internal/iommu"
 	"dmafault/internal/kexec"
 	"dmafault/internal/layout"
 	"dmafault/internal/mem"
@@ -33,6 +34,16 @@ type Config struct {
 	// the (DMA-mapped) data buffer. §9.2 proposes exactly this direction —
 	// "segregation of I/O memory from OS memory".
 	OutOfLineSharedInfo bool
+	// Inject, if set, is the fault-injection hook consulted on every RX
+	// descriptor refill (internal/faultinject implements it).
+	Inject RefillInjector
+}
+
+// RefillInjector is the RX-refill fault-injection hook: true loses the
+// descriptor for this refill round (the slot stays unposted, as if the
+// driver's replenish raced a failure and gave up on the entry).
+type RefillInjector interface {
+	InjectRXRefillDrop(dev iommu.DeviceID, slot int) bool
 }
 
 // Stack is the network stack instance.
@@ -41,6 +52,7 @@ type Stack struct {
 	mapper *dma.Mapper
 	kernel *kexec.Kernel
 	clock  *sim.Clock
+	inject RefillInjector
 
 	Forwarding          bool
 	OutOfLineSharedInfo bool
@@ -63,6 +75,7 @@ func New(cfg Config) (*Stack, error) {
 		mapper:              cfg.Mapper,
 		kernel:              cfg.Kernel,
 		clock:               cfg.Clock,
+		inject:              cfg.Inject,
 		Forwarding:          cfg.Forwarding,
 		OutOfLineSharedInfo: cfg.OutOfLineSharedInfo,
 	}

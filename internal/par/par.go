@@ -7,9 +7,16 @@
 // work is addressed by index, every worker writes only its own index's
 // slot, and callers merge slots in index order. The result is byte-identical
 // to the sequential loop at any worker count.
+//
+// Cancellation composes with that contract: the context-aware variants stop
+// *claiming* new indexes once the context is done, but an index that was
+// claimed runs to completion and its slot is written. The completed prefix
+// of a cancelled run is therefore byte-identical to the same prefix of an
+// uncancelled run — which is what makes checkpoint/resume sound.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +37,16 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // (Sequential early-exit loops and parallel execution cannot agree on
 // "first error observed", but they always agree on "lowest failing index".)
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers,
+		func(_ context.Context, i int) error { return fn(i) })
+}
+
+// ForEachCtx is ForEach with cancellation: no new index is claimed once ctx
+// is done, already-claimed indexes finish normally, and the context's error
+// is returned (taking precedence over per-index errors, whose indexes may
+// not all have run). With an un-cancellable context it behaves exactly like
+// ForEach.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -44,7 +61,10 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		// -workers=1 runs trivially comparable in a debugger.
 		var firstErr error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && firstErr == nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -57,16 +77,19 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(ctx, i)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -76,19 +99,27 @@ func ForEach(n, workers int, fn func(i int) error) error {
 }
 
 // Map runs fn over [0, n) with ForEach semantics and returns the
-// index-ordered results. On error the partial slice is discarded.
+// index-ordered results. On error the index-ordered PARTIAL slice is
+// returned alongside the deterministic lowest-index error: out[i] holds the
+// zero value exactly for the indexes that failed, so callers can report
+// partial progress instead of discarding completed work.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+}
+
+// MapCtx is Map with ForEachCtx's cancellation semantics; on cancellation
+// the partial slice holds every index that completed before the context
+// fired.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, workers, func(i int) error {
-		v, err := fn(i)
+	err := ForEachCtx(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
 		if err != nil {
 			return err
 		}
 		out[i] = v
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, err
 }

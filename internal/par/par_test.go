@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -63,14 +64,124 @@ func TestMapOrdersResults(t *testing.T) {
 	}
 }
 
-func TestMapDiscardsPartialOnError(t *testing.T) {
-	out, err := Map(8, 4, func(i int) (int, error) {
-		if i == 5 {
-			return 0, errors.New("boom")
+func TestMapKeepsPartialResultsOnError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		out, err := Map(8, workers, func(i int) (int, error) {
+			if i == 5 {
+				return 0, errors.New("boom")
+			}
+			return i + 100, nil
+		})
+		if err == nil || err.Error() != "boom" {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
 		}
-		return i, nil
+		if len(out) != 8 {
+			t.Fatalf("workers=%d: len(out) = %d, want 8", workers, len(out))
+		}
+		for i, v := range out {
+			want := i + 100
+			if i == 5 {
+				want = 0 // the failed index holds the zero value
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := false
+		err := ForEachCtx(ctx, 10, workers, func(context.Context, int) error {
+			ran = true
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran {
+			t.Fatal("workers=1: fn ran despite pre-cancelled context")
+		}
+	}
+}
+
+func TestForEachCtxStopsClaimingAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 1000, 4, func(ctx context.Context, i int) error {
+		if i == 0 {
+			cancel()
+		}
+		ran.Add(1)
+		return nil
 	})
-	if err == nil || out != nil {
-		t.Fatalf("out=%v err=%v, want nil + error", out, err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Claimed indexes finish; unclaimed ones never start. With 4 workers at
+	// most a handful of indexes were in flight when cancel fired.
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("ran %d of 1000 indexes despite cancellation", got)
+	}
+}
+
+func TestForEachCtxCancelErrorWinsOverIndexError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEachCtx(ctx, 100, 4, func(ctx context.Context, i int) error {
+		if i == 0 {
+			cancel()
+			return errors.New("index error")
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to take precedence", err)
+	}
+}
+
+func TestMapCtxPartialOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := MapCtx(ctx, 100, 1, func(ctx context.Context, i int) (int, error) {
+		if i == 9 {
+			cancel()
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Sequential: indexes 0..9 completed (cancel fired inside 9), 10+ never ran.
+	for i := 0; i < 10; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i+1)
+		}
+	}
+	for i := 10; i < 100; i++ {
+		if out[i] != 0 {
+			t.Fatalf("out[%d] = %d, want 0 (never claimed)", i, out[i])
+		}
+	}
+}
+
+func TestForEachCtxBackgroundMatchesForEach(t *testing.T) {
+	n := 64
+	a := make([]int, n)
+	b := make([]int, n)
+	if err := ForEach(n, 4, func(i int) error { a[i] = i * 3; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachCtx(context.Background(), n, 4, func(_ context.Context, i int) error {
+		b[i] = i * 3
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
 	}
 }
