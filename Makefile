@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test race bench campaign faultsmoke
+.PHONY: check fmt build vet test race bench campaign faultsmoke soaksmoke
 
-check: fmt vet build race faultsmoke
+check: fmt vet build race faultsmoke soaksmoke
 
 # gofmt gate: fail listing any file that needs formatting.
 fmt:
@@ -39,3 +39,10 @@ campaign:
 faultsmoke:
 	$(GO) run ./cmd/campaign -preset mixed -n 8 -quiet \
 		-fault "dma-corrupt:0.01,alloc-fail:0.002,scenario-panic:0.1" >/dev/null
+
+# Supervision chaos soak: boot dmafaultd, run fault-injected campaigns
+# through the bounded scheduler, cancel some mid-flight, kill -9 the daemon
+# mid-campaign, restart it on the same journal dir, and require boot recovery
+# to finish the interrupted job (cmd/soaksmoke).
+soaksmoke:
+	$(GO) run ./cmd/soaksmoke

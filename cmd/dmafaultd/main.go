@@ -1,8 +1,18 @@
 // Command dmafaultd serves the campaign engine over HTTP: submit scenario
 // sets as jobs, poll their progress, cancel them, and scrape the unified
-// metric surface in Prometheus text format. SIGTERM/SIGINT trigger a
-// graceful shutdown: the listener closes, running jobs drain (cancelled if
-// the -shutdown-timeout expires first), and journals are flushed.
+// metric surface in Prometheus text format.
+//
+// The job plane is supervised: submissions pass admission control into a
+// bounded FIFO queue (-queue-depth; 429 + Retry-After when full) and at
+// most -max-concurrent-campaigns jobs execute at once; a watchdog cancels
+// jobs whose progress stalls past -job-stall-timeout; scenarios that
+// repeatedly panic or blow their deadline across jobs are quarantined by a
+// circuit breaker (-quarantine-threshold / -quarantine-probe-after); and
+// with -journal-dir set, a restart scans the directory and resumes every
+// interrupted job with a byte-identical final summary. SIGTERM/SIGINT
+// trigger a graceful shutdown: the listener closes, new submissions get
+// 503, running jobs drain (cancelled if the -shutdown-timeout expires
+// first), and journals are flushed.
 //
 // Usage:
 //
@@ -10,6 +20,7 @@
 //	dmafaultd -addr 127.0.0.1:9000 -workers 8 -journal-dir /var/lib/dmafaultd
 //
 //	curl -s localhost:8077/healthz
+//	curl -s localhost:8077/readyz
 //	curl -s -X POST localhost:8077/campaigns -d '{"preset":"ladder","n":8,"seed":2021}'
 //	curl -s localhost:8077/campaigns/1 | head
 //	curl -s -X DELETE localhost:8077/campaigns/1
@@ -37,13 +48,40 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second,
 		"on SIGTERM/SIGINT, how long to drain in-flight requests and jobs before cancelling them")
 	journalDir := flag.String("journal-dir", "",
-		"directory for per-job campaign journals (job-<id>.jsonl); empty disables journaling")
+		"directory for per-job campaign journals (job-<id>.jsonl); scanned at boot to resume interrupted jobs; empty disables journaling")
+	maxConcurrent := flag.Int("max-concurrent-campaigns", 4,
+		"how many campaign jobs may execute at once; further accepted jobs queue (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", faultd.DefaultQueueDepth,
+		"bound on the pending-job queue; submissions beyond it get 429 with Retry-After")
+	stallTimeout := flag.Duration("job-stall-timeout", 2*time.Minute,
+		"cancel a running job whose progress heartbeat goes quiet for this long (0 disables the watchdog)")
+	quarantineThreshold := flag.Int("quarantine-threshold", 3,
+		"quarantine a scenario after this many panic/timeout outcomes across jobs (0 disables the circuit breaker)")
+	quarantineProbeAfter := flag.Int("quarantine-probe-after", 2,
+		"jobs a quarantined scenario sits out before a half-open probe run")
 	cf := cliutil.New("dmafaultd").WithWorkers().WithQuiet()
 	cf.Parse()
 
 	srv := faultd.NewServer()
 	srv.Workers = *cf.Workers
 	srv.JournalDir = *journalDir
+	srv.MaxConcurrent = *maxConcurrent
+	srv.QueueDepth = *queueDepth
+	srv.StallTimeout = *stallTimeout
+	srv.QuarantineThreshold = *quarantineThreshold
+	srv.QuarantineProbeAfter = *quarantineProbeAfter
+
+	// Resume whatever a crashed or killed predecessor left behind, before
+	// the listener opens: recovered jobs are queued jobs like any other.
+	if *journalDir != "" {
+		recovered, err := srv.RecoverJobs()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmafaultd: recover: %v\n", err)
+		}
+		if recovered > 0 && !*cf.Quiet {
+			fmt.Fprintf(os.Stderr, "dmafaultd: resumed %d interrupted job(s) from %s\n", recovered, *journalDir)
+		}
+	}
 
 	// Bind before announcing: "listening on" is only printed once the
 	// listener actually exists, and a bind failure exits nonzero.

@@ -1,0 +1,366 @@
+// Command soaksmoke is the dmafaultd chaos soak behind `make soaksmoke`: it
+// builds and boots the daemon, hammers the job plane with fault-injected
+// campaigns, cancels some mid-flight, kill -9s the daemon while a campaign
+// is running, restarts it against the same journal directory, and verifies
+// that boot recovery resumes and finishes the interrupted work. A short run
+// (~15s) that proves the whole supervision layer — admission, scheduler,
+// journal recovery, graceful shutdown — on every `make check`.
+//
+// Usage:
+//
+//	soaksmoke            # default soak
+//	soaksmoke -seed 7    # re-roll which jobs get cancelled
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+)
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+func main() {
+	seed := flag.Int64("seed", 2021, "seed for the cancellation chaos")
+	keep := flag.Bool("keep", false, "keep the scratch directory for inspection")
+	flag.Parse()
+	if err := run(*seed, *keep); err != nil {
+		fmt.Fprintln(os.Stderr, "soaksmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("soaksmoke: OK")
+}
+
+func run(seed int64, keep bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	dir, err := os.MkdirTemp("", "soaksmoke-")
+	if err != nil {
+		return err
+	}
+	if keep {
+		fmt.Println("soaksmoke: scratch dir", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+	journalDir := filepath.Join(dir, "journals")
+	if err := os.Mkdir(journalDir, 0o755); err != nil {
+		return err
+	}
+
+	bin := filepath.Join(dir, "dmafaultd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/dmafaultd").CombinedOutput(); err != nil {
+		return fmt.Errorf("build dmafaultd: %v\n%s", err, out)
+	}
+
+	// Phase 1: boot, load the job plane, chaos-cancel, then kill -9.
+	d, err := startDaemon(bin, journalDir)
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	// Fast jobs with the fault plan armed: injected DMA corruption and
+	// allocator pressure on every scenario, plus one deliberate scenario
+	// panic, keep the hardened paths hot while the scheduler multiplexes
+	// the jobs over 2 slots.
+	var ids []int
+	for i := 0; i < 6; i++ {
+		fault := "dma-corrupt:0.01,alloc-fail:0.002"
+		if i == 2 {
+			fault = "scenario-panic@1"
+		}
+		id, err := d.submit(fmt.Sprintf(
+			`{"name":"soak-%d","workers":2,"scenarios":[%s]}`, i, faultScenarios(4, 100+4*i, fault)))
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	// The victim: serial 250ms stalls, long enough to be mid-flight when
+	// the SIGKILL lands and to span the restart.
+	victim, err := d.submit(`{"name":"victim","workers":1,"scenarios":[` + stallScenarios(10) + `]}`)
+	if err != nil {
+		return err
+	}
+
+	// Random mid-flight cancels: each fast job has a 1-in-3 chance.
+	cancelled := map[int]bool{}
+	for _, id := range ids {
+		if rng.Intn(3) == 0 {
+			if err := d.cancel(id); err != nil {
+				return err
+			}
+			cancelled[id] = true
+		}
+	}
+
+	// Wait for the victim to make real progress, then pull the plug.
+	if err := d.waitProgress(victim, 2, 30*time.Second); err != nil {
+		return err
+	}
+	if err := d.kill(); err != nil {
+		return fmt.Errorf("kill -9: %w", err)
+	}
+
+	// Phase 2: restart against the same journal directory; recovery must
+	// re-register the interrupted victim and run it to completion.
+	d2, err := startDaemon(bin, journalDir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer d2.kill()
+
+	job, err := d2.waitTerminal(victim, 60*time.Second)
+	if err != nil {
+		return fmt.Errorf("victim after restart: %w", err)
+	}
+	if !job.Recovered {
+		return fmt.Errorf("victim job %d not marked recovered: %+v", victim, job)
+	}
+	if job.Status != "done" || job.ScenariosDone != 10 {
+		return fmt.Errorf("victim did not finish after recovery: %+v", job)
+	}
+
+	// The restarted daemon is a fresh service: fast jobs from phase 1 that
+	// finished before the kill are finished journals (not re-registered),
+	// and new submissions work immediately.
+	checkID, err := d2.submit(`{"name":"post-restart","preset":"ladder","n":4,"seed":9}`)
+	if err != nil {
+		return fmt.Errorf("post-restart submit: %w", err)
+	}
+	if checkID <= victim {
+		return fmt.Errorf("post-restart job ID %d not past recovered ID %d", checkID, victim)
+	}
+	if job, err := d2.waitTerminal(checkID, 60*time.Second); err != nil || job.Status != "done" {
+		return fmt.Errorf("post-restart job: %+v, %v", job, err)
+	}
+
+	// Graceful exit: SIGTERM drains and the process ends cleanly.
+	if err := d2.term(15 * time.Second); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	fmt.Printf("soaksmoke: %d jobs (%d chaos-cancelled), victim %d resumed after kill -9\n",
+		len(ids)+2, len(cancelled), victim)
+	return nil
+}
+
+// faultScenarios renders n window-ladder scenarios with the given fault
+// spec armed on each.
+func faultScenarios(n, seed int, fault string) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"kind":"window-ladder","seed":%d,"fault_spec":"%s"}`, seed+i, fault)
+	}
+	return sb.String()
+}
+
+func stallScenarios(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"kind":"window-ladder","seed":%d,"fault_spec":"scenario-stall@1"}`, 300+i)
+	}
+	return sb.String()
+}
+
+// daemon wraps one dmafaultd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon boots dmafaultd on an ephemeral port and waits for /healthz.
+func startDaemon(bin, journalDir string) (*daemon, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-journal-dir", journalDir,
+		"-max-concurrent-campaigns", "2",
+		"-queue-depth", "32",
+		"-job-stall-timeout", "1m",
+		"-quarantine-threshold", "3",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	// The daemon announces its resolved address once the listener exists.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		d := &daemon{cmd: cmd, base: "http://" + addr}
+		if err := d.waitHealthy(10 * time.Second); err != nil {
+			d.kill()
+			return nil, err
+		}
+		return d, nil
+	case <-time.After(15 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("daemon never announced its listener")
+	}
+}
+
+func (d *daemon) kill() error {
+	if d.cmd.Process == nil {
+		return nil
+	}
+	err := d.cmd.Process.Kill() // SIGKILL: no drain, no journal flush beyond appended lines
+	_, _ = d.cmd.Process.Wait()
+	return err
+}
+
+// term sends SIGTERM and waits for a clean exit within the budget.
+func (d *daemon) term(budget time.Duration) error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { _, err := d.cmd.Process.Wait(); done <- err }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(budget):
+		_ = d.cmd.Process.Kill()
+		return fmt.Errorf("did not exit within %s of SIGTERM", budget)
+	}
+}
+
+func (d *daemon) waitHealthy(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon at %s never became healthy", d.base)
+}
+
+func (d *daemon) submit(body string) (int, error) {
+	resp, err := http.Post(d.base+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("submit: %d %s", resp.StatusCode, data)
+	}
+	var acc struct {
+		ID int `json:"id"`
+	}
+	if err := json.Unmarshal(data, &acc); err != nil {
+		return 0, err
+	}
+	return acc.ID, nil
+}
+
+func (d *daemon) cancel(id int) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/campaigns/%d", d.base, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	// 202 = cancelling, 409 = already finished; both are fine mid-chaos.
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("cancel %d: %d", id, resp.StatusCode)
+	}
+	return nil
+}
+
+// jobView is the slice of the job document the soak cares about.
+type jobView struct {
+	ID            int    `json:"id"`
+	Status        string `json:"status"`
+	ScenariosDone int    `json:"scenarios_done"`
+	Recovered     bool   `json:"recovered"`
+	Error         string `json:"error"`
+}
+
+func (d *daemon) job(id int) (*jobView, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/campaigns/%d", d.base, id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("job %d: %d %s", id, resp.StatusCode, data)
+	}
+	var j jobView
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// waitProgress polls until the job has completed at least n scenarios.
+func (d *daemon) waitProgress(id, n int, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		j, err := d.job(id)
+		if err != nil {
+			return err
+		}
+		if j.ScenariosDone >= n {
+			return nil
+		}
+		if j.Status != "queued" && j.Status != "running" {
+			return fmt.Errorf("job %d ended %q before making progress", id, j.Status)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("job %d never reached %d completions", id, n)
+}
+
+// waitTerminal polls until the job leaves the queued/running states.
+func (d *daemon) waitTerminal(id int, budget time.Duration) (*jobView, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		j, err := d.job(id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Status != "queued" && j.Status != "running" {
+			return j, nil
+		}
+		if time.Now().After(deadline) {
+			return j, fmt.Errorf("job %d still %s after %s", id, j.Status, budget)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

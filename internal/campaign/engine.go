@@ -40,6 +40,21 @@ type Engine struct {
 	// OnResult, if set, observes each finished scenario (called from worker
 	// goroutines; index identifies the scenario). Used for progress output.
 	OnResult func(index int, r *Result)
+	// OnClaim, if set, observes each scenario the moment a worker claims it
+	// (called from worker goroutines, before execution; restored indexes are
+	// never claimed). Together with OnResult this is the engine's progress
+	// heartbeat: a supervisor that sees neither callback for longer than its
+	// stall budget knows the job has wedged, not merely slowed.
+	OnClaim func(index int)
+	// Gate, if set, may short-circuit a scenario before it executes by
+	// returning a non-nil Result, which is journaled, counted, and
+	// aggregated exactly like an executed one (a nil return runs the
+	// scenario normally). The scenario passed is the normalized copy. The
+	// service's quarantine circuit breaker is a Gate: tripped scenarios
+	// yield a recorded Outcome "quarantined" result instead of running.
+	// Gates must be deterministic per (index, scenario) for the duration of
+	// one run — the engine may invoke them from any worker.
+	Gate func(index int, s *Scenario) *Result
 	// SkipMetrics forces skip_metrics on every scenario: machines boot
 	// without a registry and results carry no snapshot. This is the ablation
 	// arm of the metrics-overhead benchmark.
@@ -91,7 +106,17 @@ func (e Engine) RunCtx(ctx context.Context, scenarios []Scenario) (*Summary, err
 		if results[i] != nil {
 			return nil // restored from the journal
 		}
-		r, err := e.execute(ctx, scs[i])
+		if e.OnClaim != nil {
+			e.OnClaim(i)
+		}
+		var r *Result
+		var err error
+		if e.Gate != nil {
+			r = e.Gate(i, &scs[i])
+		}
+		if r == nil {
+			r, err = e.execute(ctx, scs[i])
+		}
 		if err != nil {
 			return err
 		}

@@ -29,6 +29,12 @@ type journalHeader struct {
 	V         int    `json:"v"`
 	Scenarios int    `json:"scenarios"`
 	Hash      string `json:"hash"`
+	// Set is the normalized scenario set itself (added for service crash
+	// recovery: a restarted daemon can rediscover what a journal was running
+	// without any out-of-band spec). Optional on read — journals written
+	// before the field are still resumable by callers that hold the set —
+	// but required by ScanJournal.
+	Set []Scenario `json:"set,omitempty"`
 }
 
 type journalRecord struct {
@@ -36,17 +42,38 @@ type journalRecord struct {
 	Result *Result `json:"result"`
 }
 
-// scenarioSetHash fingerprints the normalized scenario set so a journal can
-// only resume the campaign it was written for.
-func scenarioSetHash(scs []Scenario) string {
+// normalizeSet returns an index-normalized copy of the scenario set.
+func normalizeSet(scs []Scenario) []Scenario {
 	norm := make([]Scenario, len(scs))
 	copy(norm, scs)
 	for i := range norm {
 		norm[i].Normalize(i)
 	}
-	data, err := json.Marshal(norm)
+	return norm
+}
+
+// scenarioSetHash fingerprints the normalized scenario set so a journal can
+// only resume the campaign it was written for.
+func scenarioSetHash(scs []Scenario) string {
+	data, err := json.Marshal(normalizeSet(scs))
 	if err != nil {
 		// Scenario is a plain struct of scalars; Marshal cannot fail.
+		panic("campaign: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// ScenarioKey fingerprints one scenario independently of its position in a
+// set: the normalized spec with the index-derived ID blanked. Scenarios that
+// are byte-equal specs share a key across jobs and campaigns — the identity
+// the service's quarantine circuit breaker tracks panicking and
+// deadline-blowing scenarios by.
+func ScenarioKey(s Scenario) string {
+	s.Normalize(0)
+	s.ID = ""
+	data, err := json.Marshal(&s)
+	if err != nil {
 		panic("campaign: " + err.Error())
 	}
 	sum := sha256.Sum256(data)
@@ -76,7 +103,8 @@ func OpenJournal(path string, scs []Scenario, resume bool) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: journal: %w", err)
 	}
-	hdr, err := json.Marshal(journalHeader{V: journalVersion, Scenarios: len(scs), Hash: scenarioSetHash(scs)})
+	hdr, err := json.Marshal(journalHeader{V: journalVersion, Scenarios: len(scs),
+		Hash: scenarioSetHash(scs), Set: normalizeSet(scs)})
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("campaign: journal: %w", err)
@@ -148,31 +176,55 @@ func LoadJournal(path string, scs []Scenario) (map[int]*Result, error) {
 // at the first torn or unparseable line — the expected shape of a crash
 // mid-append; header mismatches and out-of-range indexes are real errors.
 func readJournal(path string, scs []Scenario) (map[int]*Result, int64, error) {
-	f, err := os.Open(path)
+	hdr, br, f, err := openJournalHeader(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("campaign: journal: %w", err)
+		return nil, 0, err
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
-	var offset int64
-	line, err := br.ReadBytes('\n')
-	if err != nil {
-		return nil, 0, fmt.Errorf("campaign: journal %s: missing header", path)
-	}
-	var hdr journalHeader
-	if err := json.Unmarshal(line, &hdr); err != nil {
-		return nil, 0, fmt.Errorf("campaign: journal %s: bad header: %w", path, err)
-	}
-	if hdr.V != journalVersion {
-		return nil, 0, fmt.Errorf("campaign: journal %s: version %d, want %d", path, hdr.V, journalVersion)
-	}
 	if hdr.Scenarios != len(scs) {
 		return nil, 0, fmt.Errorf("campaign: journal %s: %d scenarios, campaign has %d", path, hdr.Scenarios, len(scs))
 	}
 	if want := scenarioSetHash(scs); hdr.Hash != want {
 		return nil, 0, fmt.Errorf("campaign: journal %s: scenario set hash %s, campaign is %s", path, hdr.Hash, want)
 	}
-	offset += int64(len(line))
+	return readRecords(path, br, hdr.offset, len(scs))
+}
+
+// openJournalHeader opens the file and parses+validates the version header.
+// On success the caller owns closing f; br is positioned at the first record
+// and hdr.offset is the header's byte length.
+func openJournalHeader(path string) (*journalHeaderAt, *bufio.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("campaign: journal %s: missing header", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("campaign: journal %s: bad header: %w", path, err)
+	}
+	if hdr.V != journalVersion {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("campaign: journal %s: version %d, want %d", path, hdr.V, journalVersion)
+	}
+	return &journalHeaderAt{journalHeader: hdr, offset: int64(len(line))}, br, f, nil
+}
+
+type journalHeaderAt struct {
+	journalHeader
+	offset int64
+}
+
+// readRecords consumes {index,result} lines until EOF or the first torn
+// line, returning the restored map and the offset just past the last intact
+// line.
+func readRecords(path string, br *bufio.Reader, offset int64, n int) (map[int]*Result, int64, error) {
 	restored := map[int]*Result{}
 	for {
 		line, err := br.ReadBytes('\n')
@@ -185,11 +237,52 @@ func readJournal(path string, scs []Scenario) (map[int]*Result, int64, error) {
 			// Corrupt line: treat it and everything after as torn.
 			break
 		}
-		if rec.Index < 0 || rec.Index >= len(scs) {
+		if rec.Index < 0 || rec.Index >= n {
 			return nil, 0, fmt.Errorf("campaign: journal %s: record index %d out of range", path, rec.Index)
 		}
 		restored[rec.Index] = rec.Result
 		offset += int64(len(line))
 	}
 	return restored, offset, nil
+}
+
+// JournalState is what ScanJournal recovers from a journal file without any
+// out-of-band spec: the scenario set the journal was opened for (from the
+// embedded header copy) and every intact completed-scenario record.
+type JournalState struct {
+	Path      string
+	Scenarios []Scenario
+	Restored  map[int]*Result
+}
+
+// Unfinished reports whether the journal records fewer completions than the
+// set has scenarios — the condition under which a service restart resumes
+// the campaign.
+func (st *JournalState) Unfinished() bool { return len(st.Restored) < len(st.Scenarios) }
+
+// ScanJournal reads a journal knowing nothing but its path — the boot-time
+// crash-recovery primitive. The scenario set comes from the header's
+// embedded copy (validated against the header hash, so a hand-edited set
+// cannot silently resume); journals written before sets were embedded return
+// an error and are left for out-of-band resume via LoadJournal.
+func ScanJournal(path string) (*JournalState, error) {
+	hdr, br, f, err := openJournalHeader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if len(hdr.Set) == 0 {
+		return nil, fmt.Errorf("campaign: journal %s: no embedded scenario set (written by an older version?)", path)
+	}
+	if len(hdr.Set) != hdr.Scenarios {
+		return nil, fmt.Errorf("campaign: journal %s: embedded set has %d scenarios, header says %d", path, len(hdr.Set), hdr.Scenarios)
+	}
+	if got := scenarioSetHash(hdr.Set); got != hdr.Hash {
+		return nil, fmt.Errorf("campaign: journal %s: embedded set hash %s, header says %s", path, got, hdr.Hash)
+	}
+	restored, _, err := readRecords(path, br, hdr.offset, hdr.Scenarios)
+	if err != nil {
+		return nil, err
+	}
+	return &JournalState{Path: path, Scenarios: hdr.Set, Restored: restored}, nil
 }

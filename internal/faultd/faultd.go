@@ -5,20 +5,37 @@
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness probe
+//	GET  /healthz          liveness probe ("ok", or "draining" after shutdown
+//	                       begins)
+//	GET  /readyz           readiness probe: 503 while draining or while the
+//	                       job queue is saturated
 //	GET  /metrics          Prometheus text exposition: service counters plus
 //	                       every completed campaign's machine metrics, merged
 //	POST /campaigns        submit a campaign (scenario array, campaign
-//	                       document, or {"preset": ...}); returns the job ID
+//	                       document, or {"preset": ...}); returns the job ID.
+//	                       429 + Retry-After when the queue is full, 503 once
+//	                       drain has begun
 //	GET  /campaigns        list jobs
 //	GET  /campaigns/{id}   job status: live progress, final aggregate
-//	DELETE /campaigns/{id} cancel a running job (202; 409 if finished)
+//	DELETE /campaigns/{id} cancel a queued or running job (202; 409 if
+//	                       finished)
 //	GET  /debug/pprof/...  runtime profiles
+//
+// The job plane is supervised (see supervisor.go): submissions pass
+// admission control into a bounded FIFO queue, a dispatcher starts them
+// oldest-first under the MaxConcurrent cap, a watchdog cancels jobs whose
+// progress heartbeat stalls, a circuit breaker quarantines scenarios that
+// repeatedly panic or blow their deadline across jobs (quarantine.go), and
+// on boot the journal directory is scanned so jobs interrupted by a crash
+// resume with byte-identical final summaries (recovery.go).
 //
 // Two metric planes coexist deliberately. Service-level counters are atomic
 // instruments (scrapes race with request handling); campaign snapshots come
 // from quiescent machines and are merged under the server mutex, preserving
-// the registry's determinism contract.
+// the registry's determinism contract. Supervision families (queue depth
+// and wait, stall cancellations, quarantine trips, recovered jobs) are
+// registered through metrics.OmitZero, so they are absent from idle
+// expositions — their presence is itself a signal.
 package faultd
 
 import (
@@ -32,6 +49,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"dmafault/internal/campaign"
 	"dmafault/internal/metrics"
@@ -41,14 +59,25 @@ import (
 // rather than silently truncated.
 const MaxScenarios = 4096
 
+// DefaultQueueDepth bounds the pending-job queue when the caller leaves
+// QueueDepth zero.
+const DefaultQueueDepth = 64
+
 // JobStatus is the lifecycle of a submitted campaign.
 type JobStatus string
 
 const (
-	StatusRunning   JobStatus = "running"
-	StatusDone      JobStatus = "done"
-	StatusFailed    JobStatus = "failed"
+	// StatusQueued: accepted and waiting for a scheduler slot.
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+	// StatusCancelled: stopped by DELETE or shutdown; completed scenarios
+	// were journaled.
 	StatusCancelled JobStatus = "cancelled"
+	// StatusStalled: the watchdog cancelled the job because its progress
+	// heartbeat went quiet for longer than the stall timeout.
+	StatusStalled JobStatus = "stalled"
 )
 
 // Job is one submitted campaign. Progress fields are updated by worker
@@ -60,13 +89,26 @@ type Job struct {
 	// ScenariosTotal/ScenariosDone report live progress.
 	ScenariosTotal int `json:"scenarios_total"`
 	ScenariosDone  int `json:"scenarios_done"`
-	// Error is set when the whole run aborted (invalid spec, pool failure).
+	// Recovered marks a job re-registered from a journal at boot.
+	Recovered bool `json:"recovered,omitempty"`
+	// Error is set when the whole run aborted (invalid spec, pool failure,
+	// stall, cancellation).
 	Error string `json:"error,omitempty"`
 	// Summary is the final aggregate (done jobs only).
 	Summary *campaign.Summary `json:"summary,omitempty"`
 
-	// cancel aborts the job's engine context (set while running).
-	cancel context.CancelFunc
+	// Scheduling state (owned by the supervisor; see supervisor.go).
+	ctx        context.Context
+	cancel     context.CancelFunc
+	scs        []campaign.Scenario
+	workers    int
+	restored   map[int]*campaign.Result // journal results seeded at recovery
+	resume     bool                     // reopen the journal for append
+	enqueuedAt time.Time
+	lastBeat   time.Time // progress heartbeat, guarded by Server.mu
+	stalled    bool      // set by the watchdog before it cancels
+	adm        *admission
+	keys       []string // per-index scenario keys (breaker identity)
 }
 
 // Request is the POST /campaigns body. Exactly one of Scenarios or Preset
@@ -82,24 +124,64 @@ type Request struct {
 	Seed   int64  `json:"seed,omitempty"`
 }
 
-// Server is the service state: the job table, the merged campaign metric
-// dump, and the service-plane instruments.
+// Server is the service state: the job table, the scheduler, the merged
+// campaign metric dump, and the service-plane instruments. Configuration
+// fields must be set before the first submission (or RecoverJobs call) and
+// not changed afterwards.
 type Server struct {
 	// Workers is the default engine pool size for jobs that don't set one.
 	Workers int
 	// Synchronous makes POST /campaigns run the job inline before
 	// responding — deterministic single-request behavior for tests and
-	// scripted use. Production keeps it false and polls.
+	// scripted use. Production keeps it false and polls. Synchronous jobs
+	// bypass the queue and concurrency cap but still respect admission
+	// control (draining submissions are rejected).
 	Synchronous bool
 	// JournalDir, when set, gives every job a campaign journal at
-	// <dir>/job-<id>.jsonl, so completed scenarios of a killed daemon can be
-	// replayed by cmd/campaign --resume.
+	// <dir>/job-<id>.jsonl. RecoverJobs scans the same directory at boot
+	// and resumes any journal whose scenario set is unfinished.
 	JournalDir string
+	// MaxConcurrent caps how many jobs execute at once; further accepted
+	// jobs wait in the queue. <= 0 means unlimited (every accepted job
+	// starts immediately).
+	MaxConcurrent int
+	// QueueDepth bounds the pending-job queue; submissions beyond it get
+	// 429 with Retry-After. <= 0 means DefaultQueueDepth. Boot recovery
+	// may exceed the bound (recovered jobs were already accepted once).
+	QueueDepth int
+	// StallTimeout is the watchdog budget: a running job whose progress
+	// heartbeat (scenario claims and completions) goes quiet for longer is
+	// cancelled with status "stalled". 0 disables the watchdog.
+	StallTimeout time.Duration
+	// QuarantineThreshold trips the scenario circuit breaker after a
+	// scenario key accumulates this many panic/timeout outcomes across
+	// jobs; tripped scenarios short-circuit to recorded "quarantined"
+	// results. <= 0 disables the breaker.
+	QuarantineThreshold int
+	// QuarantineProbeAfter is how many jobs a tripped scenario sits out
+	// before one job is let through as a half-open probe (a clean probe
+	// resets the breaker, a failing one re-arms the wait). <= 0 means
+	// DefaultProbeAfter.
+	QuarantineProbeAfter int
+	// Now is the injected clock for queue-wait measurement and stall
+	// detection timestamps; nil means time.Now.
+	Now func() time.Time
 
-	mu     sync.Mutex
-	jobs   []*Job
-	merged *metrics.Snapshot
-	wg     sync.WaitGroup
+	mu           sync.Mutex
+	jobs         []*Job       // submission order, for listing
+	jobsByID     map[int]*Job // monotonic IDs survive recovery gaps
+	nextID       int
+	pending      []*Job // FIFO queue consumed by the dispatcher
+	draining     bool
+	dispatchOn   bool
+	stopDispatch bool
+	cond         *sync.Cond // signals the dispatcher about pending/stop
+	runningN     int
+	peakRunning  int
+	merged       *metrics.Snapshot
+	wg           sync.WaitGroup
+	sem          chan struct{} // MaxConcurrent tokens (nil = unlimited)
+	quarantine   *quarantine
 
 	reg                *metrics.Registry
 	requests           *metrics.Counter
@@ -109,12 +191,30 @@ type Server struct {
 	campaignsCancelled *metrics.Counter
 	scenariosCompleted *metrics.Counter
 	running            *metrics.Gauge
+
+	// Supervision families, registered through metrics.OmitZero so an idle
+	// boot's exposition carries none of them.
+	queueDepthG          *metrics.Gauge
+	queueWait            *metrics.Histogram
+	peakRunningG         *metrics.Gauge
+	rejectedFull         *metrics.Counter
+	rejectedDraining     *metrics.Counter
+	jobsStalled          *metrics.Counter
+	jobsRecovered        *metrics.Counter
+	quarantineTrips      *metrics.Counter
+	quarantineProbes     *metrics.Counter
+	scenariosQuarantined *metrics.Counter
 }
+
+// QueueWaitBuckets are the faultd_queue_wait_seconds histogram bounds.
+var QueueWaitBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2, 10}
 
 // NewServer builds an empty service.
 func NewServer() *Server {
 	s := &Server{
 		merged:             &metrics.Snapshot{},
+		jobsByID:           map[int]*Job{},
+		nextID:             1,
 		reg:                metrics.NewRegistry(),
 		requests:           metrics.NewCounter("faultd_requests_total", "HTTP requests served."),
 		campaignsStarted:   metrics.NewCounter("faultd_campaigns_started_total", "Campaign jobs accepted."),
@@ -123,16 +223,42 @@ func NewServer() *Server {
 		campaignsCancelled: metrics.NewCounter("faultd_campaigns_cancelled_total", "Campaign jobs cancelled by request or shutdown."),
 		scenariosCompleted: metrics.NewCounter("faultd_scenarios_completed_total", "Scenarios finished across all jobs."),
 		running:            metrics.NewGauge("faultd_campaigns_running", "Campaign jobs currently executing."),
+
+		queueDepthG:          metrics.NewGauge("faultd_queue_depth", "Jobs waiting in the admission queue."),
+		queueWait:            metrics.NewHistogram("faultd_queue_wait_seconds", "Time jobs spent queued before starting.", QueueWaitBuckets),
+		peakRunningG:         metrics.NewGauge("faultd_campaigns_running_peak", "High-water mark of concurrently executing jobs."),
+		rejectedFull:         metrics.NewCounter("faultd_submissions_rejected_full_total", "Submissions rejected with 429 because the queue was full."),
+		rejectedDraining:     metrics.NewCounter("faultd_submissions_rejected_draining_total", "Submissions rejected with 503 after drain began."),
+		jobsStalled:          metrics.NewCounter("faultd_jobs_stalled_total", "Jobs cancelled by the stuck-job watchdog."),
+		jobsRecovered:        metrics.NewCounter("faultd_jobs_recovered_total", "Unfinished journals re-registered as jobs at boot."),
+		quarantineTrips:      metrics.NewCounter("faultd_quarantine_trips_total", "Scenario circuit-breaker trips."),
+		quarantineProbes:     metrics.NewCounter("faultd_quarantine_probes_total", "Half-open probe jobs admitted for tripped scenarios."),
+		scenariosQuarantined: metrics.NewCounter("faultd_scenarios_quarantined_total", "Scenario runs short-circuited by the circuit breaker."),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.reg.MustRegister(s.requests, s.campaignsStarted, s.campaignsDone,
 		s.campaignsFailed, s.campaignsCancelled, s.scenariosCompleted, s.running)
+	s.reg.MustRegister(
+		metrics.OmitZero(s.queueDepthG), metrics.OmitZero(s.queueWait),
+		metrics.OmitZero(s.peakRunningG), metrics.OmitZero(s.rejectedFull),
+		metrics.OmitZero(s.rejectedDraining), metrics.OmitZero(s.jobsStalled),
+		metrics.OmitZero(s.jobsRecovered), metrics.OmitZero(s.quarantineTrips),
+		metrics.OmitZero(s.quarantineProbes), metrics.OmitZero(s.scenariosQuarantined))
 	return s
+}
+
+func (s *Server) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
 }
 
 // Handler builds the service mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
@@ -149,42 +275,39 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// Wait blocks until every accepted job has finished — test and shutdown
-// hygiene.
-func (s *Server) Wait() { s.wg.Wait() }
-
-// CancelAll aborts every running job's engine context. The jobs finish
-// their claimed scenarios, journal them, and publish StatusCancelled.
-func (s *Server) CancelAll() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, j := range s.jobs {
-		if j.Status == StatusRunning && j.cancel != nil {
-			j.cancel()
-		}
-	}
-}
-
-// Drain is graceful shutdown for the job plane: it waits for in-flight
-// jobs to complete; if ctx expires first it cancels the stragglers (which
-// then stop claiming scenarios, journal the ones they finished, and drain)
-// and waits for them to wind down, returning the ctx error.
-func (s *Server) Drain(ctx context.Context) error {
-	idle := make(chan struct{})
-	go func() { s.wg.Wait(); close(idle) }()
-	select {
-	case <-idle:
-		return nil
-	case <-ctx.Done():
-		s.CancelAll()
-		<-idle
-		return ctx.Err()
-	}
-}
-
+// handleHealthz is the liveness probe; it always answers 200 but the body
+// reflects lifecycle state so an operator's curl shows drain progress.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: it fails while drain is in progress
+// or while the admission queue is saturated, so load balancers stop routing
+// submissions that would only bounce with 503/429.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	saturated := len(s.pending) >= s.queueCap()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case draining:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case saturated:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "saturated")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 // handleMetrics renders the service plane merged with every completed
@@ -218,25 +341,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	s.mu.Lock()
-	job := &Job{ID: len(s.jobs) + 1, Name: req.Name,
-		Status: StatusRunning, ScenariosTotal: len(scs), cancel: cancel}
-	s.jobs = append(s.jobs, job)
-	s.mu.Unlock()
-	s.campaignsStarted.Inc()
-	s.running.Add(1)
-	s.wg.Add(1)
-	run := func() {
-		defer s.wg.Done()
-		defer s.running.Add(-1)
-		defer cancel()
-		s.runJob(ctx, job, scs, req.Workers)
+	job, admErr := s.admit(req.Name, scs, req.Workers)
+	if admErr != nil {
+		switch {
+		case errors.Is(admErr, errDraining):
+			s.rejectedDraining.Inc()
+			http.Error(w, "draining: not accepting new campaigns", http.StatusServiceUnavailable)
+		case errors.Is(admErr, errQueueFull):
+			s.rejectedFull.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "job queue full, retry later", http.StatusTooManyRequests)
+		default:
+			http.Error(w, admErr.Error(), http.StatusInternalServerError)
+		}
+		return
 	}
+
 	if s.Synchronous {
-		run()
-	} else {
-		go run()
+		s.runWorker(job)
 	}
 
 	w.Header().Set("Content-Type", "application/json")
@@ -279,23 +401,32 @@ func resolveScenarios(req *Request) ([]campaign.Scenario, error) {
 	}
 }
 
-// runJob executes the campaign and publishes the outcome.
-func (s *Server) runJob(ctx context.Context, job *Job, scs []campaign.Scenario, workers int) {
+// runJob executes the campaign and publishes the outcome. It runs on a
+// worker goroutine with a scheduler slot held (see supervisor.go).
+func (s *Server) runJob(job *Job) {
+	workers := job.workers
 	if workers <= 0 {
 		workers = s.Workers
 	}
 	eng := campaign.Engine{
-		Workers: workers,
+		Workers:   workers,
+		Completed: job.restored,
+		OnClaim: func(i int) {
+			s.beat(job)
+		},
 		OnResult: func(i int, r *campaign.Result) {
 			s.scenariosCompleted.Inc()
 			s.mu.Lock()
 			job.ScenariosDone++
+			job.lastBeat = s.now()
 			s.mu.Unlock()
 		},
+		Gate: s.quarantineGate(job),
 	}
 	if s.JournalDir != "" {
-		j, err := campaign.OpenJournal(filepath.Join(s.JournalDir, fmt.Sprintf("job-%d.jsonl", job.ID)), scs, false)
+		j, err := campaign.OpenJournal(filepath.Join(s.JournalDir, fmt.Sprintf("job-%d.jsonl", job.ID)), job.scs, job.resume)
 		if err != nil {
+			s.quarantineAbort(job)
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			job.Status = StatusFailed
@@ -306,21 +437,35 @@ func (s *Server) runJob(ctx context.Context, job *Job, scs []campaign.Scenario, 
 		defer j.Close()
 		eng.Journal = j
 	}
-	sum, err := eng.RunCtx(ctx, scs)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sum, err := eng.RunCtx(job.ctx, job.scs)
 	if errors.Is(err, context.Canceled) {
+		s.quarantineAbort(job)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if job.stalled {
+			job.Status = StatusStalled
+			job.Error = fmt.Sprintf("stalled: no progress within %s", s.StallTimeout)
+			s.jobsStalled.Inc()
+			s.campaignsFailed.Inc()
+			return
+		}
 		job.Status = StatusCancelled
 		job.Error = "cancelled"
 		s.campaignsCancelled.Inc()
 		return
 	}
 	if err != nil {
+		s.quarantineAbort(job)
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		job.Status = StatusFailed
 		job.Error = err.Error()
 		s.campaignsFailed.Inc()
 		return
 	}
+	s.quarantineReport(job, sum.Results)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	job.Status = StatusDone
 	job.Summary = sum
 	if mergeErr := s.merged.Merge(sum.Metrics); mergeErr != nil {
@@ -329,6 +474,13 @@ func (s *Server) runJob(ctx context.Context, job *Job, scs []campaign.Scenario, 
 		job.Error = "metrics merge: " + mergeErr.Error()
 	}
 	s.campaignsDone.Inc()
+}
+
+// beat refreshes the job's progress heartbeat (worker claimed a scenario).
+func (s *Server) beat(job *Job) {
+	s.mu.Lock()
+	job.lastBeat = s.now()
+	s.mu.Unlock()
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -352,12 +504,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	if id < 1 || id > len(s.jobs) {
+	jp := s.jobsByID[id]
+	if jp == nil {
 		s.mu.Unlock()
 		http.Error(w, fmt.Sprintf("no job %d", id), http.StatusNotFound)
 		return
 	}
-	job := *s.jobs[id-1]
+	job := *jp
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -365,9 +518,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(&job)
 }
 
-// handleCancel aborts a running job. The response is 202 (the engine winds
-// down asynchronously: claimed scenarios finish and are journaled); polling
-// GET /campaigns/{id} shows "cancelled" when it has.
+// handleCancel aborts a queued or running job. The response is 202 (the
+// engine winds down asynchronously: claimed scenarios finish and are
+// journaled); polling GET /campaigns/{id} shows "cancelled" when it has.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
@@ -375,16 +528,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	if id < 1 || id > len(s.jobs) {
+	job := s.jobsByID[id]
+	if job == nil {
 		s.mu.Unlock()
 		http.Error(w, fmt.Sprintf("no job %d", id), http.StatusNotFound)
 		return
 	}
-	job := s.jobs[id-1]
-	if job.Status != StatusRunning {
+	if job.Status != StatusRunning && job.Status != StatusQueued {
 		status := job.Status
 		s.mu.Unlock()
-		http.Error(w, fmt.Sprintf("job %d is %s, not running", id, status), http.StatusConflict)
+		http.Error(w, fmt.Sprintf("job %d is %s, not cancellable", id, status), http.StatusConflict)
 		return
 	}
 	cancel := job.cancel

@@ -80,7 +80,7 @@ func TestServiceEndToEnd(t *testing.T) {
 		if err := json.Unmarshal(body, &job); err != nil {
 			t.Fatal(err)
 		}
-		if job.Status != StatusRunning {
+		if job.Status != StatusRunning && job.Status != StatusQueued {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -57,7 +57,7 @@ func pollJob(t *testing.T, url string) Job {
 		if err := json.Unmarshal(body, &job); err != nil {
 			t.Fatal(err)
 		}
-		if job.Status != StatusRunning {
+		if job.Status != StatusRunning && job.Status != StatusQueued {
 			return job
 		}
 		if time.Now().After(deadline) {

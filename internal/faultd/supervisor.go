@@ -1,0 +1,269 @@
+package faultd
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"dmafault/internal/campaign"
+)
+
+// Supervision layer: admission control, the FIFO scheduler, the stuck-job
+// watchdog, and graceful drain.
+//
+// Lifecycle of a job: admit (reject when draining or the queue is full) →
+// pending queue → dispatcher (starts jobs oldest-first, holding one of
+// MaxConcurrent slots) → runWorker (watchdog armed, engine executes) →
+// terminal status. Every accepted job reaches a terminal status — jobs are
+// never silently dropped: drain lets queued and running jobs finish, and a
+// drain deadline cancels them into StatusCancelled with their completed
+// scenarios journaled.
+
+// Admission rejections, mapped to HTTP statuses by handleSubmit.
+var (
+	errDraining  = errors.New("faultd: draining")
+	errQueueFull = errors.New("faultd: queue full")
+)
+
+// queueCap resolves the configured queue bound.
+func (s *Server) queueCap() int {
+	if s.QueueDepth > 0 {
+		return s.QueueDepth
+	}
+	return DefaultQueueDepth
+}
+
+// admit applies admission control and, if accepted, registers the job in
+// the table and hands it to the scheduler. Synchronous servers skip the
+// queue (handleSubmit runs the job inline); asynchronous ones enqueue for
+// the dispatcher. The returned error is errDraining or errQueueFull.
+func (s *Server) admit(name string, scs []campaign.Scenario, workers int) (*Job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil, errDraining
+	}
+	if !s.Synchronous && len(s.pending) >= s.queueCap() {
+		s.mu.Unlock()
+		cancel()
+		return nil, errQueueFull
+	}
+	job := &Job{
+		ID: s.nextID, Name: name, Status: StatusQueued,
+		ScenariosTotal: len(scs),
+		ctx:            ctx, cancel: cancel,
+		scs: scs, workers: workers,
+		enqueuedAt: s.now(),
+	}
+	s.nextID++
+	s.register(job)
+	s.mu.Unlock()
+	s.campaignsStarted.Inc()
+	return job, nil
+}
+
+// register adds the job to the table and (for asynchronous servers) the
+// pending queue, waking the dispatcher. Callers hold s.mu.
+func (s *Server) register(job *Job) {
+	s.jobs = append(s.jobs, job)
+	s.jobsByID[job.ID] = job
+	s.wg.Add(1)
+	if s.Synchronous {
+		return
+	}
+	s.pending = append(s.pending, job)
+	s.queueDepthG.Add(1)
+	s.ensureDispatcherLocked()
+	s.cond.Signal()
+}
+
+// ensureDispatcherLocked lazily starts the dispatcher goroutine and the
+// concurrency semaphore on first use, after the configuration fields are
+// final. Callers hold s.mu.
+func (s *Server) ensureDispatcherLocked() {
+	if s.dispatchOn {
+		return
+	}
+	s.dispatchOn = true
+	if s.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, s.MaxConcurrent)
+	}
+	go s.dispatch()
+}
+
+// dispatch is the scheduler loop: it starts pending jobs strictly
+// oldest-first, blocking on a concurrency slot before taking the next job,
+// so queue order is also start order. A job cancelled while queued is
+// retired without consuming a slot.
+func (s *Server) dispatch() {
+	s.mu.Lock()
+	for {
+		for len(s.pending) == 0 && !s.stopDispatch {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 && s.stopDispatch {
+			s.mu.Unlock()
+			return
+		}
+		job := s.pending[0]
+		s.pending = s.pending[1:]
+		wait := s.now().Sub(job.enqueuedAt)
+		s.mu.Unlock()
+		s.queueDepthG.Add(-1)
+		s.queueWait.Observe(wait.Seconds())
+		if job.ctx.Err() != nil {
+			s.retireCancelled(job)
+			s.mu.Lock()
+			continue
+		}
+		if s.sem != nil {
+			s.sem <- struct{}{}
+		}
+		go func(job *Job) {
+			defer func() {
+				if s.sem != nil {
+					<-s.sem
+				}
+			}()
+			s.runWorker(job)
+		}(job)
+		s.mu.Lock()
+	}
+}
+
+// retireCancelled finalizes a job that was cancelled before it ever started
+// executing (DELETE while queued, or a drain deadline).
+func (s *Server) retireCancelled(job *Job) {
+	defer s.wg.Done()
+	s.mu.Lock()
+	job.Status = StatusCancelled
+	job.Error = "cancelled"
+	s.mu.Unlock()
+	s.campaignsCancelled.Inc()
+}
+
+// runWorker executes one job end to end: admission through the quarantine
+// breaker, watchdog arming, engine execution, terminal bookkeeping. It runs
+// on its own goroutine (or inline for Synchronous servers) with a scheduler
+// slot held.
+func (s *Server) runWorker(job *Job) {
+	defer s.wg.Done()
+	if job.ctx.Err() != nil {
+		s.mu.Lock()
+		job.Status = StatusCancelled
+		job.Error = "cancelled"
+		s.mu.Unlock()
+		s.campaignsCancelled.Inc()
+		return
+	}
+	s.quarantineAdmit(job)
+	s.mu.Lock()
+	job.Status = StatusRunning
+	job.lastBeat = s.now()
+	s.runningN++
+	if s.runningN > s.peakRunning {
+		s.peakRunning = s.runningN
+		s.peakRunningG.Set(float64(s.peakRunning))
+	}
+	s.mu.Unlock()
+	s.running.Add(1)
+	stopWatch := make(chan struct{})
+	if s.StallTimeout > 0 {
+		go s.watchJob(job, stopWatch)
+	}
+	s.runJob(job)
+	close(stopWatch)
+	job.cancel()
+	s.running.Add(-1)
+	s.mu.Lock()
+	s.runningN--
+	s.mu.Unlock()
+}
+
+// watchJob is the stuck-job watchdog: it polls the job's progress heartbeat
+// (refreshed on every scenario claim and completion) and cancels the job
+// once the heartbeat is older than StallTimeout, marking it stalled so
+// runJob records the structured outcome.
+func (s *Server) watchJob(job *Job, stop <-chan struct{}) {
+	interval := s.StallTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			stalled := job.Status == StatusRunning && s.now().Sub(job.lastBeat) > s.StallTimeout
+			if stalled {
+				job.stalled = true
+			}
+			s.mu.Unlock()
+			if stalled {
+				job.cancel()
+				return
+			}
+		}
+	}
+}
+
+// Wait blocks until every accepted job has finished — test and shutdown
+// hygiene.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// CancelAll aborts every queued or running job's context. Running jobs
+// finish their claimed scenarios, journal them, and publish
+// StatusCancelled; queued ones retire without starting.
+func (s *Server) CancelAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if (j.Status == StatusRunning || j.Status == StatusQueued) && j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// BeginDrain flips the server into drain mode: from this point every new
+// submission is rejected with 503 and /healthz reports "draining". Already
+// accepted jobs (queued or running) are unaffected.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain is graceful shutdown for the job plane: it stops admissions
+// (BeginDrain), then waits for queued and in-flight jobs to complete; if
+// ctx expires first it cancels the stragglers (which stop claiming
+// scenarios, journal the ones they finished, and drain) and waits for them
+// to wind down, returning the ctx error. The dispatcher goroutine exits
+// once the queue is empty.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	defer s.stopDispatcher()
+	idle := make(chan struct{})
+	go func() { s.wg.Wait(); close(idle) }()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.CancelAll()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// stopDispatcher tells the scheduler loop to exit after the pending queue
+// empties (it is already empty when Drain returns).
+func (s *Server) stopDispatcher() {
+	s.mu.Lock()
+	s.stopDispatch = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOmitZeroSuppressesUntouchedInstruments pins the supervision-family
+// contract: a wrapped instrument is invisible in gathered snapshots until
+// it records something, then appears with its full descriptor.
+func TestOmitZeroSuppressesUntouchedInstruments(t *testing.T) {
+	c := NewCounter("svc_exceptions_total", "Exceptional events.")
+	g := NewGauge("svc_backlog", "Pending work.")
+	h := NewHistogram("svc_wait_seconds", "Wait times.", []float64{0.1, 1})
+	reg := NewRegistry()
+	reg.MustRegister(OmitZero(c), OmitZero(g), OmitZero(h))
+
+	snap, err := reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 0 {
+		t.Fatalf("idle gather produced %d families, want 0: %s", len(snap.Families), snap.Text())
+	}
+
+	c.Inc()
+	g.Add(2)
+	h.Observe(0.05)
+	snap, err = reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(snap.Text())
+	for _, want := range []string{
+		"svc_exceptions_total 1",
+		"svc_backlog 2",
+		`svc_wait_seconds_bucket{le="0.1"} 1`,
+		"# HELP svc_exceptions_total Exceptional events.",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestOmitZeroGaugeReturnsToAbsent: a gauge that sinks back to zero drops
+// out of the exposition again (queue-depth semantics: absence means idle).
+func TestOmitZeroGaugeReturnsToAbsent(t *testing.T) {
+	g := NewGauge("svc_queue_depth", "Queued jobs.")
+	reg := NewRegistry()
+	reg.MustRegister(OmitZero(g))
+	g.Add(3)
+	g.Add(-3)
+	snap, err := reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 0 {
+		t.Fatalf("zeroed gauge still exposed: %s", snap.Text())
+	}
+}
+
+// TestOmitZeroStillReservesName: the descriptor is registered even while
+// suppressed, so a second registration of the family is rejected.
+func TestOmitZeroStillReservesName(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(OmitZero(NewCounter("svc_x_total", "x")))
+	if err := reg.Register(NewCounter("svc_x_total", "x")); err == nil {
+		t.Fatal("duplicate family accepted despite OmitZero wrapper")
+	}
+}
