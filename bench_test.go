@@ -22,6 +22,7 @@ import (
 	"dmafault/internal/experiments"
 	"dmafault/internal/iommu"
 	"dmafault/internal/netstack"
+	"dmafault/internal/obs"
 	"dmafault/internal/spade"
 )
 
@@ -286,6 +287,40 @@ func BenchmarkCampaignMetricsOverhead(b *testing.B) {
 				}
 				if !arm.skip && sum.Metrics.Total("iommu_maps_total") == 0 {
 					b.Fatal("metrics arm captured nothing")
+				}
+			}
+			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
+	}
+}
+
+// BenchmarkCampaignObsOverhead measures what wall-clock span tracing costs
+// on campaign throughput: the same scenario set with a tracer fanning out to
+// the two sinks dmafaultd attaches (the histogram summarizer and the flight
+// recorder) vs the nil tracer. Each scenario mints a scenario span, one
+// attempt span per attempt, and shares one campaign root — a handful of
+// time.Now calls, map copies, and ring appends per scenario. The acceptance
+// budget is <5%; numbers are recorded in EXPERIMENTS.md.
+func BenchmarkCampaignObsOverhead(b *testing.B) {
+	set := campaign.MixedPreset(8, 2021)
+	for _, arm := range []struct {
+		name   string
+		tracer func() *obs.Tracer
+	}{
+		{"obs=off", func() *obs.Tracer { return nil }},
+		{"obs=on", func() *obs.Tracer {
+			return obs.NewTracer(obs.NewSpanMetrics().Sink(), obs.NewRecorder(0).SpanSink())
+		}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := campaign.Engine{Workers: 4, Obs: arm.tracer()}
+				sum, err := eng.Run(set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Scenarios != len(set) {
+					b.Fatalf("ran %d scenarios, want %d", sum.Scenarios, len(set))
 				}
 			}
 			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")

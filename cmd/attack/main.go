@@ -22,8 +22,10 @@ func main() {
 	name := flag.String("attack", "poisonedtx", "singlestep | ringflood | poisonedtx | forward | surveillance | dos")
 	trials := flag.Int("trials", 16, "offline boot-study trials (ringflood)")
 	traceN := flag.Int("trace", 0, "print the last N machine events after the attack (0 = off)")
-	cf := cliutil.New("attack").WithSeed().WithStrict()
+	cf := cliutil.New("attack").WithSeed().WithStrict().WithLog()
 	cf.Parse()
+	log := cf.Logger(nil)
+	log.Debug("attack starting", "attack", *name, "seed", *cf.Seed, "mode", cf.Mode().String())
 
 	r, err := run(*name, *cf.Seed, cf.Mode(), *trials, *traceN)
 	if err != nil {

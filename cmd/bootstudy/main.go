@@ -28,8 +28,10 @@ func main() {
 	trials := flag.Int("trials", 256, "reboots per configuration")
 	sweep := flag.Bool("sweep", false, "sweep boot jitter amplitude (D5 ablation)")
 	queues := flag.Bool("queues", false, "sweep RX queue count (larger machines, §5.3)")
-	cf := cliutil.New("bootstudy").WithSeed().WithWorkers()
+	cf := cliutil.New("bootstudy").WithSeed().WithWorkers().WithLog()
 	cf.Parse()
+	log := cf.Logger(nil)
+	log.Debug("boot study starting", "trials", *trials, "seed", *cf.Seed, "sweep", *sweep, "queues", *queues)
 	if *cf.Workers > 0 {
 		runtime.GOMAXPROCS(*cf.Workers)
 	}

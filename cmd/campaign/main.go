@@ -14,12 +14,16 @@
 //	campaign -fault "dma-corrupt:0.01" -n 16  # inject faults into every boot
 //	campaign -journal run.jsonl ...           # record completed scenarios
 //	campaign -journal run.jsonl -resume ...   # skip scenarios already done
+//	campaign -spans spans.jsonl ...           # export wall-clock spans as JSONL
+//	campaign -watch http://localhost:8077/campaigns/1  # tail a dmafaultd job
 //	campaign -list                            # available presets and kinds
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync/atomic"
@@ -27,7 +31,9 @@ import (
 
 	"dmafault/internal/campaign"
 	"dmafault/internal/cliutil"
+	"dmafault/internal/faultd"
 	"dmafault/internal/faultinject"
+	"dmafault/internal/obs"
 	"dmafault/internal/par"
 )
 
@@ -40,9 +46,23 @@ func main() {
 	faultSpec := flag.String("fault", "", "fault-injection spec applied to scenarios without their own (e.g. \"dma-corrupt:0.01,alloc-fail@3\")")
 	journalPath := flag.String("journal", "", "record completed scenarios to this JSONL journal")
 	resume := flag.Bool("resume", false, "with -journal: skip scenarios the journal already records and append new ones")
-	cf := cliutil.New("campaign").WithSeed().WithWorkers().WithJSON().WithOut().WithQuiet()
+	spansOut := flag.String("spans", "", "write the run's wall-clock spans (campaign/scenario/attempt) to this JSONL file")
+	watch := flag.String("watch", "", "tail a running dmafaultd job over SSE instead of running locally (job URL, e.g. http://localhost:8077/campaigns/1)")
+	cf := cliutil.New("campaign").WithSeed().WithWorkers().WithJSON().WithOut().WithQuiet().WithLog()
 	cf.Parse()
-	seed, workers, jsonOut, quiet := cf.Seed, cf.Workers, cf.JSON, cf.Quiet
+	seed, workers, jsonOut := cf.Seed, cf.Workers, cf.JSON
+	log := cf.Logger(nil)
+
+	if *watch != "" {
+		status, err := watchJob(os.Stdout, *watch)
+		if err != nil {
+			cf.Fatal(err)
+		}
+		if status != string(faultd.StatusDone) {
+			cf.Fatal(fmt.Errorf("job finished with status %q", status))
+		}
+		return
+	}
 
 	if *list {
 		names := make([]string, 0, len(campaign.Presets))
@@ -95,6 +115,11 @@ func main() {
 	}
 
 	eng := campaign.Engine{Workers: *workers}
+	var spanCol *obs.Collector
+	if *spansOut != "" {
+		spanCol = &obs.Collector{}
+		eng.Obs = obs.NewTracer(spanCol.Sink())
+	}
 	if *journalPath != "" {
 		if *resume {
 			restored, err := campaign.LoadJournal(*journalPath, scenarios)
@@ -102,9 +127,9 @@ func main() {
 				cf.Fatal(err)
 			}
 			eng.Completed = restored
-			if !*quiet && len(restored) > 0 {
-				fmt.Fprintf(os.Stderr, "campaign: resumed %d/%d scenarios from %s\n",
-					len(restored), len(scenarios), *journalPath)
+			if len(restored) > 0 {
+				log.Info("resumed from journal",
+					"restored", len(restored), "total", len(scenarios), "journal", *journalPath)
 			}
 		}
 		j, err := campaign.OpenJournal(*journalPath, scenarios, *resume)
@@ -116,7 +141,7 @@ func main() {
 	}
 	var done atomic.Int64
 	done.Store(int64(len(eng.Completed)))
-	if !*quiet {
+	if log.Enabled(context.Background(), slog.LevelInfo) {
 		total := len(scenarios)
 		eng.OnResult = func(i int, r *campaign.Result) {
 			d := done.Add(1)
@@ -129,7 +154,7 @@ func main() {
 			if r.Outcome != "" {
 				status = r.Outcome
 			}
-			fmt.Fprintf(os.Stderr, "[%4d/%d] %-40s %s\n", d, total, r.ID, status)
+			log.Info("scenario done", "done", d, "total", total, "id", r.ID, "status", status)
 		}
 	}
 	start := time.Now()
@@ -138,6 +163,20 @@ func main() {
 		cf.Fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if spanCol != nil {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			cf.Fatal(err)
+		}
+		if err := spanCol.WriteJSONL(f); err != nil {
+			cf.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			cf.Fatal(err)
+		}
+		log.Info("spans written", "path", *spansOut, "spans", len(spanCol.Spans()))
+	}
 
 	if *cf.Out != "" || *jsonOut {
 		data, err := summary.JSON()
@@ -158,6 +197,9 @@ func main() {
 	if w <= 0 {
 		w = par.DefaultWorkers()
 	}
-	fmt.Fprintf(os.Stderr, "ran %d scenarios in %.1fs (%.1f scenarios/s, %d workers)\n",
-		len(scenarios), elapsed.Seconds(), float64(len(scenarios))/elapsed.Seconds(), w)
+	log.Info("campaign complete",
+		"scenarios", len(scenarios),
+		"elapsed", elapsed.Round(time.Millisecond).String(),
+		"rate", fmt.Sprintf("%.1f/s", float64(len(scenarios))/elapsed.Seconds()),
+		"workers", w)
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Watch mode: tail a running dmafaultd job over its SSE event stream
+// (GET /campaigns/{id}/events) and render each event as one line. The stream
+// carries cumulative "progress" heartbeats, completed "span" records,
+// per-scenario "result" records, and a terminal "status" event, after which
+// the server closes the stream.
+
+// watchJob connects to the job's event stream and copies events to w until
+// the terminal status arrives (or the stream ends). It returns the final
+// status it saw ("" if the stream ended without one).
+func watchJob(w io.Writer, jobURL string) (string, error) {
+	u := strings.TrimRight(jobURL, "/")
+	if !strings.HasSuffix(u, "/events") {
+		u += "/events"
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return "", fmt.Errorf("watch %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", fmt.Errorf("watch %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			fmt.Fprintf(w, "%-8s %s\n", event, data)
+			if event == "status" {
+				var st struct {
+					Status string `json:"status"`
+				}
+				_ = json.Unmarshal([]byte(data), &st)
+				return st.Status, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("watch %s: %w", u, err)
+	}
+	return "", nil
+}

@@ -16,8 +16,10 @@ import (
 
 func main() {
 	iterations := flag.Int("iterations", 16, "build+ping workload rounds")
-	cf := cliutil.New("dkasan").WithSeed().WithStrict()
+	cf := cliutil.New("dkasan").WithSeed().WithStrict().WithLog()
 	cf.Parse()
+	log := cf.Logger(nil)
+	log.Debug("dkasan boot", "seed", *cf.Seed, "iterations", *iterations, "mode", cf.Mode().String())
 
 	mode := cf.Mode()
 	dk := dkasan.New()

@@ -31,7 +31,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net"
 	"net/http"
 	"os"
@@ -41,6 +40,7 @@ import (
 
 	"dmafault/internal/cliutil"
 	"dmafault/internal/faultd"
+	"dmafault/internal/obs"
 )
 
 func main() {
@@ -59,10 +59,18 @@ func main() {
 		"quarantine a scenario after this many panic/timeout outcomes across jobs (0 disables the circuit breaker)")
 	quarantineProbeAfter := flag.Int("quarantine-probe-after", 2,
 		"jobs a quarantined scenario sits out before a half-open probe run")
-	cf := cliutil.New("dmafaultd").WithWorkers().WithQuiet()
+	cf := cliutil.New("dmafaultd").WithWorkers().WithQuiet().WithLog()
 	cf.Parse()
 
+	// The flight recorder sees every record regardless of console level; its
+	// retained window is what the supervisor dumps on stall, panic,
+	// quarantine trip, and SIGTERM.
+	rec := obs.NewRecorder(0)
+	log := cf.Logger(rec)
+
 	srv := faultd.NewServer()
+	srv.Log = log
+	srv.Recorder = rec
 	srv.Workers = *cf.Workers
 	srv.JournalDir = *journalDir
 	srv.MaxConcurrent = *maxConcurrent
@@ -76,10 +84,10 @@ func main() {
 	if *journalDir != "" {
 		recovered, err := srv.RecoverJobs()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmafaultd: recover: %v\n", err)
+			log.Error("journal recovery failed", "err", err, "journal_dir", *journalDir)
 		}
-		if recovered > 0 && !*cf.Quiet {
-			fmt.Fprintf(os.Stderr, "dmafaultd: resumed %d interrupted job(s) from %s\n", recovered, *journalDir)
+		if recovered > 0 {
+			log.Info("resumed interrupted jobs", "jobs", recovered, "journal_dir", *journalDir)
 		}
 	}
 
@@ -89,9 +97,13 @@ func main() {
 	if err != nil {
 		cf.Fatal(err)
 	}
-	if !*cf.Quiet {
-		fmt.Fprintf(os.Stderr, "dmafaultd: listening on %s (POST /campaigns, GET /metrics, /healthz, /debug/pprof)\n", ln.Addr())
-	}
+	// soaksmoke parses this record (msg=listening, addr=...) to find the
+	// resolved ephemeral port — keep the message and the addr key stable.
+	log.Info("listening",
+		"addr", ln.Addr().String(),
+		"queue_depth", *queueDepth,
+		"max_concurrent", *maxConcurrent,
+		"journal_dir", *journalDir)
 
 	hs := &http.Server{Handler: srv.Handler()}
 	idle := make(chan struct{})
@@ -100,18 +112,16 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 		<-sig
-		if !*cf.Quiet {
-			fmt.Fprintf(os.Stderr, "dmafaultd: shutting down (draining up to %s)\n", *shutdownTimeout)
-		}
+		log.Info("shutting down", "drain_deadline", shutdownTimeout.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		// Stop accepting, finish in-flight requests, then drain (or cancel)
 		// running jobs so their journals record every completed scenario.
 		if err := hs.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "dmafaultd: shutdown: %v\n", err)
+			log.Error("http shutdown", "err", err)
 		}
 		if err := srv.Drain(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "dmafaultd: drain: cancelled remaining jobs (%v)\n", err)
+			log.Warn("drain deadline expired, cancelled remaining jobs", "err", err)
 		}
 	}()
 

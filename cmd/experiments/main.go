@@ -23,8 +23,10 @@ func main() {
 	id := flag.String("run", "", "experiment ID (T1,T2,F1..F9,S2.4,S5.2.1,S5.3,S6,S7); empty = all")
 	quick := flag.Bool("quick", false, "reduced trial counts")
 	trials := flag.Int("trials", 0, "override boot-study trial count")
-	cf := cliutil.New("experiments").WithOut()
+	cf := cliutil.New("experiments").WithOut().WithLog()
 	cf.Parse()
+	log := cf.Logger(nil)
+	log.Debug("experiments starting", "run", *id, "quick", *quick)
 
 	cfg := experiments.DefaultConfig
 	if *quick {

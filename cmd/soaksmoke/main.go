@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -27,29 +28,35 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"dmafault/internal/cliutil"
 )
 
-var listenRE = regexp.MustCompile(`listening on (\S+)`)
+// The daemon announces its listener as a structured slog record
+// (msg=listening addr=HOST:PORT ...); addrRE pulls the resolved address out
+// of that line.
+var addrRE = regexp.MustCompile(`\baddr=(\S+)`)
 
 func main() {
-	seed := flag.Int64("seed", 2021, "seed for the cancellation chaos")
 	keep := flag.Bool("keep", false, "keep the scratch directory for inspection")
-	flag.Parse()
-	if err := run(*seed, *keep); err != nil {
-		fmt.Fprintln(os.Stderr, "soaksmoke: FAIL:", err)
+	cf := cliutil.New("soaksmoke").WithSeed().WithLog()
+	cf.Parse()
+	log := cf.Logger(nil)
+	if err := run(log, *cf.Seed, *keep); err != nil {
+		log.Error("soak failed", "err", err)
 		os.Exit(1)
 	}
 	fmt.Println("soaksmoke: OK")
 }
 
-func run(seed int64, keep bool) error {
+func run(log *slog.Logger, seed int64, keep bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	dir, err := os.MkdirTemp("", "soaksmoke-")
 	if err != nil {
 		return err
 	}
 	if keep {
-		fmt.Println("soaksmoke: scratch dir", dir)
+		log.Info("keeping scratch dir", "dir", dir)
 	} else {
 		defer os.RemoveAll(dir)
 	}
@@ -150,8 +157,8 @@ func run(seed int64, keep bool) error {
 	if err := d2.term(15 * time.Second); err != nil {
 		return fmt.Errorf("graceful shutdown: %w", err)
 	}
-	fmt.Printf("soaksmoke: %d jobs (%d chaos-cancelled), victim %d resumed after kill -9\n",
-		len(ids)+2, len(cancelled), victim)
+	log.Info("soak finished",
+		"jobs", len(ids)+2, "chaos_cancelled", len(cancelled), "recovered_victim", victim)
 	return nil
 }
 
@@ -207,7 +214,11 @@ func startDaemon(bin, journalDir string) (*daemon, error) {
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
-			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+			line := sc.Text()
+			if !strings.Contains(line, "msg=listening") {
+				continue
+			}
+			if m := addrRE.FindStringSubmatch(line); m != nil {
 				addrCh <- m[1]
 			}
 		}

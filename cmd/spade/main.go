@@ -29,13 +29,15 @@ func main() {
 	trace := flag.String("trace", "", "print the recursive trace for this file (path as analyzed)")
 	curated := flag.Bool("curated", false, "analyze the curated nvme_fc/i40e sources instead of the corpus")
 	depth := flag.Int("depth", 4, "cross-function backtracking depth limit")
-	cf := cliutil.New("spade").WithJSON()
+	cf := cliutil.New("spade").WithJSON().WithLog()
 	cf.Parse()
+	log := cf.Logger(nil)
 
 	files, err := loadSources(*dir, *curated)
 	if err != nil {
 		cf.Fatal(err)
 	}
+	log.Debug("corpus loaded", "files", len(files), "depth", *depth, "curated", *curated)
 	an := spade.NewAnalyzer(files)
 	an.MaxDepth = *depth
 	rep := an.Run()

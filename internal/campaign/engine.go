@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"dmafault/internal/obs"
 	"dmafault/internal/par"
 )
 
@@ -73,6 +74,13 @@ type Engine struct {
 	// still aggregate, so a resumed campaign's summary is byte-identical to
 	// an uninterrupted run's.
 	Completed map[int]*Result
+	// Obs, if set, mints wall-clock spans at campaign → scenario → attempt
+	// granularity (plus retry-backoff waits) and fans them out to the
+	// tracer's sinks. Spans are operator data on a separate plane: they never
+	// enter the Summary, the journal, or any metric snapshot aggregated into
+	// deterministic artifacts (TestEngineObsDoesNotPerturbDeterminism pins
+	// this). A nil tracer records nothing at zero cost.
+	Obs *obs.Tracer
 }
 
 // Run executes the scenario set without external cancellation.
@@ -102,6 +110,9 @@ func (e Engine) RunCtx(ctx context.Context, scenarios []Scenario) (*Summary, err
 			results[i] = r
 		}
 	}
+	root := e.Obs.Start("campaign",
+		obs.Af("scenarios", "%d", len(scs)),
+		obs.Af("restored", "%d", len(e.Completed)))
 	err := par.ForEachCtx(ctx, len(scs), e.Workers, func(ctx context.Context, i int) error {
 		if results[i] != nil {
 			return nil // restored from the journal
@@ -109,22 +120,32 @@ func (e Engine) RunCtx(ctx context.Context, scenarios []Scenario) (*Summary, err
 		if e.OnClaim != nil {
 			e.OnClaim(i)
 		}
+		sp := root.Child("scenario",
+			obs.A("id", scs[i].ID),
+			obs.A("kind", string(scs[i].Kind)),
+			obs.Af("index", "%d", i))
 		var r *Result
 		var err error
 		if e.Gate != nil {
 			r = e.Gate(i, &scs[i])
+			if r != nil {
+				sp.SetAttr("gated", "true")
+			}
 		}
 		if r == nil {
-			r, err = e.execute(ctx, scs[i])
+			r, err = e.execute(ctx, scs[i], sp)
 		}
 		if err != nil {
+			sp.End(obs.A("outcome", "error"))
 			return err
 		}
 		if r == nil {
 			// Cancelled mid-attempt: leave the slot empty and unjournaled
 			// so a resume re-executes the scenario from scratch.
+			sp.End(obs.A("outcome", "cancelled"))
 			return nil
 		}
+		sp.End(obs.A("outcome", ResultOutcome(r)))
 		if e.Journal != nil {
 			if err := e.Journal.Record(i, r); err != nil {
 				return fmt.Errorf("journal: %w", err)
@@ -137,15 +158,47 @@ func (e Engine) RunCtx(ctx context.Context, scenarios []Scenario) (*Summary, err
 		return nil
 	})
 	if err != nil {
+		root.End(obs.A("outcome", "error"))
 		return nil, err
 	}
+	for _, r := range results {
+		if r != nil {
+			continue
+		}
+		// Cancellation can land after every scenario is claimed, in which
+		// case ForEachCtx reports success with empty slots left behind; a
+		// summary over them would misreport the campaign as complete.
+		if err = ctx.Err(); err == nil {
+			err = context.Canceled
+		}
+		root.End(obs.A("outcome", "error"))
+		return nil, err
+	}
+	root.End()
 	return Aggregate(results), nil
+}
+
+// ResultOutcome labels a result with the result's classification: the
+// explicit Outcome (panic, timeout, quarantined, ...), else error/miss/ok.
+func ResultOutcome(r *Result) string {
+	switch {
+	case r.Outcome != "":
+		return r.Outcome
+	case r.Err != "":
+		return "error"
+	case !r.Success:
+		return "miss"
+	default:
+		return "ok"
+	}
 }
 
 // execute runs one scenario through the guarded attempt loop, retrying
 // transient injected failures with capped exponential backoff. A nil result
-// (no error) means the context fired mid-attempt.
-func (e Engine) execute(ctx context.Context, s Scenario) (*Result, error) {
+// (no error) means the context fired mid-attempt. Each attempt and each
+// backoff wait gets a wall-clock span under the scenario span sp (which may
+// be nil).
+func (e Engine) execute(ctx context.Context, s Scenario, sp *obs.ActiveSpan) (*Result, error) {
 	maxRetries := e.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = DefaultMaxRetries
@@ -159,7 +212,16 @@ func (e Engine) execute(ctx context.Context, s Scenario) (*Result, error) {
 	}
 	var r *Result
 	for attempt := 0; ; attempt++ {
+		asp := sp.Child("attempt", obs.Af("attempt", "%d", attempt))
 		nr, err := e.guarded(ctx, s, attempt)
+		switch {
+		case err != nil:
+			asp.End(obs.A("outcome", "error"))
+		case nr == nil:
+			asp.End(obs.A("outcome", "cancelled"))
+		default:
+			asp.End(obs.A("outcome", ResultOutcome(nr)))
+		}
 		if err != nil || nr == nil {
 			return nil, err
 		}
@@ -168,11 +230,14 @@ func (e Engine) execute(ctx context.Context, s Scenario) (*Result, error) {
 		if !(r.transient && attempt < maxRetries) {
 			return r, nil
 		}
+		bsp := sp.Child("retry-backoff", obs.Af("attempt", "%d", attempt))
 		select {
 		case <-ctx.Done():
 			// The last attempt's result is real and completed: keep it.
+			bsp.End(obs.A("outcome", "cancelled"))
 			return r, nil
 		case <-time.After(backoff):
+			bsp.End()
 		}
 		if backoff *= 2; backoff > MaxRetryBackoff {
 			backoff = MaxRetryBackoff

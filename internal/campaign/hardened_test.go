@@ -158,6 +158,23 @@ func TestRunCtxPreCancelled(t *testing.T) {
 	}
 }
 
+// TestRunCtxCancelAfterClaimReportsCancellation: when cancellation lands
+// after the final scenario is claimed, the worklist drains cleanly but the
+// cancelled scenario's slot stays nil — the run must surface the
+// cancellation, not aggregate a summary over empty slots (it used to
+// crash in Aggregate for single-scenario jobs stalled under the watchdog).
+func TestRunCtxCancelAfterClaimReportsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := Engine{Workers: 1, OnClaim: func(int) { cancel() }}
+	sum, err := eng.RunCtx(ctx, []Scenario{{Kind: KindWindowLadder, Seed: 1}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sum != nil {
+		t.Fatalf("cancelled run still produced a summary: %+v", sum)
+	}
+}
+
 func TestFaultSpecValidation(t *testing.T) {
 	bad := Scenario{Kind: KindWindowLadder, FaultSpec: "warp-core:0.5"}
 	bad.Normalize(0)

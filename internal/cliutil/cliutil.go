@@ -8,9 +8,11 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"dmafault/internal/iommu"
+	"dmafault/internal/obs"
 )
 
 // DefaultSeed is the repo-wide boot seed (the paper's publication year).
@@ -20,12 +22,14 @@ const DefaultSeed = 2021
 // the matching With* method runs, so a binary only advertises the flags it
 // actually reads.
 type Flags struct {
-	Seed    *int64
-	Workers *int
-	Strict  *bool
-	JSON    *bool
-	Out     *string
-	Quiet   *bool
+	Seed      *int64
+	Workers   *int
+	Strict    *bool
+	JSON      *bool
+	Out       *string
+	Quiet     *bool
+	LogLevel  *string
+	LogFormat *string
 
 	prog string
 	fs   *flag.FlagSet
@@ -76,6 +80,38 @@ func (f *Flags) WithOut() *Flags {
 func (f *Flags) WithQuiet() *Flags {
 	f.Quiet = f.fs.Bool("quiet", false, "suppress progress lines")
 	return f
+}
+
+// WithLog registers -log-level and -log-format: the structured diagnostic
+// stream every command emits on stderr.
+func (f *Flags) WithLog() *Flags {
+	f.LogLevel = f.fs.String("log-level", "info", "diagnostic log level (debug|info|warn|error)")
+	f.LogFormat = f.fs.String("log-format", obs.FormatText, "diagnostic log format (text|json)")
+	return f
+}
+
+// Logger resolves the -log-level/-log-format flags into a structured stderr
+// logger, teeing every record into rec when one is given (rec may be nil).
+// -quiet raises the console floor to warn, matching the progress-line
+// contract; the recorder still sees everything. Flag spelling errors are
+// fatal, like any other bad flag value.
+func (f *Flags) Logger(rec *obs.Recorder) *slog.Logger {
+	level, format := slog.LevelInfo, obs.FormatText
+	var err error
+	if f.LogLevel != nil {
+		if level, err = obs.ParseLevel(*f.LogLevel); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if f.LogFormat != nil {
+		if format, err = obs.ParseFormat(*f.LogFormat); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if f.Quiet != nil && *f.Quiet && level < slog.LevelWarn {
+		level = slog.LevelWarn
+	}
+	return obs.NewLogger(os.Stderr, format, level, rec)
 }
 
 // Parse parses the underlying flag set (command line when bound via New).

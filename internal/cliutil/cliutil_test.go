@@ -1,12 +1,15 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"dmafault/internal/iommu"
+	"dmafault/internal/obs"
 )
 
 func TestFlagsRegisterOnlyWhatWasAsked(t *testing.T) {
@@ -58,6 +61,39 @@ func TestModeResolution(t *testing.T) {
 	// Mode without the flag registered stays at the Linux default.
 	if NewWith("t", flag.NewFlagSet("t", flag.ContinueOnError)).Mode() != iommu.Deferred {
 		t.Error("unregistered strict flag must mean deferred")
+	}
+}
+
+func TestWithLogAndLogger(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := NewWith("t", fs).WithLog().WithQuiet()
+	if fs.Lookup("log-level") == nil || fs.Lookup("log-format") == nil {
+		t.Fatal("WithLog did not register its flags")
+	}
+	if err := fs.Parse([]string{"-log-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(8)
+	log := f.Logger(rec)
+	log.Debug("claimed", "scenario", "s0")
+	recs := rec.Records()
+	if len(recs) != 1 || recs[0].Msg != "claimed" || recs[0].Attrs["scenario"] != "s0" {
+		t.Fatalf("recorder tee = %+v", recs)
+	}
+
+	// -quiet raises the console floor to warn; a logger built without the
+	// flags registered still works.
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	f2 := NewWith("t", fs2).WithLog().WithQuiet()
+	if err := fs2.Parse([]string{"-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	if f2.Logger(nil).Enabled(context.Background(), slog.LevelInfo) {
+		t.Error("-quiet left info enabled on the console")
+	}
+	if !NewWith("t", flag.NewFlagSet("t", flag.ContinueOnError)).Logger(nil).
+		Enabled(context.Background(), slog.LevelInfo) {
+		t.Error("logger without registered flags must default to info")
 	}
 }
 

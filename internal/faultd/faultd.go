@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"path/filepath"
@@ -53,6 +54,7 @@ import (
 
 	"dmafault/internal/campaign"
 	"dmafault/internal/metrics"
+	"dmafault/internal/obs"
 )
 
 // MaxScenarios bounds one submission; larger sets are rejected with 400
@@ -109,6 +111,12 @@ type Job struct {
 	stalled    bool      // set by the watchdog before it cancels
 	adm        *admission
 	keys       []string // per-index scenario keys (breaker identity)
+	// hub fans the job's live events (spans, results, status) out to SSE
+	// subscribers; closed when the job reaches a terminal status.
+	hub *obs.Hub
+	// panicDumped limits the panic-triggered flight dump to once per job,
+	// guarded by Server.mu.
+	panicDumped bool
 }
 
 // Request is the POST /campaigns body. Exactly one of Scenarios or Preset
@@ -166,6 +174,17 @@ type Server struct {
 	// Now is the injected clock for queue-wait measurement and stall
 	// detection timestamps; nil means time.Now.
 	Now func() time.Time
+	// Log receives the service's structured diagnostics; nil discards them.
+	Log *slog.Logger
+	// Recorder, when set, is the always-on flight recorder: spans and events
+	// land in its ring and the supervisor dumps the retained window to the
+	// journal directory on stall, panic, quarantine trip, and shutdown. Its
+	// retention counters are exported (via metrics.OmitZero) once Handler is
+	// built.
+	Recorder *obs.Recorder
+	// HeartbeatInterval paces SSE "progress" events on
+	// GET /campaigns/{id}/events. <= 0 means DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
 
 	mu           sync.Mutex
 	jobs         []*Job       // submission order, for listing
@@ -204,6 +223,14 @@ type Server struct {
 	quarantineTrips      *metrics.Counter
 	quarantineProbes     *metrics.Counter
 	scenariosQuarantined *metrics.Counter
+
+	// Observability plane (obs.go): spanMetrics summarizes every completed
+	// wall-clock span into obs_span_duration_seconds (absent until one
+	// completes, via OmitZero); tracer mints the request spans; obsOnce
+	// defers Recorder registration until Handler, when the field is final.
+	spanMetrics *obs.SpanMetrics
+	tracer      *obs.Tracer
+	obsOnce     sync.Once
 }
 
 // QueueWaitBuckets are the faultd_queue_wait_seconds histogram bounds.
@@ -234,6 +261,8 @@ func NewServer() *Server {
 		quarantineTrips:      metrics.NewCounter("faultd_quarantine_trips_total", "Scenario circuit-breaker trips."),
 		quarantineProbes:     metrics.NewCounter("faultd_quarantine_probes_total", "Half-open probe jobs admitted for tripped scenarios."),
 		scenariosQuarantined: metrics.NewCounter("faultd_scenarios_quarantined_total", "Scenario runs short-circuited by the circuit breaker."),
+
+		spanMetrics: obs.NewSpanMetrics(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.reg.MustRegister(s.requests, s.campaignsStarted, s.campaignsDone,
@@ -244,6 +273,7 @@ func NewServer() *Server {
 		metrics.OmitZero(s.rejectedDraining), metrics.OmitZero(s.jobsStalled),
 		metrics.OmitZero(s.jobsRecovered), metrics.OmitZero(s.quarantineTrips),
 		metrics.OmitZero(s.quarantineProbes), metrics.OmitZero(s.scenariosQuarantined))
+	s.reg.MustRegister(metrics.OmitZero(s.spanMetrics))
 	return s
 }
 
@@ -254,8 +284,19 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-// Handler builds the service mux.
+// Handler builds the service mux. It also finalizes the observability
+// plane: the flight recorder's retention counters are registered here (not
+// in NewServer — the Recorder field is still nil there, and its metrics
+// methods are the one part of the obs API that is not nil-receiver safe),
+// and the server tracer that mints per-request spans is built against the
+// final Recorder value.
 func (s *Server) Handler() http.Handler {
+	s.obsOnce.Do(func() {
+		if s.Recorder != nil {
+			s.reg.MustRegister(metrics.OmitZero(s.Recorder))
+		}
+		s.tracer = obs.NewTracer(s.spanMetrics.Sink(), s.Recorder.SpanSink())
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -263,6 +304,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleJob)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -271,6 +313,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Inc()
+		// The request span ends after the handler returns, so a /metrics
+		// scrape never observes its own span — idle expositions stay empty.
+		sp := s.tracer.Start("request",
+			obs.A("method", r.Method), obs.A("path", r.URL.Path))
+		defer sp.End()
 		mux.ServeHTTP(w, r)
 	})
 }
@@ -346,9 +393,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(admErr, errDraining):
 			s.rejectedDraining.Inc()
+			s.logger().Warn("submission rejected", "reason", "draining")
 			http.Error(w, "draining: not accepting new campaigns", http.StatusServiceUnavailable)
 		case errors.Is(admErr, errQueueFull):
 			s.rejectedFull.Inc()
+			s.logger().Warn("submission rejected", "reason", "queue full", "queue_cap", s.queueCap())
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "job queue full, retry later", http.StatusTooManyRequests)
 		default:
@@ -356,6 +405,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.logger().Info("job accepted", "job", job.ID, "name", job.Name,
+		"scenarios", job.ScenariosTotal, "workers", req.Workers)
 
 	if s.Synchronous {
 		s.runWorker(job)
@@ -402,8 +453,11 @@ func resolveScenarios(req *Request) ([]campaign.Scenario, error) {
 }
 
 // runJob executes the campaign and publishes the outcome. It runs on a
-// worker goroutine with a scheduler slot held (see supervisor.go).
+// worker goroutine with a scheduler slot held (see supervisor.go). The
+// deferred publishTerminal runs after the per-branch unlock defers (LIFO),
+// so the terminal status is broadcast only once it is visible in the table.
 func (s *Server) runJob(job *Job) {
+	defer s.publishTerminal(job)
 	workers := job.workers
 	if workers <= 0 {
 		workers = s.Workers
@@ -411,6 +465,7 @@ func (s *Server) runJob(job *Job) {
 	eng := campaign.Engine{
 		Workers:   workers,
 		Completed: job.restored,
+		Obs:       s.jobTracer(job),
 		OnClaim: func(i int) {
 			s.beat(job)
 		},
@@ -419,13 +474,24 @@ func (s *Server) runJob(job *Job) {
 			s.mu.Lock()
 			job.ScenariosDone++
 			job.lastBeat = s.now()
+			done := job.ScenariosDone
+			panicDump := r.Outcome == campaign.OutcomePanic && !job.panicDumped
+			if panicDump {
+				job.panicDumped = true
+			}
 			s.mu.Unlock()
+			s.publishResult(job, i, r, done)
+			if panicDump {
+				s.logger().Warn("scenario panicked", "job", job.ID, "index", i, "id", r.ID)
+				s.flightDump("panic", job)
+			}
 		},
 		Gate: s.quarantineGate(job),
 	}
 	if s.JournalDir != "" {
 		j, err := campaign.OpenJournal(filepath.Join(s.JournalDir, fmt.Sprintf("job-%d.jsonl", job.ID)), job.scs, job.resume)
 		if err != nil {
+			s.logger().Error("journal open failed", "job", job.ID, "err", err)
 			s.quarantineAbort(job)
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -447,6 +513,7 @@ func (s *Server) runJob(job *Job) {
 			job.Error = fmt.Sprintf("stalled: no progress within %s", s.StallTimeout)
 			s.jobsStalled.Inc()
 			s.campaignsFailed.Inc()
+			s.flightDump("stall", job)
 			return
 		}
 		job.Status = StatusCancelled

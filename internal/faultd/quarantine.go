@@ -218,6 +218,8 @@ func (s *Server) quarantineReport(job *Job, results []*campaign.Result) {
 	}
 	if trips := s.breaker().report(job.adm, job.keys, results); trips > 0 {
 		s.quarantineTrips.Add(uint64(trips))
+		s.logger().Warn("quarantine breaker tripped", "job", job.ID, "trips", trips)
+		s.flightDump("quarantine", job)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"dmafault/internal/campaign"
+	"dmafault/internal/obs"
 )
 
 // Crash recovery at boot: the service analogue of `cmd/campaign -resume`.
@@ -94,7 +95,10 @@ func (s *Server) resumeJob(id int, st *campaign.JournalState) {
 		restored:   st.Restored,
 		resume:     true,
 		enqueuedAt: s.now(),
+		hub:        obs.NewHub(),
 	}
+	s.logger().Info("resuming recovered job", "job", id,
+		"restored", len(st.Restored), "total", len(st.Scenarios))
 	s.mu.Lock()
 	s.jobsByID[id] = job
 	s.jobs = append(s.jobs, job)

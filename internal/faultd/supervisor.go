@@ -3,9 +3,11 @@ package faultd
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"dmafault/internal/campaign"
+	"dmafault/internal/obs"
 )
 
 // Supervision layer: admission control, the FIFO scheduler, the stuck-job
@@ -56,6 +58,7 @@ func (s *Server) admit(name string, scs []campaign.Scenario, workers int) (*Job,
 		ctx:            ctx, cancel: cancel,
 		scs: scs, workers: workers,
 		enqueuedAt: s.now(),
+		hub:        obs.NewHub(),
 	}
 	s.nextID++
 	s.register(job)
@@ -113,6 +116,15 @@ func (s *Server) dispatch() {
 		s.mu.Unlock()
 		s.queueDepthG.Add(-1)
 		s.queueWait.Observe(wait.Seconds())
+		// The dispatcher measured the wait itself, so the span is synthesized
+		// complete rather than minted through an ActiveSpan.
+		s.emitSpan(job, obs.Span{
+			Name:           "queue-wait",
+			StartUnixNanos: job.enqueuedAt.UnixNano(),
+			DurationNanos:  int64(wait),
+			Attrs:          map[string]string{"job": fmt.Sprintf("%d", job.ID)},
+		})
+		s.logger().Debug("dispatching job", "job", job.ID, "queue_wait", wait)
 		if job.ctx.Err() != nil {
 			s.retireCancelled(job)
 			s.mu.Lock()
@@ -142,6 +154,7 @@ func (s *Server) retireCancelled(job *Job) {
 	job.Error = "cancelled"
 	s.mu.Unlock()
 	s.campaignsCancelled.Inc()
+	s.publishTerminal(job)
 }
 
 // runWorker executes one job end to end: admission through the quarantine
@@ -156,6 +169,7 @@ func (s *Server) runWorker(job *Job) {
 		job.Error = "cancelled"
 		s.mu.Unlock()
 		s.campaignsCancelled.Inc()
+		s.publishTerminal(job)
 		return
 	}
 	s.quarantineAdmit(job)
@@ -205,6 +219,8 @@ func (s *Server) watchJob(job *Job, stop <-chan struct{}) {
 			}
 			s.mu.Unlock()
 			if stalled {
+				s.logger().Warn("watchdog cancelling stalled job",
+					"job", job.ID, "stall_timeout", s.StallTimeout)
 				job.cancel()
 				return
 			}
@@ -247,12 +263,16 @@ func (s *Server) BeginDrain() {
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
 	defer s.stopDispatcher()
+	// The shutdown flight dump ships after the job plane has wound down, so
+	// the retained window covers the whole drain.
+	defer s.flightDump("shutdown", nil)
 	idle := make(chan struct{})
 	go func() { s.wg.Wait(); close(idle) }()
 	select {
 	case <-idle:
 		return nil
 	case <-ctx.Done():
+		s.logger().Warn("drain deadline expired, cancelling remaining jobs")
 		s.CancelAll()
 		<-idle
 		return ctx.Err()

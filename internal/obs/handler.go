@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+)
+
+// RingHandler is a slog.Handler that tees every record into a flight
+// Recorder and forwards it to an inner handler. The tee ignores the inner
+// handler's level: the console may be quiet while the recorder keeps full
+// debug context for the next forensic dump.
+type RingHandler struct {
+	inner  slog.Handler
+	rec    *Recorder
+	prefix string      // dotted group path for attr keys
+	attrs  []slog.Attr // accumulated WithAttrs, already prefixed
+}
+
+// NewRingHandler wraps inner so rec receives a copy of every record.
+func NewRingHandler(inner slog.Handler, rec *Recorder) *RingHandler {
+	return &RingHandler{inner: inner, rec: rec}
+}
+
+// Enabled implements slog.Handler. The ring captures every level; the inner
+// handler's own Enabled gates console output inside Handle.
+func (h *RingHandler) Enabled(ctx context.Context, level slog.Level) bool { return true }
+
+// Handle implements slog.Handler.
+func (h *RingHandler) Handle(ctx context.Context, r slog.Record) error {
+	attrs := make(map[string]string, r.NumAttrs()+len(h.attrs))
+	for _, a := range h.attrs {
+		flattenAttr(attrs, "", a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		flattenAttr(attrs, h.prefix, a)
+		return true
+	})
+	h.rec.Add(Record{
+		TUnixNanos: r.Time.UnixNano(),
+		Kind:       RecordLog,
+		Name:       strings.ToLower(r.Level.String()),
+		Msg:        r.Message,
+		Attrs:      attrs,
+	})
+	if !h.inner.Enabled(ctx, r.Level) {
+		return nil
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *RingHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.inner = h.inner.WithAttrs(attrs)
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), prefixAttrs(h.prefix, attrs)...)
+	return &nh
+}
+
+// WithGroup implements slog.Handler.
+func (h *RingHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.inner = h.inner.WithGroup(name)
+	nh.prefix = h.prefix + name + "."
+	return &nh
+}
+
+// prefixAttrs qualifies attr keys with the current group path.
+func prefixAttrs(prefix string, attrs []slog.Attr) []slog.Attr {
+	if prefix == "" {
+		return attrs
+	}
+	out := make([]slog.Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = slog.Attr{Key: prefix + a.Key, Value: a.Value}
+	}
+	return out
+}
+
+// flattenAttr renders one slog attr (recursing into groups) into the flat
+// string map a Record carries.
+func flattenAttr(dst map[string]string, prefix string, a slog.Attr) {
+	if a.Value.Kind() == slog.KindGroup {
+		gp := prefix
+		if a.Key != "" {
+			gp = prefix + a.Key + "."
+		}
+		for _, ga := range a.Value.Group() {
+			flattenAttr(dst, gp, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	dst[prefix+a.Key] = a.Value.Resolve().String()
+}

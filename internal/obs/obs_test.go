@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"dmafault/internal/metrics"
+)
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+	if f, err := ParseFormat(""); err != nil || f != FormatText {
+		t.Errorf("ParseFormat default = %q, %v", f, err)
+	}
+	if f, err := ParseFormat("JSON"); err != nil || f != FormatJSON {
+		t.Errorf("ParseFormat(JSON) = %q, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat accepted garbage")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, FormatJSON, slog.LevelInfo, nil).Info("hello", "job", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON logger emitted non-JSON %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["job"] != float64(3) {
+		t.Errorf("JSON record = %v", rec)
+	}
+	buf.Reset()
+	NewLogger(&buf, FormatText, slog.LevelWarn, nil).Info("quiet")
+	if buf.Len() != 0 {
+		t.Errorf("info leaked through warn level: %q", buf.String())
+	}
+	Nop().Error("nothing anywhere")
+}
+
+func TestRingHandlerTeesBelowConsoleLevel(t *testing.T) {
+	rec := NewRecorder(16)
+	var buf bytes.Buffer
+	log := NewLogger(&buf, FormatText, slog.LevelWarn, rec)
+	log = log.With("job", 7)
+	log.Debug("invisible on console", "step", "claim")
+	log.WithGroup("queue").Warn("deep", "depth", 3)
+	if strings.Contains(buf.String(), "invisible") {
+		t.Error("debug leaked to console at warn level")
+	}
+	if !strings.Contains(buf.String(), "deep") {
+		t.Error("warn suppressed on console")
+	}
+	records := rec.Records()
+	if len(records) != 2 {
+		t.Fatalf("recorder got %d records, want 2", len(records))
+	}
+	if records[0].Name != "debug" || records[0].Msg != "invisible on console" ||
+		records[0].Attrs["job"] != "7" || records[0].Attrs["step"] != "claim" {
+		t.Errorf("debug record = %+v", records[0])
+	}
+	if records[1].Attrs["queue.depth"] != "3" {
+		t.Errorf("group attr not qualified: %+v", records[1])
+	}
+}
+
+func TestSpansParentAttrsAndJSONL(t *testing.T) {
+	var col Collector
+	tr := NewTracer(col.Sink())
+	root := tr.Start("campaign", A("scenarios", "2"))
+	child := root.Child("scenario", A("id", "s0"))
+	child.End(A("outcome", "panic"))
+	root.End()
+	root.End() // double End emits once
+
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("collected %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "scenario" || spans[0].Parent != root.ID() {
+		t.Errorf("child span = %+v, want parent %d", spans[0], root.ID())
+	}
+	if spans[0].Outcome() != "panic" || spans[1].Outcome() != "ok" {
+		t.Errorf("outcomes = %q, %q", spans[0].Outcome(), spans[1].Outcome())
+	}
+	if spans[1].Attrs["scenarios"] != "2" {
+		t.Errorf("root attrs = %v", spans[1].Attrs)
+	}
+	if spans[0].DurationNanos < 0 || spans[0].StartUnixNanos == 0 {
+		t.Errorf("span timing not stamped: %+v", spans[0])
+	}
+
+	var buf bytes.Buffer
+	if err := col.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpansJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Name != "scenario" || back[0].Attrs["id"] != "s0" {
+		t.Errorf("JSONL roundtrip = %+v", back)
+	}
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("nothing")
+	sp.SetAttr("k", "v")
+	sp.Child("child").End()
+	sp.End(A("outcome", "ok"))
+	if sp != nil {
+		t.Error("nil tracer minted a span")
+	}
+	var rec *Recorder
+	rec.Add(Record{Kind: RecordLog})
+	rec.Event("x", "y")
+	if rec.Records() != nil || rec.Dropped() != 0 {
+		t.Error("nil recorder retained something")
+	}
+	var h *Hub
+	h.Publish(StreamEvent{Type: "progress"})
+	h.Close()
+	ch, cancel := h.Subscribe(1)
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("nil hub delivered an event")
+	}
+}
+
+func TestSpanMetricsFamilies(t *testing.T) {
+	m := NewSpanMetrics()
+	sink := m.Sink()
+	sink(Span{Name: "scenario", DurationNanos: int64(2e6)})
+	sink(Span{Name: "scenario", DurationNanos: int64(3e6), Attrs: map[string]string{"outcome": "panic"}})
+	sink(Span{Name: "attempt", DurationNanos: int64(50e6)})
+	reg := metrics.NewRegistry()
+	reg.MustRegister(m)
+	snap, err := reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 1 || snap.Families[0].Name != "obs_span_duration_seconds" {
+		t.Fatalf("families = %+v", snap.Families)
+	}
+	if got := len(snap.Families[0].Samples); got != 3 {
+		t.Fatalf("samples = %d, want 3 (scenario/ok, scenario/panic, attempt/ok)", got)
+	}
+	for _, s := range snap.Families[0].Samples {
+		if s.Count != 1 || len(s.BucketCounts) != len(DefaultSpanBuckets)+1 {
+			t.Errorf("sample %+v malformed", s)
+		}
+	}
+}
+
+func TestRecorderRingOverflowAndMetrics(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.Add(Record{Kind: RecordLog, Msg: "m"})
+	}
+	rec.Event("watchdog", "fired", A("job", "3"))
+	if got := len(rec.Records()); got != 4 {
+		t.Errorf("retained %d, want ring cap 4", got)
+	}
+	if rec.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", rec.Dropped())
+	}
+	reg := metrics.NewRegistry()
+	reg.MustRegister(metrics.OmitZero(rec))
+	snap, err := reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Total("trace_recorder_dropped_total"); got != 7 {
+		t.Errorf("trace_recorder_dropped_total = %v, want 7", got)
+	}
+	if got := snap.Total("trace_recorder_events_total"); got != 11 {
+		t.Errorf("trace_recorder_events_total = %v, want 11", got)
+	}
+
+	// An untouched recorder registered through OmitZero exposes nothing.
+	reg2 := metrics.NewRegistry()
+	reg2.MustRegister(metrics.OmitZero(NewRecorder(4)))
+	snap2, err := reg2.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap2.Families) != 0 {
+		t.Errorf("idle recorder leaked families: %+v", snap2.Families)
+	}
+}
+
+func TestRecorderDumpRoundtrip(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.Event("stall", "job 3 heartbeat stale", A("job", "3"))
+	rec.SpanSink()(Span{ID: 9, Parent: 2, Name: "attempt", StartUnixNanos: 1, DurationNanos: 5})
+	var buf bytes.Buffer
+	if err := rec.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecordsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Kind != RecordEvent || back[1].Kind != RecordSpan {
+		t.Fatalf("roundtrip = %+v", back)
+	}
+	if back[1].Attrs["span_id"] != "9" || back[1].Attrs["parent_id"] != "2" {
+		t.Errorf("span record attrs = %v", back[1].Attrs)
+	}
+}
+
+func TestHubFanoutDisconnectAndClose(t *testing.T) {
+	h := NewHub()
+	a, cancelA := h.Subscribe(4)
+	b, cancelB := h.Subscribe(4)
+	h.Publish(StreamEvent{Type: "progress"})
+	if e := <-a; e.Type != "progress" {
+		t.Errorf("a got %+v", e)
+	}
+	if e := <-b; e.Type != "progress" {
+		t.Errorf("b got %+v", e)
+	}
+	cancelA()
+	cancelA() // idempotent
+	if h.Subscribers() != 1 {
+		t.Errorf("subscribers = %d after cancel, want 1", h.Subscribers())
+	}
+	// A full buffer drops rather than blocks.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			h.Publish(StreamEvent{Type: "progress"})
+		}
+	}()
+	<-done
+	if h.Dropped() == 0 {
+		t.Error("slow subscriber never dropped")
+	}
+	h.Close()
+	if _, ok := <-b; !ok {
+		// drained to close — fine; channel may hold buffered events first.
+		_ = cancelB
+	}
+	for range b {
+	}
+	if _, ok := <-b; ok {
+		t.Error("hub close did not close subscriber channel")
+	}
+	// Publishing and subscribing after close are inert.
+	h.Publish(StreamEvent{Type: "late"})
+	late, _ := h.Subscribe(1)
+	if _, ok := <-late; ok {
+		t.Error("late subscriber got an event from a closed hub")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	var col Collector
+	m := NewSpanMetrics()
+	rec := NewRecorder(64)
+	tr := NewTracer(col.Sink(), m.Sink(), rec.SpanSink())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			root := tr.Start("scenario", Af("i", "%d", i))
+			for j := 0; j < 16; j++ {
+				root.Child("attempt").End()
+			}
+			root.End()
+		}(i)
+	}
+	wg.Wait()
+	if got := len(col.Spans()); got != 8*17 {
+		t.Errorf("collected %d spans, want %d", got, 8*17)
+	}
+}

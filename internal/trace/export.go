@@ -86,11 +86,21 @@ func (l *Log) Describe() []metrics.Desc {
 	return []metrics.Desc{
 		{Name: "trace_events_retained", Help: "Events currently held in the forensic ring.", Kind: metrics.KindGauge},
 		{Name: "trace_events_dropped_total", Help: "Events shed by ring wraparound.", Kind: metrics.KindCounter},
+		{Name: "trace_events_by_kind_total", Help: "Events appended to the forensic ring by kind (cumulative, survives wraparound).", Kind: metrics.KindCounter},
 	}
 }
 
-// Collect implements metrics.Source.
+// Collect implements metrics.Source. Per-kind totals are emitted only for
+// kinds that occurred, so quiet machines keep lean expositions; the counts
+// derive from the seeded simulation and are fully deterministic.
 func (l *Log) Collect(emit func(name string, s metrics.Sample)) {
 	emit("trace_events_retained", metrics.Sample{Value: float64(l.count)})
 	emit("trace_events_dropped_total", metrics.Sample{Value: float64(l.Dropped)})
+	for k := EvDMAMap; k <= EvEscalation; k++ {
+		if n := l.KindTotal(k); n > 0 {
+			emit("trace_events_by_kind_total", metrics.Sample{
+				Labels: metrics.L("kind", k.String()), Value: float64(n),
+			})
+		}
+	}
 }

@@ -42,6 +42,35 @@ func TestWraparoundDropAccuracy(t *testing.T) {
 	}
 }
 
+// TestPerKindTotalsSurviveWraparound pins the trace_events_by_kind_total
+// family: cumulative per-kind counts keep counting after the ring wraps
+// (CountKind only sees the retained window), and kinds that never occurred
+// stay out of the exposition.
+func TestPerKindTotalsSurviveWraparound(t *testing.T) {
+	clk := sim.NewClock()
+	l := NewLog(clk, 4)
+	for i := 0; i < 9; i++ {
+		clk.Advance(1)
+		l.Append(EvDMAMap, 1, uint64(i), 0, "")
+	}
+	l.Append(EvEscalation, 1, 0, 0, "pwn")
+	if got := l.KindTotal(EvDMAMap); got != 9 {
+		t.Errorf("KindTotal(dma-map) = %d, want 9", got)
+	}
+	if got := l.CountKind(EvDMAMap); got != 3 {
+		t.Errorf("CountKind(dma-map) = %d, want 3 retained", got)
+	}
+	byKind := map[string]float64{}
+	l.Collect(func(name string, s metrics.Sample) {
+		if name == "trace_events_by_kind_total" {
+			byKind[s.Labels[0].Value] = s.Value
+		}
+	})
+	if len(byKind) != 2 || byKind["dma-map"] != 9 || byKind["ESCALATION"] != 1 {
+		t.Errorf("per-kind samples = %v, want dma-map=9 ESCALATION=1 only", byKind)
+	}
+}
+
 func TestJSONLRoundTripLossless(t *testing.T) {
 	clk := sim.NewClock()
 	l := NewLog(clk, 8)

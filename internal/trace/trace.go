@@ -73,6 +73,9 @@ type Log struct {
 	start   int
 	count   int
 	Dropped uint64
+	// kindTotals counts every appended event by kind, cumulatively — unlike
+	// CountKind it survives ring wraparound.
+	kindTotals [EvEscalation + 1]uint64
 }
 
 // NewLog builds a ring holding up to cap events (0 = 4096).
@@ -86,6 +89,9 @@ func NewLog(clock *sim.Clock, cap int) *Log {
 // Append records an event, stamping it with the virtual clock.
 func (l *Log) Append(k Kind, dev uint16, addr, aux uint64, note string) {
 	e := Event{T: l.clock.Now(), Kind: k, Dev: dev, Addr: addr, Aux: aux, Note: note}
+	if int(k) < len(l.kindTotals) {
+		l.kindTotals[k]++
+	}
 	if l.count == len(l.events) {
 		l.events[l.start] = e
 		l.start = (l.start + 1) % len(l.events)
@@ -103,6 +109,15 @@ func (l *Log) Events() []Event {
 		out[i] = l.events[(l.start+i)%len(l.events)]
 	}
 	return out
+}
+
+// KindTotal returns the cumulative append count for the kind (not capped by
+// ring retention).
+func (l *Log) KindTotal(k Kind) uint64 {
+	if int(k) >= len(l.kindTotals) {
+		return 0
+	}
+	return l.kindTotals[k]
 }
 
 // CountKind returns how many retained events have the kind.
