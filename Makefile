@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test race bench campaign faultsmoke soaksmoke
+.PHONY: check fmt build vet test race bench campaign faultsmoke fuzzsmoke soaksmoke
 
-check: fmt vet build race faultsmoke soaksmoke
+check: fmt vet build race faultsmoke fuzzsmoke soaksmoke
 
 # gofmt gate: fail listing any file that needs formatting.
 fmt:
@@ -26,8 +26,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# One pass over every benchmark (-benchtime=1x keeps it minutes, not hours),
+# teed through cmd/benchjson into a benchstat-comparable JSON artifact.
+# Commit BENCH_6.json when the numbers move for a reason worth recording.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . | $(GO) run ./cmd/benchjson -out BENCH_6.json
 
 # A quick §6-shaped mixed campaign; see EXPERIMENTS.md for the full runs.
 campaign:
@@ -39,6 +42,13 @@ campaign:
 faultsmoke:
 	$(GO) run ./cmd/campaign -preset mixed -n 8 -quiet \
 		-fault "dma-corrupt:0.01,alloc-fail:0.002,scenario-panic:0.1" >/dev/null
+
+# Coverage-guided fuzz smoke (~30s): a short seeded fuzz run over the full
+# kind space (page-spray included) with minimization, proving the
+# signature → corpus → energy-schedule loop end to end on every `make check`.
+fuzzsmoke:
+	$(GO) run ./cmd/campaign -fuzz -fuzz-attempts 24 -fuzz-batch 8 \
+		-fuzz-minimize 2 -quiet >/dev/null
 
 # Supervision chaos soak: boot dmafaultd, run fault-injected campaigns
 # through the bounded scheduler, cancel some mid-flight, kill -9 the daemon

@@ -20,6 +20,7 @@ import (
 	"dmafault/internal/corpus"
 	"dmafault/internal/dma"
 	"dmafault/internal/experiments"
+	"dmafault/internal/fuzz"
 	"dmafault/internal/iommu"
 	"dmafault/internal/netstack"
 	"dmafault/internal/obs"
@@ -367,5 +368,38 @@ func BenchmarkCampaignHardeningOverhead(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
 		})
+	}
+}
+
+// BenchmarkPageSprayAttack measures the full "Take a Step Further" chain —
+// boot, RX prime, buffer free, allocator spray, stale-IOTLB write, forged
+// callback — as one campaign scenario per iteration.
+func BenchmarkPageSprayAttack(b *testing.B) {
+	set := []campaign.Scenario{{Kind: campaign.KindPageSpray, Seed: 2021, Trials: 1, Attempts: 1}}
+	for i := 0; i < b.N; i++ {
+		eng := campaign.Engine{Workers: 1}
+		sum, err := eng.Run(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Results[0].Err != "" {
+			b.Fatalf("page spray errored: %s", sum.Results[0].Err)
+		}
+	}
+}
+
+// BenchmarkFuzzSignature is the fuzzer's per-execution bookkeeping cost:
+// result → coverage signature.
+func BenchmarkFuzzSignature(b *testing.B) {
+	r := &campaign.Result{
+		Kind: campaign.KindPageSpray, Success: true, Escalations: 1,
+		WindowPath: "(ii) deferred IOTLB invalidation",
+		Metrics:    map[string]string{"spray": "head", "spray_blocks": "8"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fuzz.Signature(r) == "" {
+			b.Fatal("empty signature")
+		}
 	}
 }

@@ -1,0 +1,43 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON artifact for machine comparison across commits (benchstat consumes
+// the same lines; the JSON carries them verbatim alongside parsed metrics).
+// It tees: the raw benchmark text passes through to stdout unchanged, so it
+// can sit in a pipeline without hiding results.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson -out BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("out", "", "write the JSON artifact to this file (default stdout-only parse check)")
+	flag.Parse()
+
+	doc, err := parse(io.TeeReader(os.Stdin, os.Stdout))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(doc.Benchmarks), *out)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/cliutil"
+	"dmafault/internal/fuzz"
+
+	"log/slog"
+)
+
+type fuzzOptions struct {
+	Attempts int
+	WallTime time.Duration
+	Batch    int
+	Corpus   string
+	Resume   bool
+	Minimize int
+}
+
+// runFuzz executes the coverage-guided fuzz loop and renders its report the
+// same way fixed campaigns render summaries (-json/-out respected).
+func runFuzz(cf *cliutil.Flags, log *slog.Logger, opt fuzzOptions) error {
+	cfg := fuzz.Config{
+		Seed:           *cf.Seed,
+		Workers:        *cf.Workers,
+		Attempts:       opt.Attempts,
+		WallTime:       opt.WallTime,
+		Batch:          opt.Batch,
+		CorpusPath:     opt.Corpus,
+		Resume:         opt.Resume,
+		MinimizeBudget: opt.Minimize,
+	}
+	if log.Enabled(context.Background(), slog.LevelInfo) {
+		cfg.OnRound = func(st fuzz.RoundStats) {
+			log.Info("fuzz round", "round", st.Round, "execs", st.Execs,
+				"corpus", st.CorpusSize, "signatures", st.Signatures, "novel", st.Novel)
+		}
+	}
+	start := time.Now()
+	rep, err := fuzz.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *cf.Out != "" || *cf.JSON {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := cf.WriteOut(data); err != nil {
+			return err
+		}
+		if *cf.JSON {
+			os.Stdout.Write(append(data, '\n'))
+		}
+	}
+	if !*cf.JSON {
+		renderFuzzReport(os.Stdout, rep)
+	}
+	log.Info("fuzz complete", "execs", rep.Execs+rep.MinimizeExecs,
+		"elapsed", elapsed.Round(time.Millisecond).String())
+	return nil
+}
+
+func renderFuzzReport(w io.Writer, rep *fuzz.Report) {
+	fmt.Fprintln(w, rep.String())
+	for _, sig := range rep.Signatures {
+		fmt.Fprintln(w, "  "+sig)
+	}
+}
+
+// emptyRun reports (and handles) the nothing-to-do case: zero scenarios
+// after generation, loading, or resume filtering. Returns true when the
+// caller should exit successfully without running the engine or opening a
+// journal.
+func emptyRun(w io.Writer, scenarios []campaign.Scenario, jsonOut bool) bool {
+	if len(scenarios) != 0 {
+		return false
+	}
+	if jsonOut {
+		fmt.Fprintln(w, `{"scenarios":0,"note":"nothing to do"}`)
+	} else {
+		fmt.Fprintln(w, "campaign: nothing to do (0 scenarios)")
+	}
+	return true
+}

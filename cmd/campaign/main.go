@@ -14,6 +14,8 @@
 //	campaign -fault "dma-corrupt:0.01" -n 16  # inject faults into every boot
 //	campaign -journal run.jsonl ...           # record completed scenarios
 //	campaign -journal run.jsonl -resume ...   # skip scenarios already done
+//	campaign -fuzz -fuzz-attempts 64          # coverage-guided fuzz campaign
+//	campaign -fuzz -fuzz-corpus c.jsonl -resume  # continue a fuzz corpus
 //	campaign -spans spans.jsonl ...           # export wall-clock spans as JSONL
 //	campaign -watch http://localhost:8077/campaigns/1  # tail a dmafaultd job
 //	campaign -list                            # available presets and kinds
@@ -47,6 +49,12 @@ func main() {
 	journalPath := flag.String("journal", "", "record completed scenarios to this JSONL journal")
 	resume := flag.Bool("resume", false, "with -journal: skip scenarios the journal already records and append new ones")
 	spansOut := flag.String("spans", "", "write the run's wall-clock spans (campaign/scenario/attempt) to this JSONL file")
+	fuzzMode := flag.Bool("fuzz", false, "run a coverage-guided fuzz campaign instead of a fixed scenario set")
+	fuzzAttempts := flag.Int("fuzz-attempts", 0, "fuzz execution budget (0: default, unless -fuzz-time is set)")
+	fuzzTime := flag.Duration("fuzz-time", 0, "bound the fuzz run by wall clock instead of attempts")
+	fuzzBatch := flag.Int("fuzz-batch", 0, "scenarios per fuzz round (0: default)")
+	fuzzCorpus := flag.String("fuzz-corpus", "", "persist the fuzz corpus to this JSONL file (-resume continues it)")
+	fuzzMinimize := flag.Int("fuzz-minimize", 0, "per-entry minimization budget (0: default; negative: skip minimization)")
 	watch := flag.String("watch", "", "tail a running dmafaultd job over SSE instead of running locally (job URL, e.g. http://localhost:8077/campaigns/1)")
 	cf := cliutil.New("campaign").WithSeed().WithWorkers().WithJSON().WithOut().WithQuiet().WithLog()
 	cf.Parse()
@@ -71,7 +79,17 @@ func main() {
 		}
 		sort.Strings(names)
 		fmt.Println("presets:", names)
-		fmt.Println("kinds:  ", campaign.Kinds())
+		fmt.Println("kinds:  ", campaign.AllKinds())
+		return
+	}
+
+	if *fuzzMode {
+		if err := runFuzz(cf, log, fuzzOptions{
+			Attempts: *fuzzAttempts, WallTime: *fuzzTime, Batch: *fuzzBatch,
+			Corpus: *fuzzCorpus, Resume: *resume, Minimize: *fuzzMinimize,
+		}); err != nil {
+			cf.Fatal(err)
+		}
 		return
 	}
 
@@ -110,8 +128,14 @@ func main() {
 			cf.Fatal(err)
 		}
 	}
-	if *resume && *journalPath == "" {
-		cf.Fatal(fmt.Errorf("-resume requires -journal"))
+	if *resume && *journalPath == "" && *fuzzCorpus == "" {
+		cf.Fatal(fmt.Errorf("-resume requires -journal (or -fuzz -fuzz-corpus)"))
+	}
+	// An empty scenario set (e.g. -n 0, or an exhausted generator on a
+	// resumed run) is a clean no-op: report it and exit 0 without touching
+	// the journal, so a stray header line never clobbers resume state.
+	if emptyRun(os.Stdout, scenarios, *jsonOut) {
+		return
 	}
 
 	eng := campaign.Engine{Workers: *workers}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dmafault/internal/campaign"
+)
+
+func TestEmptyRunNothingToDo(t *testing.T) {
+	var text, js strings.Builder
+	if !emptyRun(&text, nil, false) {
+		t.Fatal("zero scenarios must short-circuit")
+	}
+	if got := text.String(); !strings.Contains(got, "nothing to do") {
+		t.Errorf("text output %q lacks the nothing-to-do notice", got)
+	}
+	if !emptyRun(&js, []campaign.Scenario{}, true) {
+		t.Fatal("zero scenarios must short-circuit in JSON mode too")
+	}
+	if got := js.String(); !strings.Contains(got, `"scenarios":0`) {
+		t.Errorf("json output %q lacks the scenario count", got)
+	}
+}
+
+func TestEmptyRunPassesThroughWork(t *testing.T) {
+	var out strings.Builder
+	if emptyRun(&out, []campaign.Scenario{{Kind: campaign.KindRingFlood}}, false) {
+		t.Fatal("non-empty scenario set must not short-circuit")
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output for non-empty set: %q", out.String())
+	}
+}

@@ -1,0 +1,90 @@
+package attacks
+
+import (
+	"testing"
+
+	"dmafault/internal/iommu"
+	"dmafault/internal/netstack"
+)
+
+func TestPageSprayEscalatesUnderDeferred(t *testing.T) {
+	sys, nic := bootVictim(t, iommu.Deferred, false, netstack.DriverMlx5LRO)
+	r := RunPageSpray(sys, nic, SprayConfig{Blocks: 8})
+	t.Log("\n" + r.String())
+	if r.Detail["reuse"] != "head" {
+		t.Fatalf("spray should reclaim the freed RX block head: %+v", r.Detail)
+	}
+	if r.Detail["stale"] != "written" {
+		t.Fatalf("stale IOTLB write should land under deferred invalidation: %+v", r.Detail)
+	}
+	if r.Detail["window_path"] == "" {
+		t.Error("escalation should attribute a Fig. 7 window path")
+	}
+	if !r.Success || r.Escalations == 0 {
+		t.Fatalf("page spray should escalate: success=%v escalations=%d", r.Success, r.Escalations)
+	}
+}
+
+func TestPageSprayBlockedUnderStrict(t *testing.T) {
+	// Strict invalidation tears down the IOVA before the page returns to
+	// the buddy allocator: the spray still lands, but the stale write faults.
+	sys, nic := bootVictim(t, iommu.Strict, false, netstack.DriverMlx5LRO)
+	r := RunPageSpray(sys, nic, SprayConfig{Blocks: 8})
+	t.Log("\n" + r.String())
+	if r.Detail["reuse"] != "head" {
+		t.Fatalf("reuse is an allocator property, independent of IOMMU mode: %+v", r.Detail)
+	}
+	if r.Detail["stale"] != "blocked" {
+		t.Fatalf("strict mode should block the stale write: %+v", r.Detail)
+	}
+	if r.Success || r.Escalations != 0 {
+		t.Fatalf("no escalation expected under strict: %+v", r)
+	}
+}
+
+func TestPageSprayMissesFragBackedDriver(t *testing.T) {
+	// i40e RX buffers live in page_frag regions whose region refcount keeps
+	// the backing block out of the buddy allocator — nothing to reclaim.
+	sys, nic := bootVictim(t, iommu.Deferred, false, netstack.DriverI40E)
+	r := RunPageSpray(sys, nic, SprayConfig{Blocks: 8})
+	t.Log("\n" + r.String())
+	if r.Detail["reuse"] != "miss" {
+		t.Fatalf("frag-backed buffers should not be sprayable: %+v", r.Detail)
+	}
+	if r.Success {
+		t.Fatal("no escalation without reuse")
+	}
+}
+
+func TestPageSprayOrderZeroDetoursThroughHotCache(t *testing.T) {
+	// Forcing order-0 spray allocations sends them through the per-CPU hot
+	// cache, which cannot serve the freed high-order compound block.
+	sys, nic := bootVictim(t, iommu.Deferred, false, netstack.DriverMlx5LRO)
+	r := RunPageSpray(sys, nic, SprayConfig{Blocks: 8, Order: -1})
+	t.Log("\n" + r.String())
+	if r.Detail["reuse"] != "miss" {
+		t.Fatalf("order-0 spray should miss the compound block: %+v", r.Detail)
+	}
+}
+
+func TestPageSprayLowerOrderStillHitsHead(t *testing.T) {
+	// Buddy splits keep the low half, so an order-2 spray against a freed
+	// order-4 block still reclaims the head frames the stale IOVA points at.
+	sys, nic := bootVictim(t, iommu.Deferred, false, netstack.DriverMlx5LRO)
+	r := RunPageSpray(sys, nic, SprayConfig{Blocks: 4, Order: 2})
+	t.Log("\n" + r.String())
+	if r.Detail["reuse"] != "head" {
+		t.Fatalf("order-2 spray should hit the freed block head: %+v", r.Detail)
+	}
+	if !r.Success || r.Escalations == 0 {
+		t.Fatalf("head hit should escalate: %+v", r)
+	}
+}
+
+func TestPageSprayDefaultsBlocks(t *testing.T) {
+	sys, nic := bootVictim(t, iommu.Deferred, false, netstack.DriverMlx5LRO)
+	r := RunPageSpray(sys, nic, SprayConfig{})
+	if r.Detail["spray_blocks"] == "" || r.Detail["spray_blocks"] == "0" {
+		t.Fatalf("zero Blocks should fall back to a positive default: %+v", r.Detail)
+	}
+}

@@ -64,11 +64,20 @@ func scenarioSetHash(scs []Scenario) string {
 	return hex.EncodeToString(sum[:8])
 }
 
+// ScenarioKeyVersion is the engine-version salt folded into ScenarioKey. It
+// rolls whenever scenario execution semantics change (new kinds, new knobs,
+// altered defaults), so a key means "this spec under this engine" — the one
+// canonical identity shared by fuzz-corpus dedup, the quarantine circuit
+// breaker, and any future result cache. Stale keys from an older engine
+// simply never match, which is the safe failure mode for all three.
+const ScenarioKeyVersion = "dmafault-engine-v2"
+
 // ScenarioKey fingerprints one scenario independently of its position in a
-// set: the normalized spec with the index-derived ID blanked. Scenarios that
-// are byte-equal specs share a key across jobs and campaigns — the identity
-// the service's quarantine circuit breaker tracks panicking and
-// deadline-blowing scenarios by.
+// set: the engine-version salt plus the full normalized spec (seed, every
+// knob, fault plan, timeout) with the index-derived ID blanked. Scenarios
+// that are byte-equal specs share a key across jobs and campaigns — the
+// identity the service's quarantine circuit breaker tracks panicking and
+// deadline-blowing scenarios by, and the fuzzer dedups mutants by.
 func ScenarioKey(s Scenario) string {
 	s.Normalize(0)
 	s.ID = ""
@@ -76,8 +85,11 @@ func ScenarioKey(s Scenario) string {
 	if err != nil {
 		panic("campaign: " + err.Error())
 	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:8])
+	h := sha256.New()
+	h.Write([]byte(ScenarioKeyVersion))
+	h.Write([]byte{'\n'})
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
 // Journal appends completed-scenario records to an open JSONL file.

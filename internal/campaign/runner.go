@@ -165,6 +165,8 @@ func runAttempt(ctx context.Context, s Scenario, attempt int) (*Result, error) {
 		runErr = runWindowLadder(&s, r, plan)
 	case KindDKASAN:
 		runErr = runDKASAN(&s, r, plan)
+	case KindPageSpray:
+		runErr = runPageSpray(&s, r, plan)
 	}
 	if runErr != nil {
 		r.Err = runErr.Error()
@@ -302,6 +304,39 @@ func runWindowLadder(s *Scenario, r *Result, plan *faultinject.Plan) error {
 	r.WindowPath = path.String()
 	// The §5.2 claim: some path is always open.
 	r.Success = path != attacks.WindowNone
+	finish(r)
+	return nil
+}
+
+// runPageSpray runs the spray-assisted injection ("Take a Step Further"):
+// free a device-visible RX page block, spray kernel objects over the hole,
+// write through the stale IOTLB entry. An unspecified driver defaults to the
+// mlx5 HW-LRO model — the datapath whose buffers actually reach the buddy
+// allocator on release (other drivers remain explicit choices, and usually
+// demonstrate the miss).
+func runPageSpray(s *Scenario, r *Result, plan *faultinject.Plan) error {
+	if s.Driver == "" {
+		s.Driver = netstack.DriverMlx5LRO.Name
+	}
+	sys, nic, finish, err := s.bootAttackSystem(plan)
+	if err != nil {
+		return err
+	}
+	blocks := s.SprayBlocks
+	if blocks <= 0 {
+		blocks = DefaultSprayBlocks
+	}
+	res := attacks.RunPageSpray(sys, nic, attacks.SprayConfig{Blocks: blocks, Order: s.SprayOrder})
+	r.Success = res.Success
+	r.Escalations = res.Escalations
+	r.StepsDropped = res.DroppedSteps
+	r.WindowPath = res.Detail["window_path"]
+	r.Metrics["spray"] = res.Detail["reuse"]
+	if v := res.Detail["stale"]; v != "" {
+		r.Metrics["stale"] = v
+	}
+	r.Metrics["spray_blocks"] = res.Detail["spray_blocks"]
+	r.Metrics["spray_order"] = res.Detail["spray_order"]
 	finish(r)
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"dmafault/internal/core"
 	"dmafault/internal/faultinject"
 	"dmafault/internal/iommu"
+	"dmafault/internal/mem"
 	"dmafault/internal/netstack"
 )
 
@@ -35,13 +36,26 @@ const (
 	// KindDKASAN boots with the D-KASAN tracer attached, runs the build+ping
 	// workload, and tallies reports per class (§7 detection).
 	KindDKASAN Kind = "dkasan"
+	// KindPageSpray runs the "Take a Step Further" spray-assisted injection:
+	// a delivered packet frees its RX buffer, the kernel sprays same-order
+	// page blocks over the hole, and the device writes its payload through
+	// the stale IOTLB entry into whichever sprayed object won the race
+	// (SprayBlocks, SprayOrder).
+	KindPageSpray Kind = "page-spray"
 )
 
-// Kinds lists every runnable kind, in stable order.
+// Kinds lists the original grid-preset kinds, in stable order. The list is
+// frozen: preset scenario sequences (Mutator draws kinds by index) and the
+// golden summaries derived from them must not shift when new kinds land.
 func Kinds() []Kind {
 	return []Kind{KindBootStudy, KindRingFlood, KindPoisonedTX,
 		KindForwardThinking, KindWindowLadder, KindDKASAN}
 }
+
+// AllKinds lists every runnable kind, including ones newer than the frozen
+// preset list — the space generators like the coverage-guided fuzzer mutate
+// over.
+func AllKinds() []Kind { return append(Kinds(), KindPageSpray) }
 
 // Scenario is one serializable cell of the campaign space: every knob the
 // substrates expose, with zero values meaning "the paper's default" so a
@@ -94,6 +108,16 @@ type Scenario struct {
 	// Iterations sizes the D-KASAN workload (0 = 8).
 	Iterations int `json:"iterations,omitempty"`
 
+	// --- page-spray knobs (KindPageSpray) ---
+
+	// SprayBlocks is how many page blocks the spray pass allocates over the
+	// freed RX buffer (0 = DefaultSprayBlocks).
+	SprayBlocks int `json:"spray_blocks,omitempty"`
+	// SprayOrder is the buddy order of each sprayed block: 0 means "match
+	// the victim buffer's own order" (the exact-overlay strategy), negative
+	// means order-0 single pages.
+	SprayOrder int `json:"spray_order,omitempty"`
+
 	// SkipMetrics runs the scenario without metric collection (no registry
 	// on booted machines, no snapshot in the result) — the ablation knob of
 	// the overhead benchmark. Engine.SkipMetrics forces it campaign-wide.
@@ -116,6 +140,10 @@ const (
 	DefaultTrials     = 8
 	DefaultAttempts   = 2
 	DefaultIterations = 8
+	// DefaultSprayBlocks is the page-spray allocation count when
+	// SprayBlocks is 0. Applied at run time, not by Normalize, so specs
+	// of other kinds never grow spray fields.
+	DefaultSprayBlocks = 8
 )
 
 // Normalize fills derived fields (ID) and study-size defaults in place.
@@ -138,9 +166,15 @@ func (s *Scenario) Normalize(index int) {
 func (s *Scenario) Validate() error {
 	switch s.Kind {
 	case KindBootStudy, KindRingFlood, KindPoisonedTX, KindForwardThinking,
-		KindWindowLadder, KindDKASAN:
+		KindWindowLadder, KindDKASAN, KindPageSpray:
 	default:
 		return fmt.Errorf("campaign: unknown kind %q", s.Kind)
+	}
+	if s.SprayBlocks < 0 {
+		return fmt.Errorf("campaign: negative spray_blocks %d", s.SprayBlocks)
+	}
+	if s.SprayOrder > mem.MaxOrder {
+		return fmt.Errorf("campaign: spray_order %d exceeds mem.MaxOrder %d", s.SprayOrder, mem.MaxOrder)
 	}
 	if _, err := s.iommuMode(); err != nil {
 		return err

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"dmafault/internal/campaign"
+	"dmafault/internal/fuzz"
 	"dmafault/internal/metrics"
 	"dmafault/internal/obs"
 )
@@ -96,8 +97,10 @@ type Job struct {
 	// Error is set when the whole run aborted (invalid spec, pool failure,
 	// stall, cancellation).
 	Error string `json:"error,omitempty"`
-	// Summary is the final aggregate (done jobs only).
+	// Summary is the final aggregate (done fixed-set jobs only).
 	Summary *campaign.Summary `json:"summary,omitempty"`
+	// Fuzz is the final fuzz report (done fuzz-campaign jobs only).
+	Fuzz *fuzz.Report `json:"fuzz,omitempty"`
 
 	// Scheduling state (owned by the supervisor; see supervisor.go).
 	ctx        context.Context
@@ -111,6 +114,8 @@ type Job struct {
 	stalled    bool      // set by the watchdog before it cancels
 	adm        *admission
 	keys       []string // per-index scenario keys (breaker identity)
+	// fuzzSpec marks the job as a fuzz campaign (see FuzzSpec); scs is nil.
+	fuzzSpec *FuzzSpec
 	// hub fans the job's live events (spans, results, status) out to SSE
 	// subscribers; closed when the job reaches a terminal status.
 	hub *obs.Hub
@@ -119,8 +124,8 @@ type Job struct {
 	panicDumped bool
 }
 
-// Request is the POST /campaigns body. Exactly one of Scenarios or Preset
-// must be given.
+// Request is the POST /campaigns body. Exactly one of Scenarios, Preset, or
+// Fuzz must be given.
 type Request struct {
 	Name    string `json:"name,omitempty"`
 	Workers int    `json:"workers,omitempty"`
@@ -130,6 +135,25 @@ type Request struct {
 	Preset string `json:"preset,omitempty"`
 	N      int    `json:"n,omitempty"`
 	Seed   int64  `json:"seed,omitempty"`
+	// Fuzz runs a coverage-guided fuzz campaign instead of a fixed set.
+	Fuzz *FuzzSpec `json:"fuzz,omitempty"`
+}
+
+// FuzzSpec parameterizes a fuzz-campaign job. The job's seed comes from
+// Request.Seed; its corpus persists to <JournalDir>/fuzz-<id>.corpus.jsonl
+// (a name the boot-recovery scan ignores — fuzz jobs are not crash-recovered,
+// but a resubmitted job can resume the corpus file by hand via cmd/campaign).
+type FuzzSpec struct {
+	// Attempts is the execution budget (<=0: the fuzzer's default; capped at
+	// MaxScenarios like fixed sets).
+	Attempts int `json:"attempts,omitempty"`
+	// Batch is the scenarios-per-round batch size (<=0: default).
+	Batch int `json:"batch,omitempty"`
+	// Minimize is the per-entry minimization budget (0: default; negative:
+	// skip minimization).
+	Minimize int `json:"minimize,omitempty"`
+
+	seed int64 // resolved from Request.Seed at submission
 }
 
 // Server is the service state: the job table, the scheduler, the merged
@@ -388,7 +412,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	job, admErr := s.admit(req.Name, scs, req.Workers)
+	job, admErr := s.admit(req.Name, scs, req.Workers, req.Fuzz)
 	if admErr != nil {
 		switch {
 		case errors.Is(admErr, errDraining):
@@ -420,9 +444,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// resolveScenarios turns a request into a validated scenario set.
+// resolveScenarios turns a request into a validated scenario set (nil for a
+// fuzz campaign, which generates its own scenarios as it runs).
 func resolveScenarios(req *Request) ([]campaign.Scenario, error) {
 	switch {
+	case req.Fuzz != nil:
+		if len(req.Scenarios) > 0 || req.Preset != "" {
+			return nil, fmt.Errorf("a fuzz campaign takes no scenarios or preset")
+		}
+		if req.Fuzz.Attempts > MaxScenarios {
+			return nil, fmt.Errorf("fuzz attempts %d exceed the per-job cap %d", req.Fuzz.Attempts, MaxScenarios)
+		}
+		req.Fuzz.seed = req.Seed
+		return nil, nil
 	case len(req.Scenarios) > 0 && req.Preset != "":
 		return nil, fmt.Errorf("give scenarios or a preset, not both")
 	case req.Preset != "":
@@ -458,6 +492,10 @@ func resolveScenarios(req *Request) ([]campaign.Scenario, error) {
 // so the terminal status is broadcast only once it is visible in the table.
 func (s *Server) runJob(job *Job) {
 	defer s.publishTerminal(job)
+	if job.fuzzSpec != nil {
+		s.runFuzzJob(job)
+		return
+	}
 	workers := job.workers
 	if workers <= 0 {
 		workers = s.Workers

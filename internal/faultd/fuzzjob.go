@@ -1,0 +1,96 @@
+package faultd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/fuzz"
+	"dmafault/internal/obs"
+)
+
+// Fuzz-campaign jobs: the supervised job plane (admission, queue, watchdog,
+// drain, cancellation) is shared with fixed-set campaigns; only the engine
+// differs. The fuzz loop publishes two extra live surfaces — per-execution
+// "result" SSE events (the execution index plays the scenario-index role)
+// and per-round "fuzz" coverage events carrying fuzz.RoundStats — and its
+// final report merges into /metrics as the fuzz_* families.
+//
+// When JournalDir is set, the corpus persists to fuzz-<id>.corpus.jsonl.
+// That name deliberately does not match the boot-recovery journal pattern:
+// fuzz jobs are not crash-recovered (their budget semantics do not replay),
+// but the corpus file survives and can seed a later run.
+
+// runFuzzJob executes a fuzz-campaign job. Called from runJob with a
+// scheduler slot held; the caller's deferred publishTerminal broadcasts the
+// terminal status.
+func (s *Server) runFuzzJob(job *Job) {
+	spec := job.fuzzSpec
+	workers := job.workers
+	if workers <= 0 {
+		workers = s.Workers
+	}
+	cfg := fuzz.Config{
+		Seed:           spec.seed,
+		Workers:        workers,
+		Attempts:       spec.Attempts,
+		Batch:          spec.Batch,
+		MinimizeBudget: spec.Minimize,
+	}
+	if s.JournalDir != "" {
+		cfg.CorpusPath = filepath.Join(s.JournalDir, fmt.Sprintf("fuzz-%d.corpus.jsonl", job.ID))
+	}
+	cfg.OnResult = func(exec int, r *campaign.Result) {
+		s.scenariosCompleted.Inc()
+		s.mu.Lock()
+		job.ScenariosDone++
+		job.lastBeat = s.now()
+		done := job.ScenariosDone
+		s.mu.Unlock()
+		s.publishResult(job, exec, r, done)
+	}
+	cfg.OnRound = func(st fuzz.RoundStats) {
+		s.mu.Lock()
+		job.lastBeat = s.now()
+		s.mu.Unlock()
+		job.hub.Publish(obs.StreamEvent{Type: "fuzz", Data: st})
+		s.logger().Debug("fuzz round", "job", job.ID, "round", st.Round,
+			"execs", st.Execs, "corpus", st.CorpusSize, "signatures", st.Signatures)
+	}
+
+	rep, err := fuzz.Run(job.ctx, cfg)
+	if errors.Is(err, context.Canceled) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if job.stalled {
+			job.Status = StatusStalled
+			job.Error = fmt.Sprintf("stalled: no progress within %s", s.StallTimeout)
+			s.jobsStalled.Inc()
+			s.campaignsFailed.Inc()
+			s.flightDump("stall", job)
+			return
+		}
+		job.Status = StatusCancelled
+		job.Error = "cancelled"
+		s.campaignsCancelled.Inc()
+		return
+	}
+	if err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		job.Status = StatusFailed
+		job.Error = err.Error()
+		s.campaignsFailed.Inc()
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.Status = StatusDone
+	job.Fuzz = rep
+	if mergeErr := s.merged.Merge(rep.MetricsSnapshot()); mergeErr != nil {
+		job.Error = "metrics merge: " + mergeErr.Error()
+	}
+	s.campaignsDone.Inc()
+}

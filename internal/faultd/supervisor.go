@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dmafault/internal/campaign"
+	"dmafault/internal/fuzz"
 	"dmafault/internal/obs"
 )
 
@@ -38,8 +39,17 @@ func (s *Server) queueCap() int {
 // admit applies admission control and, if accepted, registers the job in
 // the table and hands it to the scheduler. Synchronous servers skip the
 // queue (handleSubmit runs the job inline); asynchronous ones enqueue for
-// the dispatcher. The returned error is errDraining or errQueueFull.
-func (s *Server) admit(name string, scs []campaign.Scenario, workers int) (*Job, error) {
+// the dispatcher. The returned error is errDraining or errQueueFull. A
+// non-nil fz makes the job a fuzz campaign (scs is nil; the progress total
+// is the fuzz execution budget).
+func (s *Server) admit(name string, scs []campaign.Scenario, workers int, fz *FuzzSpec) (*Job, error) {
+	total := len(scs)
+	if fz != nil {
+		total = fz.Attempts
+		if total <= 0 {
+			total = fuzz.DefaultBudget
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	if s.draining {
@@ -54,9 +64,9 @@ func (s *Server) admit(name string, scs []campaign.Scenario, workers int) (*Job,
 	}
 	job := &Job{
 		ID: s.nextID, Name: name, Status: StatusQueued,
-		ScenariosTotal: len(scs),
+		ScenariosTotal: total,
 		ctx:            ctx, cancel: cancel,
-		scs: scs, workers: workers,
+		scs: scs, workers: workers, fuzzSpec: fz,
 		enqueuedAt: s.now(),
 		hub:        obs.NewHub(),
 	}

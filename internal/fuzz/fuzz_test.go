@@ -1,0 +1,194 @@
+package fuzz
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmafault/internal/campaign"
+)
+
+// The acceptance bar for the whole subsystem: a seeded fuzz run produces
+// byte-identical reports AND byte-identical corpus files at 1, 4, and 16
+// workers, because scheduling state advances only between engine batches and
+// results are consumed in input order.
+func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	var wantReport, wantCorpus []byte
+	for _, w := range []int{1, 4, 16} {
+		path := filepath.Join(dir, "corpus-"+string(rune('0'+w/10))+string(rune('0'+w%10))+".jsonl")
+		rep, err := Run(context.Background(), Config{
+			Seed: 11, Workers: w, Attempts: 16, Batch: 8,
+			CorpusPath: path, MinimizeBudget: 2,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		repJSON, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpusBytes, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantReport == nil {
+			wantReport, wantCorpus = repJSON, corpusBytes
+			if rep.Execs != 16 {
+				t.Fatalf("spent %d execs, want 16", rep.Execs)
+			}
+			if rep.CorpusSize == 0 || rep.DistinctSignatures == 0 {
+				t.Fatalf("empty corpus after run: %+v", rep)
+			}
+			continue
+		}
+		if !bytes.Equal(repJSON, wantReport) {
+			t.Errorf("workers=%d: report differs from workers=1:\n%s\nvs\n%s", w, repJSON, wantReport)
+		}
+		if !bytes.Equal(corpusBytes, wantCorpus) {
+			t.Errorf("workers=%d: corpus file differs from workers=1", w)
+		}
+	}
+}
+
+// Coverage guidance must buy something: at an equal execution budget the
+// fuzzer discovers at least one signature the blind Mutator preset never
+// reaches (the preset cannot even express the page-spray kind).
+func TestRunDiscoversBeyondFuzzPreset(t *testing.T) {
+	const budget = 8
+	const seed = 23
+
+	scenarios := campaign.FuzzPreset(budget, seed)
+	presetSigs := map[string]bool{}
+	results := make([]*campaign.Result, len(scenarios))
+	eng := campaign.Engine{Workers: 4, OnResult: func(i int, r *campaign.Result) { results[i] = r }}
+	if _, err := eng.RunCtx(context.Background(), scenarios); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		presetSigs[Signature(r)] = true
+	}
+
+	rep, err := Run(context.Background(), Config{Seed: seed, Workers: 4, Attempts: budget, MinimizeBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beyond []string
+	for _, sig := range rep.Signatures {
+		if !presetSigs[sig] {
+			beyond = append(beyond, sig)
+		}
+	}
+	if len(beyond) == 0 {
+		t.Fatalf("fuzzer found nothing beyond the preset at %d execs; preset had %d signatures", budget, len(presetSigs))
+	}
+	t.Logf("beyond preset (%d): %s", len(beyond), strings.Join(beyond, " ;; "))
+}
+
+// A minimized page-spray corpus entry must reproduce its signature from the
+// persisted spec alone: reload the corpus file cold and re-execute.
+func TestMinimizedPageSprayReproducesFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	if _, err := Run(context.Background(), Config{
+		Seed: 11, Workers: 4, Attempts: 8, Batch: 8, CorpusPath: path, MinimizeBudget: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := OpenCorpus(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	var entry *Entry
+	for _, e := range loaded.Entries() {
+		if e.Scenario.Kind == campaign.KindPageSpray && strings.Contains(e.Signature, "spray=head") {
+			entry = e
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatal("no page-spray head-reuse entry in the corpus")
+	}
+	if !entry.Minimized {
+		t.Fatalf("entry %s was not minimized", entry.Key)
+	}
+
+	r, err := runOne(context.Background(), entry.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Signature(r); got != entry.Signature {
+		t.Fatalf("minimized spec does not reproduce:\n got %q\nwant %q", got, entry.Signature)
+	}
+	if r.Escalations == 0 {
+		t.Fatal("reproduced page-spray entry should escalate")
+	}
+}
+
+// Resuming a persisted corpus continues from it: no re-seeding round, known
+// signatures stay deduplicated, and the budget goes entirely to mutants.
+func TestRunResumeContinuesCorpus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	first, err := Run(context.Background(), Config{
+		Seed: 31, Workers: 4, Attempts: 8, CorpusPath: path, MinimizeBudget: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(context.Background(), Config{
+		Seed: 32, Workers: 4, Attempts: 4, CorpusPath: path, Resume: true, MinimizeBudget: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CorpusSize < first.CorpusSize {
+		t.Fatalf("resume lost entries: %d -> %d", first.CorpusSize, second.CorpusSize)
+	}
+	if second.Novel > second.Execs {
+		t.Fatalf("resumed run claims %d novel from %d execs", second.Novel, second.Execs)
+	}
+	for _, sig := range first.Signatures {
+		if !contains(second.Signatures, sig) {
+			t.Fatalf("resume dropped signature %q", sig)
+		}
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReportMetricsSnapshot(t *testing.T) {
+	rep := &Report{Execs: 10, Rounds: 2, Novel: 3, MinimizeExecs: 5,
+		CorpusSize: 4, DistinctSignatures: 4, MinimizedEntries: 2}
+	snap := rep.MetricsSnapshot()
+	want := map[string]float64{
+		"fuzz_execs_total":          10,
+		"fuzz_rounds_total":         2,
+		"fuzz_novel_total":          3,
+		"fuzz_minimize_execs_total": 5,
+		"fuzz_corpus_entries":       4,
+		"fuzz_signatures_distinct":  4,
+		"fuzz_minimized_entries":    2,
+	}
+	got := map[string]float64{}
+	for _, f := range snap.Families {
+		for _, s := range f.Samples {
+			got[f.Name] = s.Value
+		}
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}

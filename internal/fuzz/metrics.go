@@ -1,0 +1,34 @@
+package fuzz
+
+import (
+	"dmafault/internal/metrics"
+)
+
+// MetricsSnapshot renders a report as the fuzz_* metric families, for
+// merging into a service-level registry snapshot (dmafaultd folds these into
+// each fuzz job's exported metrics next to the campaign_* families).
+func (rep *Report) MetricsSnapshot() *metrics.Snapshot {
+	execs := metrics.NewCounter("fuzz_execs_total", "Scenario executions spent by the fuzz loop.")
+	rounds := metrics.NewCounter("fuzz_rounds_total", "Engine rounds the fuzz loop ran.")
+	novel := metrics.NewCounter("fuzz_novel_total", "Executions that produced a novel coverage signature.")
+	minExecs := metrics.NewCounter("fuzz_minimize_execs_total", "Scenario executions spent minimizing corpus entries.")
+	corpus := metrics.NewGauge("fuzz_corpus_entries", "Corpus entries after the run.")
+	sigs := metrics.NewGauge("fuzz_signatures_distinct", "Distinct coverage signatures discovered.")
+	minimized := metrics.NewGauge("fuzz_minimized_entries", "Corpus entries holding a minimized spec.")
+
+	execs.Add(uint64(rep.Execs))
+	rounds.Add(uint64(rep.Rounds))
+	novel.Add(uint64(rep.Novel))
+	minExecs.Add(uint64(rep.MinimizeExecs))
+	corpus.Set(float64(rep.CorpusSize))
+	sigs.Set(float64(rep.DistinctSignatures))
+	minimized.Set(float64(rep.MinimizedEntries))
+
+	reg := metrics.NewRegistry()
+	reg.MustRegister(execs, rounds, novel, minExecs, corpus, sigs, minimized)
+	snap, err := reg.Gather()
+	if err != nil {
+		panic("fuzz: metrics snapshot: " + err.Error())
+	}
+	return snap
+}

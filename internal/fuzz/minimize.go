@@ -1,0 +1,80 @@
+package fuzz
+
+import (
+	"context"
+
+	"dmafault/internal/campaign"
+)
+
+// Minimization shrinks each corpus entry to a smaller spec that still
+// reproduces its signature, by greedily resetting fields to their zero
+// values in a fixed order (most incidental knobs first) and keeping each
+// reset only if a re-execution yields the identical signature. Because the
+// engine is deterministic, the entry's recorded discovery signature is the
+// baseline — no re-run of the original spec is needed. Seed and Kind are
+// never reduced: the seed is what makes the spec reproduce at all, and the
+// kind names the behavior being preserved.
+
+// reductions are tried in order; each resets one field to its zero value
+// (which Normalize maps back to the documented default, so a reduced spec
+// is always still valid).
+var reductions = []func(*campaign.Scenario){
+	func(s *campaign.Scenario) { s.FaultSpec = "" },
+	func(s *campaign.Scenario) { s.Forwarding = false },
+	func(s *campaign.Scenario) { s.OutOfLineSharedInfo = false },
+	func(s *campaign.Scenario) { s.NoKASLR = false },
+	func(s *campaign.Scenario) { s.Queues = 0 },
+	func(s *campaign.Scenario) { s.JitterPages = 0 },
+	func(s *campaign.Scenario) { s.CPUs = 0 },
+	func(s *campaign.Scenario) { s.MemBytes = 0 },
+	func(s *campaign.Scenario) { s.Mode = "" },
+	func(s *campaign.Scenario) { s.Kernel = "" },
+	func(s *campaign.Scenario) { s.Driver = "" },
+	func(s *campaign.Scenario) { s.SprayOrder = 0 },
+	func(s *campaign.Scenario) { s.SprayBlocks = 0 },
+	func(s *campaign.Scenario) { s.Trials = 0 },
+	func(s *campaign.Scenario) { s.Attempts = 0 },
+	func(s *campaign.Scenario) { s.Iterations = 0 },
+}
+
+// minimizeEntry runs one greedy reduction pass over e within the given
+// execution budget, then persists the outcome (even when nothing shrank, so
+// resumed runs do not redo the work). Returns the executions spent.
+func minimizeEntry(ctx context.Context, workers int, corpus *Corpus, e *Entry, budget int) (int, error) {
+	_ = workers // minimization is always sequential for determinism
+	cur := e.Scenario
+	execs := 0
+	for _, reduce := range reductions {
+		if execs >= budget {
+			break
+		}
+		cand := cur
+		reduce(&cand)
+		if cand == cur {
+			continue // field already at its zero value
+		}
+		r, err := runOne(ctx, cand)
+		if err != nil {
+			return execs, err
+		}
+		execs++
+		if Signature(r) == e.Signature {
+			cur = cand
+		}
+	}
+	if err := corpus.ReplaceMinimized(e.Key, cur); err != nil {
+		return execs, err
+	}
+	return execs, nil
+}
+
+// runOne executes a single scenario on a one-worker engine (keeping the
+// engine's panic isolation and retry semantics without any concurrency).
+func runOne(ctx context.Context, s campaign.Scenario) (*campaign.Result, error) {
+	var res *campaign.Result
+	eng := campaign.Engine{Workers: 1, OnResult: func(_ int, r *campaign.Result) { res = r }}
+	if _, err := eng.RunCtx(ctx, []campaign.Scenario{s}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

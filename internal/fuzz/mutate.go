@@ -1,0 +1,106 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"dmafault/internal/campaign"
+)
+
+// The fuzz mutator is richer than campaign.Mutator: it mutates over the
+// full kind space (AllKinds, including page-spray), perturbs the page-spray
+// geometry, and flips through a palette of fault-injection specs — the
+// dimensions whose interactions produce the signatures the blind preset
+// never reaches. Two dimensions are deliberately off-limits because they
+// couple outcomes to wall-clock time and would break byte-identity across
+// worker counts: TimeoutMS, and the scenario-stall fault class.
+
+// faultPalette is the set of FaultSpec values mutation draws from: clean,
+// low-rate single classes, one combination, and a deterministic first-shot
+// panic (the engine isolates it into an Outcome "panic" result — itself a
+// coverage point).
+var faultPalette = []string{
+	"",
+	"dma-corrupt:0.05",
+	"dma-drop:0.1",
+	"ring-drop:0.2",
+	"alloc-fail:0.02",
+	"iommu-stall:0.1",
+	"iommu-fault:0.05",
+	"dma-corrupt:0.02,ring-drop:0.1",
+	"scenario-panic@1",
+}
+
+// knobMutations fire independently, each with probability 1/3.
+var knobMutations = []func(*rand.Rand, *campaign.Scenario){
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.Mode = []string{"deferred", "strict"}[rng.Intn(2)]
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.Kernel = []string{"5.0", "4.15"}[rng.Intn(2)]
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.Driver = []string{"i40e", "correct", "mlx5_core-5.0", "mlx5_core-4.15"}[rng.Intn(4)]
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.Queues = 1 << rng.Intn(3) // 1, 2, 4
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.JitterPages = 64 << rng.Intn(6) // 64 .. 2048
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.Forwarding = rng.Intn(2) == 1
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.OutOfLineSharedInfo = rng.Intn(2) == 1
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.NoKASLR = rng.Intn(4) == 0
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.FaultSpec = faultPalette[rng.Intn(len(faultPalette))]
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.SprayBlocks = 1 << rng.Intn(5) // 1 .. 16
+	},
+	func(rng *rand.Rand, s *campaign.Scenario) {
+		s.SprayOrder = []int{-1, 0, 1, 2, 4}[rng.Intn(5)]
+	},
+}
+
+// mutate derives one child scenario from a corpus parent. The child's seed
+// is redrawn from (base seed, global sequence number), never inherited, so
+// every execution explores fresh boot randomness; seq must increase
+// monotonically across the run for seed ranges to stay disjoint.
+func mutate(rng *rand.Rand, parent campaign.Scenario, baseSeed int64, seq int) campaign.Scenario {
+	s := parent
+	s.ID = ""
+	if rng.Intn(4) == 0 {
+		kinds := campaign.AllKinds()
+		s.Kind = kinds[rng.Intn(len(kinds))]
+	}
+	for _, m := range knobMutations {
+		if rng.Intn(3) == 0 {
+			m(rng, &s)
+		}
+	}
+	s.Seed = baseSeed + int64(seq)*104_729 + int64(rng.Intn(10_000))
+	return s
+}
+
+// seedScenarios is round 0 of an empty-corpus run: one canonical scenario
+// per kind in the full space, with study sizes kept small (fuzzing gets its
+// statistics from execution count, not per-scenario trial count).
+func seedScenarios(seed int64) []campaign.Scenario {
+	kinds := campaign.AllKinds()
+	out := make([]campaign.Scenario, len(kinds))
+	for i, k := range kinds {
+		out[i] = campaign.Scenario{
+			Kind:       k,
+			Seed:       seed + int64(i)*104_729,
+			Trials:     2,
+			Attempts:   1,
+			Iterations: 4,
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Package fuzz closes the feedback loop the campaign Mutator leaves open:
+// coverage-guided exploration of the scenario space, in the spirit of
+// DyMA-Fuzz and DICE. The substrate already emits the feedback a fuzzer
+// needs — D-KASAN event classes, faultinject counters, Fig. 7 window paths,
+// escalation counts — so "coverage" here is a deterministic signature
+// extracted from each campaign Result. The fuzzer keeps a corpus of
+// scenarios that produced novel signatures, schedules mutants of high-yield
+// parents with proportional energy, and minimizes each corpus entry to the
+// smallest spec that still reproduces its signature.
+//
+// Everything is seeded-deterministic: the same (seed, budget) yields the
+// same corpus, the same report, and the same persisted bytes at any worker
+// count, because scheduling state only advances between engine batches and
+// the engine's results land in input order.
+package fuzz
+
+import (
+	"sort"
+	"strings"
+
+	"dmafault/internal/campaign"
+)
+
+// dkasanClasses are the sanitizer event classes folded into signatures,
+// matching the dkasan_events_total label set.
+var dkasanClasses = []string{"alloc_after_map", "map_after_alloc", "access_after_map", "multiple_map"}
+
+// Signature reduces one campaign result to its deterministic coverage
+// signature: scenario kind × engine outcome × Fig. 7 window paths ×
+// escalation × observed D-KASAN event classes × fired faultinject classes ×
+// spray reuse. Two results with equal signatures taught us the same thing;
+// a fresh signature is the fuzzer's notion of new coverage.
+func Signature(r *campaign.Result) string {
+	parts := []string{
+		"kind=" + string(r.Kind),
+		"outcome=" + campaign.ResultOutcome(r),
+	}
+	if paths := windowPaths(r); len(paths) > 0 {
+		parts = append(parts, "win="+strings.Join(paths, "|"))
+	}
+	if r.Escalations > 0 {
+		parts = append(parts, "esc")
+	}
+	if classes := metricClasses(r, dkasanClasses); len(classes) > 0 {
+		parts = append(parts, "dkasan="+strings.Join(classes, "|"))
+	}
+	if fired := firedFaultClasses(r); len(fired) > 0 {
+		parts = append(parts, "fault="+strings.Join(fired, "|"))
+	}
+	if v := r.Metrics["spray"]; v != "" {
+		parts = append(parts, "spray="+v)
+		if r.Metrics["stale"] == "blocked" {
+			parts = append(parts, "stale=blocked")
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// windowPaths collects the Fig. 7 paths a result exercised: the single-shot
+// WindowPath field plus the folded per-attempt path[...] tallies multi-boot
+// kinds record, sorted for stability.
+func windowPaths(r *campaign.Result) []string {
+	set := map[string]bool{}
+	if r.WindowPath != "" {
+		set[r.WindowPath] = true
+	}
+	for k, v := range r.Metrics {
+		if strings.HasPrefix(k, "path[") && strings.HasSuffix(k, "]") && v != "0" {
+			set[k[len("path["):len(k)-1]] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// metricClasses returns the subset of names whose Result.Metrics tally is a
+// nonzero count, in the given (stable) order.
+func metricClasses(r *campaign.Result, names []string) []string {
+	var out []string
+	for _, name := range names {
+		if v := r.Metrics[name]; v != "" && v != "0" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// firedFaultClasses extracts the faultinject classes that actually injected
+// at least once, from the result's merged machine snapshot. The injector
+// emits zero-valued samples for every class whenever it is armed, so only
+// samples with positive values count.
+func firedFaultClasses(r *campaign.Result) []string {
+	if r.Snapshot == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, f := range r.Snapshot.Families {
+		if f.Name != "faultinject_injected_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Value <= 0 {
+				continue
+			}
+			for _, l := range s.Labels {
+				if l.Key == "class" {
+					set[l.Value] = true
+				}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

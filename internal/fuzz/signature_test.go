@@ -1,0 +1,86 @@
+package fuzz
+
+import (
+	"testing"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/metrics"
+)
+
+func TestSignatureBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		r    campaign.Result
+		want string
+	}{
+		{
+			name: "miss",
+			r:    campaign.Result{Kind: campaign.KindRingFlood},
+			want: "kind=ring-flood outcome=miss",
+		},
+		{
+			name: "error",
+			r:    campaign.Result{Kind: campaign.KindDKASAN, Err: "boom"},
+			want: "kind=dkasan outcome=error",
+		},
+		{
+			name: "panic outcome wins",
+			r:    campaign.Result{Kind: campaign.KindDKASAN, Outcome: "panic"},
+			want: "kind=dkasan outcome=panic",
+		},
+		{
+			name: "escalation and window",
+			r: campaign.Result{Kind: campaign.KindPoisonedTX, Success: true,
+				Escalations: 2, WindowPath: "(i) driver unmap ordering"},
+			want: "kind=poisoned-tx outcome=ok win=(i) driver unmap ordering esc",
+		},
+		{
+			name: "ladder path tallies fold in sorted, zeros dropped",
+			r: campaign.Result{Kind: campaign.KindWindowLadder, Success: true, Metrics: map[string]string{
+				"path[(ii) deferred IOTLB invalidation]": "3",
+				"path[(i) driver unmap ordering]":        "1",
+				"path[none]":                             "0",
+			}},
+			want: "kind=window-ladder outcome=ok win=(i) driver unmap ordering|(ii) deferred IOTLB invalidation",
+		},
+		{
+			name: "dkasan classes in fixed order",
+			r: campaign.Result{Kind: campaign.KindDKASAN, Success: true, Metrics: map[string]string{
+				"multiple_map":     "4",
+				"alloc_after_map":  "1",
+				"access_after_map": "0",
+			}},
+			want: "kind=dkasan outcome=ok dkasan=alloc_after_map|multiple_map",
+		},
+		{
+			name: "spray hit with stale blocked",
+			r: campaign.Result{Kind: campaign.KindPageSpray, Metrics: map[string]string{
+				"spray": "head", "stale": "blocked",
+			}},
+			want: "kind=page-spray outcome=miss spray=head stale=blocked",
+		},
+	}
+	for _, tc := range cases {
+		if got := Signature(&tc.r); got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSignatureFaultClassesOnlyCountFired(t *testing.T) {
+	// The injector emits zero-valued samples for every armed class; only
+	// classes that actually injected may appear in the signature.
+	snap := &metrics.Snapshot{Families: []metrics.Family{{
+		Name: "faultinject_injected_total",
+		Samples: []metrics.Sample{
+			{Value: 0, Labels: metrics.L("class", "dma-drop")},
+			{Value: 3, Labels: metrics.L("class", "ring-drop")},
+			{Value: 1, Labels: metrics.L("class", "dma-corrupt")},
+		},
+	}}}
+	r := campaign.Result{Kind: campaign.KindRingFlood, Success: true, Snapshot: snap}
+	want := "kind=ring-flood outcome=ok fault=dma-corrupt|ring-drop"
+	if got := Signature(&r); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,80 @@
+package mem
+
+import (
+	"fmt"
+
+	"dmafault/internal/layout"
+)
+
+// Page spraying ("Take a Step Further"): after a kernel path frees a
+// DMA-exposed page block, an attacker-influencable allocation burst tries to
+// land a kernel object on the same frames while a device still holds a stale
+// IOTLB entry for them. The buddy allocator's LIFO freelists make this
+// nearly deterministic for order>0 blocks — the very next same-order
+// allocation reuses the block just freed — while order-0 frees detour
+// through the per-CPU hot cache first. SpraySet records where the burst
+// landed so an attack can test for a hit.
+
+// SprayPattern sizes one spray pass.
+type SprayPattern struct {
+	// Blocks is the number of allocations the burst performs.
+	Blocks int
+	// Order is the buddy order of each allocation.
+	Order uint
+}
+
+// SpraySet is the outcome of a spray pass: the head PFN of every block the
+// burst obtained, in allocation order.
+type SpraySet struct {
+	Order uint
+	PFNs  []layout.PFN
+}
+
+// Spray performs pattern.Blocks allocations of 2^pattern.Order pages on the
+// given CPU. An allocation failure (exhaustion or injected pressure) stops
+// the burst; the partial set is returned alongside the error so callers can
+// still release what was obtained.
+func (pa *PageAllocator) Spray(cpu int, pattern SprayPattern) (*SpraySet, error) {
+	if pattern.Order > MaxOrder {
+		return nil, fmt.Errorf("mem: spray order %d exceeds MaxOrder %d", pattern.Order, MaxOrder)
+	}
+	set := &SpraySet{Order: pattern.Order}
+	for i := 0; i < pattern.Blocks; i++ {
+		pfn, err := pa.AllocPages(cpu, pattern.Order)
+		if err != nil {
+			return set, fmt.Errorf("mem: spray block %d/%d: %w", i, pattern.Blocks, err)
+		}
+		set.PFNs = append(set.PFNs, pfn)
+	}
+	return set, nil
+}
+
+// ReleaseSpray frees every block of a spray pass (partial sets included).
+func (pa *PageAllocator) ReleaseSpray(cpu int, set *SpraySet) error {
+	if set == nil {
+		return nil
+	}
+	var firstErr error
+	for _, pfn := range set.PFNs {
+		if err := pa.Free(cpu, pfn, set.Order); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	set.PFNs = nil
+	return firstErr
+}
+
+// Contains reports which sprayed block (by index) covers the given frame,
+// if any — the hit test for a spray pass aimed at a just-freed block.
+func (s *SpraySet) Contains(p layout.PFN) (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	span := layout.PFN(1) << s.Order
+	for i, head := range s.PFNs {
+		if p >= head && p < head+span {
+			return i, true
+		}
+	}
+	return 0, false
+}

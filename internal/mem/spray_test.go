@@ -1,0 +1,119 @@
+package mem
+
+import (
+	"testing"
+
+	"dmafault/internal/layout"
+)
+
+// LIFO buddy freelists make a spray land on the block freed just before it:
+// the first sprayed block of the same order is exactly the freed block.
+func TestSprayReclaimsFreedBlock(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 2)
+	p, err := m.Pages.AllocPages(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pages.Free(0, p, 2); err != nil {
+		t.Fatal(err)
+	}
+	set, err := m.Pages.Spray(0, SprayPattern{Blocks: 4, Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Pages.ReleaseSpray(0, set)
+	idx, ok := set.Contains(p)
+	if !ok {
+		t.Fatalf("spray missed freed block %d: %v", p, set.PFNs)
+	}
+	if idx != 0 || set.PFNs[0] != p {
+		t.Errorf("LIFO reuse should land on the first sprayed block: hit index %d, heads %v", idx, set.PFNs)
+	}
+}
+
+// A smaller-order spray still hits the freed block's head page: splitting a
+// buddy block keeps the low half, so the first order-2 allocation carved out
+// of a freed order-4 block starts at the block's first frame.
+func TestSprayLowerOrderHitsBlockHead(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 2)
+	p, err := m.Pages.AllocPages(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pages.Free(0, p, 4); err != nil {
+		t.Fatal(err)
+	}
+	set, err := m.Pages.Spray(0, SprayPattern{Blocks: 2, Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Pages.ReleaseSpray(0, set)
+	if _, ok := set.Contains(p); !ok {
+		t.Fatalf("order-2 spray missed head of freed order-4 block %d: %v", p, set.PFNs)
+	}
+	if set.PFNs[0] != p {
+		t.Errorf("first sprayed block should be the freed block's low half: got %d, want %d", set.PFNs[0], p)
+	}
+}
+
+func TestSprayReleaseRestoresFreePages(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 2)
+	before := m.Pages.FreePages()
+	set, err := m.Pages.Spray(0, SprayPattern{Blocks: 8, Order: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := before - m.Pages.FreePages(); got != 8*2 {
+		t.Errorf("spray consumed %d pages, want 16", got)
+	}
+	if err := m.Pages.ReleaseSpray(0, set); err != nil {
+		t.Fatal(err)
+	}
+	if m.Pages.FreePages() != before {
+		t.Errorf("release left %d free pages, want %d", m.Pages.FreePages(), before)
+	}
+	if len(set.PFNs) != 0 {
+		t.Error("release must clear the set")
+	}
+}
+
+// Exhaustion mid-burst returns the partial set with the error, and the
+// partial set is releasable.
+func TestSprayPartialOnExhaustion(t *testing.T) {
+	m := newTestMemory(t, 8<<20, 1) // ~1024 usable frames after the 4 MiB boot reserve
+	set, err := m.Pages.Spray(0, SprayPattern{Blocks: 1 << 10, Order: 4})
+	if err == nil {
+		t.Fatal("spray of more memory than exists should fail")
+	}
+	if set == nil || len(set.PFNs) == 0 {
+		t.Fatal("partial set should carry the blocks obtained before exhaustion")
+	}
+	if err := m.Pages.ReleaseSpray(0, set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSprayRejectsOverMaxOrder(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 1)
+	if _, err := m.Pages.Spray(0, SprayPattern{Blocks: 1, Order: MaxOrder + 1}); err == nil {
+		t.Fatal("order above MaxOrder must be rejected")
+	}
+}
+
+func TestSpraySetContainsSpan(t *testing.T) {
+	set := &SpraySet{Order: 2, PFNs: []layout.PFN{100, 200}}
+	for _, p := range []layout.PFN{100, 103, 200, 203} {
+		if _, ok := set.Contains(p); !ok {
+			t.Errorf("PFN %d should be inside a sprayed block", p)
+		}
+	}
+	for _, p := range []layout.PFN{99, 104, 199, 204} {
+		if _, ok := set.Contains(p); ok {
+			t.Errorf("PFN %d should be outside every sprayed block", p)
+		}
+	}
+	var nilSet *SpraySet
+	if _, ok := nilSet.Contains(100); ok {
+		t.Error("nil set contains nothing")
+	}
+}
