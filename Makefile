@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test race bench campaign faultsmoke fuzzsmoke soaksmoke
+.PHONY: check fmt build vet test race bench campaign faultsmoke fuzzsmoke cachesmoke soaksmoke
 
-check: fmt vet build race faultsmoke fuzzsmoke soaksmoke
+check: fmt vet build race faultsmoke fuzzsmoke cachesmoke soaksmoke
 
 # gofmt gate: fail listing any file that needs formatting.
 fmt:
@@ -28,9 +28,9 @@ race:
 
 # One pass over every benchmark (-benchtime=1x keeps it minutes, not hours),
 # teed through cmd/benchjson into a benchstat-comparable JSON artifact.
-# Commit BENCH_6.json when the numbers move for a reason worth recording.
+# Commit BENCH_7.json when the numbers move for a reason worth recording.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . | $(GO) run ./cmd/benchjson -out BENCH_6.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . | $(GO) run ./cmd/benchjson -out BENCH_7.json
 
 # A quick §6-shaped mixed campaign; see EXPERIMENTS.md for the full runs.
 campaign:
@@ -49,6 +49,16 @@ faultsmoke:
 fuzzsmoke:
 	$(GO) run ./cmd/campaign -fuzz -fuzz-attempts 24 -fuzz-batch 8 \
 		-fuzz-minimize 2 -quiet >/dev/null
+
+# Incremental-cache smoke: run a preset cold into a fresh result cache, then
+# re-run it with -require-cached, which exits nonzero unless every scenario
+# replayed from the store — proving digesting, persistence, and replay
+# determinism end to end on every `make check`.
+cachesmoke:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/campaign -preset ladder -n 8 -quiet -cache $$tmp/results.bin >/dev/null && \
+	$(GO) run ./cmd/campaign -preset ladder -n 8 -quiet -cache $$tmp/results.bin -require-cached >/dev/null; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
 
 # Supervision chaos soak: boot dmafaultd, run fault-injected campaigns
 # through the bounded scheduler, cancel some mid-flight, kill -9 the daemon

@@ -24,6 +24,7 @@ import (
 	"dmafault/internal/iommu"
 	"dmafault/internal/netstack"
 	"dmafault/internal/obs"
+	"dmafault/internal/resultstore"
 	"dmafault/internal/spade"
 )
 
@@ -365,6 +366,51 @@ func BenchmarkCampaignHardeningOverhead(b *testing.B) {
 				if sum.Scenarios != len(set) {
 					b.Fatalf("ran %d scenarios, want %d", sum.Scenarios, len(set))
 				}
+			}
+			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
+	}
+}
+
+// BenchmarkCampaignCacheHit quantifies what the content-addressed result
+// cache buys an incremental re-run: the same ladder set executed cold (the
+// store is empty, every scenario runs and records) vs warm (a prior run
+// filled the store, every scenario replays). The warm arm's speedup is the
+// whole point of internal/resultstore — re-running an unchanged campaign
+// should cost I/O and hashing, not simulation.
+func BenchmarkCampaignCacheHit(b *testing.B) {
+	set := campaign.LadderPreset(16, 2021)
+	for _, arm := range []struct {
+		name string
+		warm bool
+	}{{"cold", false}, {"warm", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st, err := resultstore.Open(filepath.Join(dir, fmt.Sprintf("r%d.bin", i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if arm.warm {
+					if _, err := (campaign.Engine{Workers: 4, Cache: st}).Run(set); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				sum, err := (campaign.Engine{Workers: 4, Cache: st}).Run(set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if sum.Scenarios != len(set) {
+					b.Fatalf("ran %d scenarios, want %d", sum.Scenarios, len(set))
+				}
+				if stats := st.Stats(); arm.warm && stats.Hits < uint64(len(set)) {
+					b.Fatalf("warm arm executed: %+v", stats)
+				}
+				st.Close()
+				b.StartTimer()
 			}
 			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
 		})

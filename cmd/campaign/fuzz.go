@@ -10,6 +10,7 @@ import (
 	"dmafault/internal/campaign"
 	"dmafault/internal/cliutil"
 	"dmafault/internal/fuzz"
+	"dmafault/internal/resultstore"
 
 	"log/slog"
 )
@@ -21,6 +22,10 @@ type fuzzOptions struct {
 	Corpus   string
 	Resume   bool
 	Minimize int
+	// Cache replays recorded scenario results instead of executing (nil:
+	// every attempt executes); RequireCached fails the run on any miss.
+	Cache         *resultstore.Store
+	RequireCached bool
 }
 
 // runFuzz executes the coverage-guided fuzz loop and renders its report the
@@ -35,6 +40,9 @@ func runFuzz(cf *cliutil.Flags, log *slog.Logger, opt fuzzOptions) error {
 		CorpusPath:     opt.Corpus,
 		Resume:         opt.Resume,
 		MinimizeBudget: opt.Minimize,
+	}
+	if opt.Cache != nil {
+		cfg.Cache = opt.Cache
 	}
 	if log.Enabled(context.Background(), slog.LevelInfo) {
 		cfg.OnRound = func(st fuzz.RoundStats) {
@@ -66,6 +74,14 @@ func runFuzz(cf *cliutil.Flags, log *slog.Logger, opt fuzzOptions) error {
 	}
 	log.Info("fuzz complete", "execs", rep.Execs+rep.MinimizeExecs,
 		"elapsed", elapsed.Round(time.Millisecond).String())
+	if opt.Cache != nil {
+		st := opt.Cache.Stats()
+		log.Info("result cache", "path", st.Path, "hits", st.Hits,
+			"misses", st.Misses, "records", st.Records)
+		if opt.RequireCached && st.Misses > 0 {
+			return fmt.Errorf("require-cached: %d attempts missed the cache and executed", st.Misses)
+		}
+	}
 	return nil
 }
 

@@ -17,7 +17,10 @@
 //	campaign -fuzz -fuzz-attempts 64          # coverage-guided fuzz campaign
 //	campaign -fuzz -fuzz-corpus c.jsonl -resume  # continue a fuzz corpus
 //	campaign -spans spans.jsonl ...           # export wall-clock spans as JSONL
-//	campaign -watch http://localhost:8077/campaigns/1  # tail a dmafaultd job
+//	campaign -cache results.bin ...           # replay cached results, record new ones
+//	campaign -cache results.bin -require-cached ...  # assert a fully warm cache
+//	campaign -cache results.bin -cache-compact  # drop superseded/stale records
+//	campaign -watch http://localhost:8077/v1/campaigns/1  # tail a dmafaultd job
 //	campaign -list                            # available presets and kinds
 package main
 
@@ -37,6 +40,7 @@ import (
 	"dmafault/internal/faultinject"
 	"dmafault/internal/obs"
 	"dmafault/internal/par"
+	"dmafault/internal/resultstore"
 )
 
 func main() {
@@ -55,7 +59,10 @@ func main() {
 	fuzzBatch := flag.Int("fuzz-batch", 0, "scenarios per fuzz round (0: default)")
 	fuzzCorpus := flag.String("fuzz-corpus", "", "persist the fuzz corpus to this JSONL file (-resume continues it)")
 	fuzzMinimize := flag.Int("fuzz-minimize", 0, "per-entry minimization budget (0: default; negative: skip minimization)")
-	watch := flag.String("watch", "", "tail a running dmafaultd job over SSE instead of running locally (job URL, e.g. http://localhost:8077/campaigns/1)")
+	watch := flag.String("watch", "", "tail a running dmafaultd job over SSE instead of running locally (job URL, e.g. http://localhost:8077/v1/campaigns/1)")
+	cachePath := flag.String("cache", "", "content-addressed result cache file: scenarios already recorded replay instead of executing; new results are appended")
+	cacheCompact := flag.Bool("cache-compact", false, "with -cache: rewrite the cache log dropping superseded and stale-engine records, print stats, and exit")
+	requireCached := flag.Bool("require-cached", false, "with -cache: exit nonzero unless every scenario was served from the cache (proves a warm cache executes nothing)")
 	cf := cliutil.New("campaign").WithSeed().WithWorkers().WithJSON().WithOut().WithQuiet().WithLog()
 	cf.Parse()
 	seed, workers, jsonOut := cf.Seed, cf.Workers, cf.JSON
@@ -70,6 +77,30 @@ func main() {
 			cf.Fatal(fmt.Errorf("job finished with status %q", status))
 		}
 		return
+	}
+
+	if *cacheCompact {
+		if *cachePath == "" {
+			cf.Fatal(fmt.Errorf("-cache-compact requires -cache"))
+		}
+		cs, err := resultstore.Compact(*cachePath)
+		if err != nil {
+			cf.Fatal(err)
+		}
+		fmt.Printf("cache compacted: %d -> %d records (%d stale, %d superseded dropped), %d -> %d bytes\n",
+			cs.RecordsBefore, cs.RecordsAfter, cs.DroppedStale, cs.DroppedSuperseded,
+			cs.BytesBefore, cs.BytesAfter)
+		return
+	}
+	var store *resultstore.Store
+	if *cachePath != "" {
+		var err error
+		if store, err = resultstore.Open(*cachePath); err != nil {
+			cf.Fatal(err)
+		}
+		defer store.Close()
+	} else if *requireCached {
+		cf.Fatal(fmt.Errorf("-require-cached requires -cache"))
 	}
 
 	if *list {
@@ -87,6 +118,7 @@ func main() {
 		if err := runFuzz(cf, log, fuzzOptions{
 			Attempts: *fuzzAttempts, WallTime: *fuzzTime, Batch: *fuzzBatch,
 			Corpus: *fuzzCorpus, Resume: *resume, Minimize: *fuzzMinimize,
+			Cache: store, RequireCached: *requireCached,
 		}); err != nil {
 			cf.Fatal(err)
 		}
@@ -139,6 +171,11 @@ func main() {
 	}
 
 	eng := campaign.Engine{Workers: *workers}
+	var cacheHits atomic.Int64
+	if store != nil {
+		eng.Cache = store
+		eng.OnCacheHit = func(int) { cacheHits.Add(1) }
+	}
 	var spanCol *obs.Collector
 	if *spansOut != "" {
 		spanCol = &obs.Collector{}
@@ -187,6 +224,15 @@ func main() {
 		cf.Fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if store != nil {
+		st := store.Stats()
+		log.Info("result cache", "path", st.Path, "hits", cacheHits.Load(),
+			"misses", st.Misses, "records", st.Records)
+		if *requireCached && st.Misses > 0 {
+			cf.Fatal(fmt.Errorf("require-cached: %d scenarios missed the cache and executed", st.Misses))
+		}
+	}
 
 	if spanCol != nil {
 		f, err := os.Create(*spansOut)

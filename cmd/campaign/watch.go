@@ -1,59 +1,49 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
-	"net/http"
+	"strconv"
 	"strings"
+
+	"dmafault/internal/faultdclient"
 )
 
 // Watch mode: tail a running dmafaultd job over its SSE event stream
-// (GET /campaigns/{id}/events) and render each event as one line. The stream
-// carries cumulative "progress" heartbeats, completed "span" records,
-// per-scenario "result" records, and a terminal "status" event, after which
-// the server closes the stream.
+// (GET /v1/campaigns/{id}/events, via the typed client) and render each
+// event as one line. The stream carries cumulative "progress" heartbeats,
+// completed "span" records, per-scenario "result" records, and a terminal
+// "status" event, after which the server closes the stream.
 
 // watchJob connects to the job's event stream and copies events to w until
 // the terminal status arrives (or the stream ends). It returns the final
 // status it saw ("" if the stream ended without one).
 func watchJob(w io.Writer, jobURL string) (string, error) {
-	u := strings.TrimRight(jobURL, "/")
-	if !strings.HasSuffix(u, "/events") {
-		u += "/events"
-	}
-	resp, err := http.Get(u)
+	base, id, err := parseJobURL(jobURL)
 	if err != nil {
-		return "", fmt.Errorf("watch %s: %w", u, err)
+		return "", err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return "", fmt.Errorf("watch %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	c := faultdclient.New(base)
+	return c.Watch(context.Background(), id, func(e faultdclient.Event) error {
+		_, err := fmt.Fprintf(w, "%-8s %s\n", e.Type, e.Data)
+		return err
+	})
+}
+
+// parseJobURL splits a job URL — /v1/campaigns/{id}, the legacy unversioned
+// form, or either with a trailing /events — into the service base and the
+// job ID.
+func parseJobURL(jobURL string) (base string, id int, err error) {
+	u := strings.TrimRight(jobURL, "/")
+	u = strings.TrimSuffix(u, "/events")
+	base, rest, ok := strings.Cut(u, "/campaigns/")
+	if !ok {
+		return "", 0, fmt.Errorf("watch %s: not a job URL (want .../v1/campaigns/<id>)", jobURL)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	var event string
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data := strings.TrimPrefix(line, "data: ")
-			fmt.Fprintf(w, "%-8s %s\n", event, data)
-			if event == "status" {
-				var st struct {
-					Status string `json:"status"`
-				}
-				_ = json.Unmarshal([]byte(data), &st)
-				return st.Status, nil
-			}
-		}
+	id, err = strconv.Atoi(rest)
+	if err != nil || id < 1 {
+		return "", 0, fmt.Errorf("watch %s: bad job id %q", jobURL, rest)
 	}
-	if err := sc.Err(); err != nil {
-		return "", fmt.Errorf("watch %s: %w", u, err)
-	}
-	return "", nil
+	return strings.TrimSuffix(base, "/v1"), id, nil
 }

@@ -14,16 +14,25 @@
 // 503, running jobs drain (cancelled if the -shutdown-timeout expires
 // first), and journals are flushed.
 //
+// With -cache-dir set, the daemon opens a shared content-addressed result
+// store (internal/resultstore) at <dir>/results.bin: every campaign job,
+// recovered resume, and fuzz batch consults it before executing a scenario,
+// so overlapping submissions replay recorded results instead of
+// re-executing. The store persists across restarts; /v1/cache/stats reports
+// it and DELETE /v1/cache empties it.
+//
 // Usage:
 //
 //	dmafaultd                     # listen on :8077
-//	dmafaultd -addr 127.0.0.1:9000 -workers 8 -journal-dir /var/lib/dmafaultd
+//	dmafaultd -addr 127.0.0.1:9000 -workers 8 -journal-dir /var/lib/dmafaultd \
+//	          -cache-dir /var/cache/dmafaultd
 //
 //	curl -s localhost:8077/healthz
 //	curl -s localhost:8077/readyz
-//	curl -s -X POST localhost:8077/campaigns -d '{"preset":"ladder","n":8,"seed":2021}'
-//	curl -s localhost:8077/campaigns/1 | head
-//	curl -s -X DELETE localhost:8077/campaigns/1
+//	curl -s -X POST localhost:8077/v1/campaigns -d '{"preset":"ladder","n":8,"seed":2021}'
+//	curl -s localhost:8077/v1/campaigns/1 | head
+//	curl -s -X DELETE localhost:8077/v1/campaigns/1
+//	curl -s localhost:8077/v1/cache/stats
 //	curl -s localhost:8077/metrics | grep iommu_
 package main
 
@@ -35,12 +44,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"dmafault/internal/cliutil"
 	"dmafault/internal/faultd"
 	"dmafault/internal/obs"
+	"dmafault/internal/resultstore"
 )
 
 func main() {
@@ -59,6 +70,8 @@ func main() {
 		"quarantine a scenario after this many panic/timeout outcomes across jobs (0 disables the circuit breaker)")
 	quarantineProbeAfter := flag.Int("quarantine-probe-after", 2,
 		"jobs a quarantined scenario sits out before a half-open probe run")
+	cacheDir := flag.String("cache-dir", "",
+		"directory for the shared content-addressed result cache (results.bin); jobs replay cached scenario results instead of re-executing; empty disables caching")
 	cf := cliutil.New("dmafaultd").WithWorkers().WithQuiet().WithLog()
 	cf.Parse()
 
@@ -78,6 +91,21 @@ func main() {
 	srv.StallTimeout = *stallTimeout
 	srv.QuarantineThreshold = *quarantineThreshold
 	srv.QuarantineProbeAfter = *quarantineProbeAfter
+
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			cf.Fatal(err)
+		}
+		store, err := resultstore.Open(filepath.Join(*cacheDir, "results.bin"))
+		if err != nil {
+			cf.Fatal(err)
+		}
+		defer store.Close()
+		srv.Cache = store
+		st := store.Stats()
+		log.Info("result cache open", "path", st.Path,
+			"records", st.Records, "stale", st.StaleRecords, "bytes", st.Bytes)
+	}
 
 	// Resume whatever a crashed or killed predecessor left behind, before
 	// the listener opens: recovered jobs are queued jobs like any other.

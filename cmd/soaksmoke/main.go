@@ -4,7 +4,8 @@
 // is running, restarts it against the same journal directory, and verifies
 // that boot recovery resumes and finishes the interrupted work. A short run
 // (~15s) that proves the whole supervision layer — admission, scheduler,
-// journal recovery, graceful shutdown — on every `make check`.
+// journal recovery, graceful shutdown — on every `make check`. All daemon
+// traffic goes through the typed /v1 client (internal/faultdclient).
 //
 // Usage:
 //
@@ -14,13 +15,11 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
 	"math/rand"
-	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -29,7 +28,10 @@ import (
 	"syscall"
 	"time"
 
+	"dmafault/internal/campaign"
 	"dmafault/internal/cliutil"
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/faultdclient"
 )
 
 // The daemon announces its listener as a structured slog record
@@ -50,6 +52,7 @@ func main() {
 }
 
 func run(log *slog.Logger, seed int64, keep bool) error {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(seed))
 	dir, err := os.MkdirTemp("", "soaksmoke-")
 	if err != nil {
@@ -87,26 +90,32 @@ func run(log *slog.Logger, seed int64, keep bool) error {
 		if i == 2 {
 			fault = "scenario-panic@1"
 		}
-		id, err := d.submit(fmt.Sprintf(
-			`{"name":"soak-%d","workers":2,"scenarios":[%s]}`, i, faultScenarios(4, 100+4*i, fault)))
+		acc, err := d.c.Submit(ctx, api.SubmitRequest{
+			Name: fmt.Sprintf("soak-%d", i), Workers: 2,
+			Scenarios: faultScenarios(4, 100+4*i, fault),
+		})
 		if err != nil {
 			return err
 		}
-		ids = append(ids, id)
+		ids = append(ids, acc.ID)
 	}
 	// The victim: serial 250ms stalls, long enough to be mid-flight when
 	// the SIGKILL lands and to span the restart.
-	victim, err := d.submit(`{"name":"victim","workers":1,"scenarios":[` + stallScenarios(10) + `]}`)
+	acc, err := d.c.Submit(ctx, api.SubmitRequest{
+		Name: "victim", Workers: 1, Scenarios: stallScenarios(10),
+	})
 	if err != nil {
 		return err
 	}
+	victim := acc.ID
 
-	// Random mid-flight cancels: each fast job has a 1-in-3 chance.
+	// Random mid-flight cancels: each fast job has a 1-in-3 chance. A 409
+	// means the job beat the cancel to the finish line — fine mid-chaos.
 	cancelled := map[int]bool{}
 	for _, id := range ids {
 		if rng.Intn(3) == 0 {
-			if err := d.cancel(id); err != nil {
-				return err
+			if _, err := d.c.Cancel(ctx, id); err != nil && !faultdclient.IsConflict(err) {
+				return fmt.Errorf("cancel %d: %w", id, err)
 			}
 			cancelled[id] = true
 		}
@@ -135,21 +144,21 @@ func run(log *slog.Logger, seed int64, keep bool) error {
 	if !job.Recovered {
 		return fmt.Errorf("victim job %d not marked recovered: %+v", victim, job)
 	}
-	if job.Status != "done" || job.ScenariosDone != 10 {
+	if job.Status != api.StatusDone || job.ScenariosDone != 10 {
 		return fmt.Errorf("victim did not finish after recovery: %+v", job)
 	}
 
 	// The restarted daemon is a fresh service: fast jobs from phase 1 that
 	// finished before the kill are finished journals (not re-registered),
 	// and new submissions work immediately.
-	checkID, err := d2.submit(`{"name":"post-restart","preset":"ladder","n":4,"seed":9}`)
+	check, err := d2.c.Submit(ctx, api.SubmitRequest{Name: "post-restart", Preset: "ladder", N: 4, Seed: 9})
 	if err != nil {
 		return fmt.Errorf("post-restart submit: %w", err)
 	}
-	if checkID <= victim {
-		return fmt.Errorf("post-restart job ID %d not past recovered ID %d", checkID, victim)
+	if check.ID <= victim {
+		return fmt.Errorf("post-restart job ID %d not past recovered ID %d", check.ID, victim)
 	}
-	if job, err := d2.waitTerminal(checkID, 60*time.Second); err != nil || job.Status != "done" {
+	if job, err := d2.waitTerminal(check.ID, 60*time.Second); err != nil || job.Status != api.StatusDone {
 		return fmt.Errorf("post-restart job: %+v, %v", job, err)
 	}
 
@@ -162,34 +171,28 @@ func run(log *slog.Logger, seed int64, keep bool) error {
 	return nil
 }
 
-// faultScenarios renders n window-ladder scenarios with the given fault
-// spec armed on each.
-func faultScenarios(n, seed int, fault string) string {
-	var sb strings.Builder
-	for i := 0; i < n; i++ {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		fmt.Fprintf(&sb, `{"kind":"window-ladder","seed":%d,"fault_spec":"%s"}`, seed+i, fault)
+// faultScenarios builds n window-ladder scenarios with the given fault spec
+// armed on each.
+func faultScenarios(n, seed int, fault string) []campaign.Scenario {
+	scs := make([]campaign.Scenario, n)
+	for i := range scs {
+		scs[i] = campaign.Scenario{Kind: "window-ladder", Seed: int64(seed + i), FaultSpec: fault}
 	}
-	return sb.String()
+	return scs
 }
 
-func stallScenarios(n int) string {
-	var sb strings.Builder
-	for i := 0; i < n; i++ {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		fmt.Fprintf(&sb, `{"kind":"window-ladder","seed":%d,"fault_spec":"scenario-stall@1"}`, 300+i)
+func stallScenarios(n int) []campaign.Scenario {
+	scs := make([]campaign.Scenario, n)
+	for i := range scs {
+		scs[i] = campaign.Scenario{Kind: "window-ladder", Seed: int64(300 + i), FaultSpec: "scenario-stall@1"}
 	}
-	return sb.String()
+	return scs
 }
 
-// daemon wraps one dmafaultd process.
+// daemon wraps one dmafaultd process and its API client.
 type daemon struct {
-	cmd  *exec.Cmd
-	base string
+	cmd *exec.Cmd
+	c   *faultdclient.Client
 }
 
 // startDaemon boots dmafaultd on an ephemeral port and waits for /healthz.
@@ -225,7 +228,7 @@ func startDaemon(bin, journalDir string) (*daemon, error) {
 	}()
 	select {
 	case addr := <-addrCh:
-		d := &daemon{cmd: cmd, base: "http://" + addr}
+		d := &daemon{cmd: cmd, c: faultdclient.New("http://" + addr)}
 		if err := d.waitHealthy(10 * time.Second); err != nil {
 			d.kill()
 			return nil, err
@@ -265,92 +268,27 @@ func (d *daemon) term(budget time.Duration) error {
 func (d *daemon) waitHealthy(budget time.Duration) error {
 	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(d.base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
+		if body, err := d.c.Health(context.Background()); err == nil && body == "ok" {
+			return nil
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	return fmt.Errorf("daemon at %s never became healthy", d.base)
-}
-
-func (d *daemon) submit(body string) (int, error) {
-	resp, err := http.Post(d.base+"/campaigns", "application/json", strings.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusAccepted {
-		return 0, fmt.Errorf("submit: %d %s", resp.StatusCode, data)
-	}
-	var acc struct {
-		ID int `json:"id"`
-	}
-	if err := json.Unmarshal(data, &acc); err != nil {
-		return 0, err
-	}
-	return acc.ID, nil
-}
-
-func (d *daemon) cancel(id int) error {
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/campaigns/%d", d.base, id), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	resp.Body.Close()
-	// 202 = cancelling, 409 = already finished; both are fine mid-chaos.
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusConflict {
-		return fmt.Errorf("cancel %d: %d", id, resp.StatusCode)
-	}
-	return nil
-}
-
-// jobView is the slice of the job document the soak cares about.
-type jobView struct {
-	ID            int    `json:"id"`
-	Status        string `json:"status"`
-	ScenariosDone int    `json:"scenarios_done"`
-	Recovered     bool   `json:"recovered"`
-	Error         string `json:"error"`
-}
-
-func (d *daemon) job(id int) (*jobView, error) {
-	resp, err := http.Get(fmt.Sprintf("%s/campaigns/%d", d.base, id))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("job %d: %d %s", id, resp.StatusCode, data)
-	}
-	var j jobView
-	if err := json.Unmarshal(data, &j); err != nil {
-		return nil, err
-	}
-	return &j, nil
+	return fmt.Errorf("daemon at %s never became healthy", d.c.Base)
 }
 
 // waitProgress polls until the job has completed at least n scenarios.
 func (d *daemon) waitProgress(id, n int, budget time.Duration) error {
+	ctx := context.Background()
 	deadline := time.Now().Add(budget)
 	for time.Now().Before(deadline) {
-		j, err := d.job(id)
+		j, err := d.c.Get(ctx, id)
 		if err != nil {
 			return err
 		}
 		if j.ScenariosDone >= n {
 			return nil
 		}
-		if j.Status != "queued" && j.Status != "running" {
+		if j.Status.Terminal() {
 			return fmt.Errorf("job %d ended %q before making progress", id, j.Status)
 		}
 		time.Sleep(25 * time.Millisecond)
@@ -359,19 +297,12 @@ func (d *daemon) waitProgress(id, n int, budget time.Duration) error {
 }
 
 // waitTerminal polls until the job leaves the queued/running states.
-func (d *daemon) waitTerminal(id int, budget time.Duration) (*jobView, error) {
-	deadline := time.Now().Add(budget)
-	for {
-		j, err := d.job(id)
-		if err != nil {
-			return nil, err
-		}
-		if j.Status != "queued" && j.Status != "running" {
-			return j, nil
-		}
-		if time.Now().After(deadline) {
-			return j, fmt.Errorf("job %d still %s after %s", id, j.Status, budget)
-		}
-		time.Sleep(25 * time.Millisecond)
+func (d *daemon) waitTerminal(id int, budget time.Duration) (*api.Job, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	job, err := d.c.WaitTerminal(ctx, id, 0)
+	if err != nil && job != nil {
+		return job, fmt.Errorf("job %d still %s after %s", id, job.Status, budget)
 	}
+	return job, err
 }

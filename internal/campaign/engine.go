@@ -65,6 +65,19 @@ type Engine struct {
 	MaxRetries int
 	// RetryBackoff is the initial retry delay (0 means DefaultRetryBackoff).
 	RetryBackoff time.Duration
+	// Cache, if set, is the content-addressed result store consulted before
+	// each scenario executes: a hit replays the recorded result (re-stamped
+	// with the position-derived ID, journaled, counted, and aggregated
+	// exactly like an executed one — the summary is byte-identical at any
+	// worker count), a miss executes normally and appends the result if
+	// Cacheable. The cache is checked before Gate: a hit means nothing
+	// executes, so there is nothing for a circuit breaker to protect.
+	Cache Store
+	// OnCacheHit, if set, observes each scenario served from Cache (called
+	// from worker goroutines, before OnResult fires for the same index).
+	// Hit/miss tallies live here and in the Store — never in the Summary,
+	// which must stay byte-identical between cached and uncached runs.
+	OnCacheHit func(index int)
 	// Journal, if set, records each completed scenario as a durable JSONL
 	// line, enabling crash/kill resume (see OpenJournal). Cancelled
 	// scenarios are never journaled — on resume they re-execute.
@@ -126,7 +139,18 @@ func (e Engine) RunCtx(ctx context.Context, scenarios []Scenario) (*Summary, err
 			obs.Af("index", "%d", i))
 		var r *Result
 		var err error
-		if e.Gate != nil {
+		var digest Digest
+		if e.Cache != nil {
+			digest = ScenarioDigest(scs[i])
+			if hit, ok := e.Cache.Get(digest); ok {
+				r = cacheReplay(hit, &scs[i])
+				sp.SetAttr("cached", "true")
+				if e.OnCacheHit != nil {
+					e.OnCacheHit(i)
+				}
+			}
+		}
+		if r == nil && e.Gate != nil {
 			r = e.Gate(i, &scs[i])
 			if r != nil {
 				sp.SetAttr("gated", "true")
@@ -134,6 +158,14 @@ func (e Engine) RunCtx(ctx context.Context, scenarios []Scenario) (*Summary, err
 		}
 		if r == nil {
 			r, err = e.execute(ctx, scs[i], sp)
+			if err == nil && r != nil && e.Cache != nil && Cacheable(r) {
+				// A failing store is a real error (disk full, torn file),
+				// surfaced like a journal failure rather than silently
+				// degrading into a cache that loses records.
+				if perr := e.Cache.Put(digest, cachePutCopy(r)); perr != nil {
+					err = fmt.Errorf("resultstore: %w", perr)
+				}
+			}
 		}
 		if err != nil {
 			sp.End(obs.A("outcome", "error"))

@@ -72,13 +72,26 @@ func scenarioSetHash(scs []Scenario) string {
 // simply never match, which is the safe failure mode for all three.
 const ScenarioKeyVersion = "dmafault-engine-v2"
 
-// ScenarioKey fingerprints one scenario independently of its position in a
-// set: the engine-version salt plus the full normalized spec (seed, every
+// Digest is the full 32-byte content address of a scenario: SHA-256 over
+// the engine-version salt plus the canonical (normalized, ID-blanked) spec
+// encoding. The persistent result store keys records by the full digest —
+// at store scale the 8-byte truncation that suffices for quarantine display
+// and log lines is too collision-prone to gate result replay.
+type Digest [32]byte
+
+// String renders the full 64-hex-char digest.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Short is the 16-hex-char truncation used for logs, quarantine display,
+// and fuzz-corpus dedup keys — human-scale UX, not a persistence identity.
+func (d Digest) Short() string { return hex.EncodeToString(d[:8]) }
+
+// ScenarioDigest fingerprints one scenario independently of its position in
+// a set: the engine-version salt plus the full normalized spec (seed, every
 // knob, fault plan, timeout) with the index-derived ID blanked. Scenarios
-// that are byte-equal specs share a key across jobs and campaigns — the
-// identity the service's quarantine circuit breaker tracks panicking and
-// deadline-blowing scenarios by, and the fuzzer dedups mutants by.
-func ScenarioKey(s Scenario) string {
+// that are byte-equal specs share a digest across jobs and campaigns — the
+// identity the persistent result store replays cached results by.
+func ScenarioDigest(s Scenario) Digest {
 	s.Normalize(0)
 	s.ID = ""
 	data, err := json.Marshal(&s)
@@ -89,7 +102,17 @@ func ScenarioKey(s Scenario) string {
 	h.Write([]byte(ScenarioKeyVersion))
 	h.Write([]byte{'\n'})
 	h.Write(data)
-	return hex.EncodeToString(h.Sum(nil)[:8])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// ScenarioKey is the short display form of ScenarioDigest — the identity
+// the service's quarantine circuit breaker tracks panicking scenarios by
+// and the fuzzer dedups mutants by, where 64 bits is plenty and log lines
+// stay readable. Anything persistent keys by the full Digest instead.
+func ScenarioKey(s Scenario) string {
+	return ScenarioDigest(s).Short()
 }
 
 // Journal appends completed-scenario records to an open JSONL file.

@@ -1,0 +1,110 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/resultstore"
+)
+
+// The wire formats are a contract: these goldens pin the exact JSON each
+// type marshals to, so a field rename or tag change fails loudly here
+// before it breaks a deployed client.
+func TestWireFormatGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		want string
+	}{
+		{
+			"submit_preset",
+			SubmitRequest{Name: "smoke", Workers: 2, Preset: "ladder", N: 4, Seed: 2021},
+			`{"name":"smoke","workers":2,"preset":"ladder","n":4,"seed":2021}`,
+		},
+		{
+			"submit_fuzz",
+			SubmitRequest{Seed: 7, Fuzz: &FuzzSpec{Attempts: 64, Batch: 16, Minimize: -1}},
+			`{"seed":7,"fuzz":{"attempts":64,"batch":16,"minimize":-1}}`,
+		},
+		{
+			"submit_scenarios",
+			SubmitRequest{Scenarios: []campaign.Scenario{
+				{Kind: campaign.KindWindowLadder, Seed: 7, Driver: "correct", Mode: "strict"},
+			}},
+			`{"scenarios":[{"kind":"window-ladder","seed":7,"mode":"strict","driver":"correct"}]}`,
+		},
+		{
+			"submit_response",
+			SubmitResponse{ID: 1, URL: "/v1/campaigns/1", ScenariosTotal: 4},
+			`{"id":1,"url":"/v1/campaigns/1","scenarios_total":4}`,
+		},
+		{
+			"job_running",
+			Job{ID: 3, Name: "soak", Status: StatusRunning, ScenariosTotal: 8, ScenariosDone: 5, CacheHits: 2},
+			`{"id":3,"name":"soak","status":"running","scenarios_total":8,"scenarios_done":5,"cache_hits":2}`,
+		},
+		{
+			"job_failed",
+			Job{ID: 4, Status: StatusFailed, ScenariosTotal: 1, Error: "boom"},
+			`{"id":4,"status":"failed","scenarios_total":1,"scenarios_done":0,"error":"boom"}`,
+		},
+		{
+			"job_list",
+			JobList{Jobs: []Job{}},
+			`{"jobs":[]}`,
+		},
+		{
+			"cancel_response",
+			CancelResponse{ID: 2, Status: "cancelling"},
+			`{"id":2,"status":"cancelling"}`,
+		},
+		{
+			"cache_stats_disabled",
+			CacheStats{},
+			`{"enabled":false,"path":"","records":0,"stale_records":0,"superseded_records":0,"bytes":0,"hits":0,"misses":0,"stores":0,"hit_rate":0}`,
+		},
+		{
+			"cache_stats_enabled",
+			CacheStats{
+				Enabled: true,
+				Stats: resultstore.Stats{
+					Path: "/var/cache/results.bin", Records: 4, Bytes: 2048,
+					Hits: 4, Misses: 4, Stores: 4,
+				},
+				HitRate: 0.5,
+			},
+			`{"enabled":true,"path":"/var/cache/results.bin","records":4,"stale_records":0,"superseded_records":0,"bytes":2048,"hits":4,"misses":4,"stores":4,"hit_rate":0.5}`,
+		},
+		{
+			"clear_cache_response",
+			ClearCacheResponse{Cleared: true, RecordsDropped: 4},
+			`{"cleared":true,"records_dropped":4}`,
+		},
+	}
+	for _, tc := range cases {
+		got, err := json.Marshal(tc.v)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s wire format drifted:\n got %s\nwant %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// Terminal is the client's poll-loop exit condition; pin it per status.
+func TestJobStatusTerminal(t *testing.T) {
+	for st, want := range map[JobStatus]bool{
+		StatusQueued:    false,
+		StatusRunning:   false,
+		StatusDone:      true,
+		StatusFailed:    true,
+		StatusCancelled: true,
+		StatusStalled:   true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", st, st.Terminal(), want)
+		}
+	}
+}

@@ -3,23 +3,38 @@
 // job on the campaign engine's worker pool, reports live progress, and
 // exposes the unified metric surface of internal/metrics.
 //
-// Endpoints:
+// Endpoints (wire formats in internal/faultd/api; typed client in
+// internal/faultdclient):
 //
-//	GET  /healthz          liveness probe ("ok", or "draining" after shutdown
-//	                       begins)
-//	GET  /readyz           readiness probe: 503 while draining or while the
-//	                       job queue is saturated
-//	GET  /metrics          Prometheus text exposition: service counters plus
-//	                       every completed campaign's machine metrics, merged
-//	POST /campaigns        submit a campaign (scenario array, campaign
-//	                       document, or {"preset": ...}); returns the job ID.
-//	                       429 + Retry-After when the queue is full, 503 once
-//	                       drain has begun
-//	GET  /campaigns        list jobs
-//	GET  /campaigns/{id}   job status: live progress, final aggregate
-//	DELETE /campaigns/{id} cancel a queued or running job (202; 409 if
-//	                       finished)
-//	GET  /debug/pprof/...  runtime profiles
+//	GET  /healthz             liveness probe ("ok", or "draining" after
+//	                          shutdown begins)
+//	GET  /readyz              readiness probe: 503 while draining or while
+//	                          the job queue is saturated
+//	GET  /metrics             Prometheus text exposition: service counters
+//	                          plus every completed campaign's machine
+//	                          metrics, merged
+//	POST /v1/campaigns        submit a campaign (scenario array, preset, or
+//	                          fuzz spec); returns the job ID. 429 +
+//	                          Retry-After when the queue is full, 503 once
+//	                          drain has begun
+//	GET  /v1/campaigns        list jobs
+//	GET  /v1/campaigns/{id}   job status: live progress, final aggregate
+//	DELETE /v1/campaigns/{id} cancel a queued or running job (202; 409 if
+//	                          finished)
+//	GET  /v1/campaigns/{id}/events  live SSE stream
+//	GET  /v1/cache/stats      shared result-cache stats
+//	DELETE /v1/cache          drop every cached result
+//	GET  /debug/pprof/...     runtime profiles
+//
+// Every /v1 job route also answers at its historical unversioned path
+// (/campaigns...), which sets a Deprecation header and a Link to the
+// successor route; new clients should speak /v1 only.
+//
+// The Cache field (dmafaultd -cache-dir) attaches a shared
+// internal/resultstore log: campaign jobs, recovered resumes, and fuzz
+// batches all consult it before executing a scenario, so re-submitting
+// overlapping work mostly replays recorded results (per-job hit counts on
+// the job document, service-wide resultstore_* metric families).
 //
 // The job plane is supervised (see supervisor.go): submissions pass
 // admission control into a bounded FIFO queue, a dispatcher starts them
@@ -53,9 +68,10 @@ import (
 	"time"
 
 	"dmafault/internal/campaign"
-	"dmafault/internal/fuzz"
+	"dmafault/internal/faultd/api"
 	"dmafault/internal/metrics"
 	"dmafault/internal/obs"
+	"dmafault/internal/resultstore"
 )
 
 // MaxScenarios bounds one submission; larger sets are rejected with 400
@@ -66,41 +82,24 @@ const MaxScenarios = 4096
 // QueueDepth zero.
 const DefaultQueueDepth = 64
 
-// JobStatus is the lifecycle of a submitted campaign.
-type JobStatus string
+// JobStatus is the lifecycle of a submitted campaign (wire type in api).
+type JobStatus = api.JobStatus
 
 const (
-	// StatusQueued: accepted and waiting for a scheduler slot.
-	StatusQueued  JobStatus = "queued"
-	StatusRunning JobStatus = "running"
-	StatusDone    JobStatus = "done"
-	StatusFailed  JobStatus = "failed"
-	// StatusCancelled: stopped by DELETE or shutdown; completed scenarios
-	// were journaled.
-	StatusCancelled JobStatus = "cancelled"
-	// StatusStalled: the watchdog cancelled the job because its progress
-	// heartbeat went quiet for longer than the stall timeout.
-	StatusStalled JobStatus = "stalled"
+	StatusQueued    = api.StatusQueued
+	StatusRunning   = api.StatusRunning
+	StatusDone      = api.StatusDone
+	StatusFailed    = api.StatusFailed
+	StatusCancelled = api.StatusCancelled
+	StatusStalled   = api.StatusStalled
 )
 
-// Job is one submitted campaign. Progress fields are updated by worker
-// goroutines under the server mutex; Summary appears when the job finishes.
+// Job is one submitted campaign: the public wire state (api.Job, embedded —
+// progress fields are updated by worker goroutines under the server mutex;
+// Summary appears when the job finishes) plus the supervisor's scheduling
+// state.
 type Job struct {
-	ID     int       `json:"id"`
-	Name   string    `json:"name,omitempty"`
-	Status JobStatus `json:"status"`
-	// ScenariosTotal/ScenariosDone report live progress.
-	ScenariosTotal int `json:"scenarios_total"`
-	ScenariosDone  int `json:"scenarios_done"`
-	// Recovered marks a job re-registered from a journal at boot.
-	Recovered bool `json:"recovered,omitempty"`
-	// Error is set when the whole run aborted (invalid spec, pool failure,
-	// stall, cancellation).
-	Error string `json:"error,omitempty"`
-	// Summary is the final aggregate (done fixed-set jobs only).
-	Summary *campaign.Summary `json:"summary,omitempty"`
-	// Fuzz is the final fuzz report (done fuzz-campaign jobs only).
-	Fuzz *fuzz.Report `json:"fuzz,omitempty"`
+	api.Job
 
 	// Scheduling state (owned by the supervisor; see supervisor.go).
 	ctx        context.Context
@@ -114,8 +113,10 @@ type Job struct {
 	stalled    bool      // set by the watchdog before it cancels
 	adm        *admission
 	keys       []string // per-index scenario keys (breaker identity)
-	// fuzzSpec marks the job as a fuzz campaign (see FuzzSpec); scs is nil.
-	fuzzSpec *FuzzSpec
+	// fuzzSpec marks the job as a fuzz campaign (see api.FuzzSpec); scs is
+	// nil and fuzzSeed carries the submission's Seed.
+	fuzzSpec *api.FuzzSpec
+	fuzzSeed int64
 	// hub fans the job's live events (spans, results, status) out to SSE
 	// subscribers; closed when the job reaches a terminal status.
 	hub *obs.Hub
@@ -124,37 +125,15 @@ type Job struct {
 	panicDumped bool
 }
 
-// Request is the POST /campaigns body. Exactly one of Scenarios, Preset, or
-// Fuzz must be given.
-type Request struct {
-	Name    string `json:"name,omitempty"`
-	Workers int    `json:"workers,omitempty"`
-	// Scenarios is an explicit scenario set (campaign.Scenario JSON).
-	Scenarios []campaign.Scenario `json:"scenarios,omitempty"`
-	// Preset generates the set server-side: mixed|fuzz|bootstudy|ringflood|ladder.
-	Preset string `json:"preset,omitempty"`
-	N      int    `json:"n,omitempty"`
-	Seed   int64  `json:"seed,omitempty"`
-	// Fuzz runs a coverage-guided fuzz campaign instead of a fixed set.
-	Fuzz *FuzzSpec `json:"fuzz,omitempty"`
-}
+// Request is the POST /v1/campaigns body (wire type in api). Exactly one of
+// Scenarios, Preset, or Fuzz must be given.
+type Request = api.SubmitRequest
 
-// FuzzSpec parameterizes a fuzz-campaign job. The job's seed comes from
-// Request.Seed; its corpus persists to <JournalDir>/fuzz-<id>.corpus.jsonl
-// (a name the boot-recovery scan ignores — fuzz jobs are not crash-recovered,
-// but a resubmitted job can resume the corpus file by hand via cmd/campaign).
-type FuzzSpec struct {
-	// Attempts is the execution budget (<=0: the fuzzer's default; capped at
-	// MaxScenarios like fixed sets).
-	Attempts int `json:"attempts,omitempty"`
-	// Batch is the scenarios-per-round batch size (<=0: default).
-	Batch int `json:"batch,omitempty"`
-	// Minimize is the per-entry minimization budget (0: default; negative:
-	// skip minimization).
-	Minimize int `json:"minimize,omitempty"`
-
-	seed int64 // resolved from Request.Seed at submission
-}
+// FuzzSpec parameterizes a fuzz-campaign job (wire type in api). Its corpus
+// persists to <JournalDir>/fuzz-<id>.corpus.jsonl (a name the boot-recovery
+// scan ignores — fuzz jobs are not crash-recovered, but a resubmitted job
+// can resume the corpus file by hand via cmd/campaign).
+type FuzzSpec = api.FuzzSpec
 
 // Server is the service state: the job table, the scheduler, the merged
 // campaign metric dump, and the service-plane instruments. Configuration
@@ -207,8 +186,14 @@ type Server struct {
 	// built.
 	Recorder *obs.Recorder
 	// HeartbeatInterval paces SSE "progress" events on
-	// GET /campaigns/{id}/events. <= 0 means DefaultHeartbeatInterval.
+	// GET /v1/campaigns/{id}/events. <= 0 means DefaultHeartbeatInterval.
 	HeartbeatInterval time.Duration
+	// Cache, when set, is the shared content-addressed result store: every
+	// campaign job, recovered resume, and fuzz batch consults it before
+	// executing a scenario and appends cacheable results. Its resultstore_*
+	// metric families are registered (via OmitZero) once Handler is built,
+	// and the /v1/cache/* admin endpoints operate on it.
+	Cache *resultstore.Store
 
 	mu           sync.Mutex
 	jobs         []*Job       // submission order, for listing
@@ -319,17 +304,30 @@ func (s *Server) Handler() http.Handler {
 		if s.Recorder != nil {
 			s.reg.MustRegister(metrics.OmitZero(s.Recorder))
 		}
+		if s.Cache != nil {
+			s.reg.MustRegister(metrics.OmitZero(s.Cache))
+		}
 		s.tracer = obs.NewTracer(s.spanMetrics.Sink(), s.Recorder.SpanSink())
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /campaigns", s.handleList)
-	mux.HandleFunc("GET /campaigns/{id}", s.handleJob)
-	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
-	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("DELETE /v1/cache", s.handleCacheClear)
+	// Legacy unversioned aliases: same handlers, plus a Deprecation header
+	// and a Link to the successor route, so pre-/v1 clients keep working
+	// while announcing their own obsolescence.
+	mux.HandleFunc("POST /campaigns", deprecated("/v1/campaigns", s.handleSubmit))
+	mux.HandleFunc("GET /campaigns", deprecated("/v1/campaigns", s.handleList))
+	mux.HandleFunc("GET /campaigns/{id}", deprecated("/v1/campaigns/{id}", s.handleJob))
+	mux.HandleFunc("GET /campaigns/{id}/events", deprecated("/v1/campaigns/{id}/events", s.handleEvents))
+	mux.HandleFunc("DELETE /campaigns/{id}", deprecated("/v1/campaigns/{id}", s.handleCancel))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -344,6 +342,17 @@ func (s *Server) Handler() http.Handler {
 		defer sp.End()
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// deprecated wraps a /v1 handler for its legacy unversioned alias: the
+// response carries "Deprecation: true" and a successor-version Link so
+// callers can discover the /v1 route mechanically.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 // handleHealthz is the liveness probe; it always answers 200 but the body
@@ -412,7 +421,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	job, admErr := s.admit(req.Name, scs, req.Workers, req.Fuzz)
+	job, admErr := s.admit(&req, scs)
 	if admErr != nil {
 		switch {
 		case errors.Is(admErr, errDraining):
@@ -438,9 +447,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"id": job.ID, "url": fmt.Sprintf("/campaigns/%d", job.ID),
-		"scenarios_total": job.ScenariosTotal,
+	_ = json.NewEncoder(w).Encode(api.SubmitResponse{
+		ID: job.ID, URL: fmt.Sprintf("/v1/campaigns/%d", job.ID),
+		ScenariosTotal: job.ScenariosTotal,
 	})
 }
 
@@ -455,7 +464,6 @@ func resolveScenarios(req *Request) ([]campaign.Scenario, error) {
 		if req.Fuzz.Attempts > MaxScenarios {
 			return nil, fmt.Errorf("fuzz attempts %d exceed the per-job cap %d", req.Fuzz.Attempts, MaxScenarios)
 		}
-		req.Fuzz.seed = req.Seed
 		return nil, nil
 	case len(req.Scenarios) > 0 && req.Preset != "":
 		return nil, fmt.Errorf("give scenarios or a preset, not both")
@@ -507,6 +515,11 @@ func (s *Server) runJob(job *Job) {
 		OnClaim: func(i int) {
 			s.beat(job)
 		},
+		OnCacheHit: func(i int) {
+			s.mu.Lock()
+			job.CacheHits++
+			s.mu.Unlock()
+		},
 		OnResult: func(i int, r *campaign.Result) {
 			s.scenariosCompleted.Inc()
 			s.mu.Lock()
@@ -525,6 +538,9 @@ func (s *Server) runJob(job *Job) {
 			}
 		},
 		Gate: s.quarantineGate(job),
+	}
+	if s.Cache != nil {
+		eng.Cache = s.Cache
 	}
 	if s.JournalDir != "" {
 		j, err := campaign.OpenJournal(filepath.Join(s.JournalDir, fmt.Sprintf("job-%d.jsonl", job.ID)), job.scs, job.resume)
@@ -590,16 +606,17 @@ func (s *Server) beat(job *Job) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	list := make([]Job, len(s.jobs))
+	list := api.JobList{Jobs: make([]api.Job, len(s.jobs))}
 	for i, j := range s.jobs {
-		list[i] = *j
-		list[i].Summary = nil // keep the listing lightweight
+		list.Jobs[i] = j.Job
+		list.Jobs[i].Summary = nil // keep the listing lightweight
+		list.Jobs[i].Fuzz = nil
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(map[string]any{"jobs": list})
+	_ = enc.Encode(&list)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -615,7 +632,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("no job %d", id), http.StatusNotFound)
 		return
 	}
-	job := *jp
+	job := jp.Job // the wire view; scheduling state stays server-side
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -652,5 +669,5 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	_ = json.NewEncoder(w).Encode(map[string]any{"id": id, "status": "cancelling"})
+	_ = json.NewEncoder(w).Encode(api.CancelResponse{ID: id, Status: "cancelling"})
 }

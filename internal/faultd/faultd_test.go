@@ -68,7 +68,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(body, &acc); err != nil {
 		t.Fatal(err)
 	}
-	if acc.ID != 1 || acc.URL != "/campaigns/1" || acc.ScenariosTotal != 4 {
+	if acc.ID != 1 || acc.URL != "/v1/campaigns/1" || acc.ScenariosTotal != 4 {
 		t.Fatalf("accepted %+v", acc)
 	}
 

@@ -33,11 +33,19 @@ func (s *Server) runFuzzJob(job *Job) {
 		workers = s.Workers
 	}
 	cfg := fuzz.Config{
-		Seed:           spec.seed,
+		Seed:           job.fuzzSeed,
 		Workers:        workers,
 		Attempts:       spec.Attempts,
 		Batch:          spec.Batch,
 		MinimizeBudget: spec.Minimize,
+	}
+	if s.Cache != nil {
+		cfg.Cache = s.Cache
+		cfg.OnCacheHit = func(exec int) {
+			s.mu.Lock()
+			job.CacheHits++
+			s.mu.Unlock()
+		}
 	}
 	if s.JournalDir != "" {
 		cfg.CorpusPath = filepath.Join(s.JournalDir, fmt.Sprintf("fuzz-%d.corpus.jsonl", job.ID))

@@ -70,6 +70,7 @@ type jobEvent struct {
 	Status         JobStatus `json:"status"`
 	ScenariosDone  int       `json:"scenarios_done"`
 	ScenariosTotal int       `json:"scenarios_total"`
+	CacheHits      int       `json:"cache_hits,omitempty"`
 	Error          string    `json:"error,omitempty"`
 }
 
@@ -88,7 +89,8 @@ func jobView(job *Job) jobEvent {
 	return jobEvent{
 		ID: job.ID, Name: job.Name, Status: job.Status,
 		ScenariosDone: job.ScenariosDone, ScenariosTotal: job.ScenariosTotal,
-		Error: job.Error,
+		CacheHits: job.CacheHits,
+		Error:     job.Error,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"dmafault/internal/campaign"
+	"dmafault/internal/faultd/api"
 	"dmafault/internal/obs"
 )
 
@@ -86,11 +87,13 @@ func (s *Server) RecoverJobs() (int, error) {
 func (s *Server) resumeJob(id int, st *campaign.JournalState) {
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
-		ID: id, Status: StatusQueued,
-		ScenariosTotal: len(st.Scenarios),
-		ScenariosDone:  len(st.Restored),
-		Recovered:      true,
-		ctx:            ctx, cancel: cancel,
+		Job: api.Job{
+			ID: id, Status: StatusQueued,
+			ScenariosTotal: len(st.Scenarios),
+			ScenariosDone:  len(st.Restored),
+			Recovered:      true,
+		},
+		ctx: ctx, cancel: cancel,
 		scs:        st.Scenarios,
 		restored:   st.Restored,
 		resume:     true,

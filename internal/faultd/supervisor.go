@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dmafault/internal/campaign"
+	"dmafault/internal/faultd/api"
 	"dmafault/internal/fuzz"
 	"dmafault/internal/obs"
 )
@@ -40,12 +41,12 @@ func (s *Server) queueCap() int {
 // the table and hands it to the scheduler. Synchronous servers skip the
 // queue (handleSubmit runs the job inline); asynchronous ones enqueue for
 // the dispatcher. The returned error is errDraining or errQueueFull. A
-// non-nil fz makes the job a fuzz campaign (scs is nil; the progress total
-// is the fuzz execution budget).
-func (s *Server) admit(name string, scs []campaign.Scenario, workers int, fz *FuzzSpec) (*Job, error) {
+// non-nil req.Fuzz makes the job a fuzz campaign (scs is nil; the progress
+// total is the fuzz execution budget).
+func (s *Server) admit(req *Request, scs []campaign.Scenario) (*Job, error) {
 	total := len(scs)
-	if fz != nil {
-		total = fz.Attempts
+	if req.Fuzz != nil {
+		total = req.Fuzz.Attempts
 		if total <= 0 {
 			total = fuzz.DefaultBudget
 		}
@@ -63,10 +64,13 @@ func (s *Server) admit(name string, scs []campaign.Scenario, workers int, fz *Fu
 		return nil, errQueueFull
 	}
 	job := &Job{
-		ID: s.nextID, Name: name, Status: StatusQueued,
-		ScenariosTotal: total,
-		ctx:            ctx, cancel: cancel,
-		scs: scs, workers: workers, fuzzSpec: fz,
+		Job: api.Job{
+			ID: s.nextID, Name: req.Name, Status: StatusQueued,
+			ScenariosTotal: total,
+		},
+		ctx: ctx, cancel: cancel,
+		scs: scs, workers: req.Workers,
+		fuzzSpec: req.Fuzz, fuzzSeed: req.Seed,
 		enqueuedAt: s.now(),
 		hub:        obs.NewHub(),
 	}

@@ -1,0 +1,280 @@
+// Package faultdclient is the typed Go client for the dmafaultd /v1 API.
+// It speaks the wire structs of internal/faultd/api — the same types the
+// server marshals — so client and service cannot skew, and it owns the
+// transport concerns every caller was hand-rolling: base-URL joining,
+// status-code mapping into *APIError, bounded retries on transient
+// failures, and SSE decoding for the live event stream.
+//
+//	c := faultdclient.New("http://127.0.0.1:8077")
+//	acc, err := c.Submit(ctx, api.SubmitRequest{Preset: "ladder", N: 8, Seed: 2021})
+//	job, err := c.WaitTerminal(ctx, acc.ID, 0)
+//
+// Retry policy: idempotent calls (GET, DELETE of a job, cache admin) retry
+// on network errors and 502/503/504; Submit additionally retries 429,
+// honoring the Retry-After header the server sets when its queue is full.
+// Everything else surfaces immediately as *APIError.
+package faultdclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dmafault/internal/faultd/api"
+)
+
+// Defaults for Client's zero values.
+const (
+	// DefaultRetries is how many times a transient failure is retried.
+	DefaultRetries = 3
+	// DefaultRetryWait is the base backoff, doubled per retry.
+	DefaultRetryWait = 100 * time.Millisecond
+	// DefaultPollInterval paces WaitTerminal's job polling.
+	DefaultPollInterval = 25 * time.Millisecond
+)
+
+// Client calls one dmafaultd instance. The zero value is unusable; construct
+// with New. Fields may be tuned before the first call.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8077" (no /v1).
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Retries bounds transient-failure retries (<0: none; 0: DefaultRetries).
+	Retries int
+	// RetryWait is the base backoff between retries (0: DefaultRetryWait).
+	RetryWait time.Duration
+}
+
+// New builds a client for the service at base (scheme://host[:port]).
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+// APIError is a non-2xx response, with the body the server sent (its
+// http.Error text for job routes).
+type APIError struct {
+	StatusCode int
+	Body       string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("faultd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Body)
+}
+
+// IsConflict reports whether err is an APIError with status 409 — e.g. a
+// Cancel that raced the job's own completion, which most callers treat as
+// success.
+func IsConflict(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusConflict
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return DefaultRetries
+	}
+	return c.Retries
+}
+
+func (c *Client) retryWait() time.Duration {
+	if c.RetryWait > 0 {
+		return c.RetryWait
+	}
+	return DefaultRetryWait
+}
+
+// transient reports whether a response status is worth retrying for an
+// idempotent call: gateway flaps and drain windows, not client errors.
+func transient(status int) bool {
+	return status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// sleep waits d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do issues method path with body (replayed per attempt), retrying network
+// errors and — when retryStatus says so — retryable statuses, then decodes
+// a 2xx response into out (skipped when out is nil). retryAfter honors the
+// server's Retry-After header when retryStatus matched.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, retryStatus func(int) bool) error {
+	wait := c.retryWait()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+		} else {
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+			} else if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+				if out == nil {
+					return nil
+				}
+				return json.Unmarshal(data, out)
+			} else {
+				lastErr = &APIError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
+				if retryStatus == nil || !retryStatus(resp.StatusCode) {
+					return lastErr
+				}
+				// The server's Retry-After (seconds) overrides the backoff.
+				if ra, _ := strconv.Atoi(resp.Header.Get("Retry-After")); ra > 0 {
+					wait = time.Duration(ra) * time.Second
+				}
+			}
+		}
+		if attempt >= c.retries() {
+			return lastErr
+		}
+		if err := sleep(ctx, wait); err != nil {
+			return fmt.Errorf("%w (last error: %v)", err, lastErr)
+		}
+		wait *= 2
+	}
+}
+
+// Submit posts a campaign. Queue-full rejections (429) are retried with the
+// server's Retry-After; drain rejections (503) are not — a draining daemon
+// is going away, not flapping.
+func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (*api.SubmitResponse, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	var acc api.SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/campaigns", body, &acc,
+		func(status int) bool { return status == http.StatusTooManyRequests }); err != nil {
+		return nil, err
+	}
+	return &acc, nil
+}
+
+// Get fetches one job document.
+func (c *Client) Get(ctx context.Context, id int) (*api.Job, error) {
+	var job api.Job
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/campaigns/%d", id), nil, &job, transient); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// List fetches the job table (summaries elided; Get a job for the full
+// record).
+func (c *Client) List(ctx context.Context) (*api.JobList, error) {
+	var list api.JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &list, transient); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// Cancel aborts a queued or running job. A finished job returns a 409
+// *APIError (see IsConflict); the engine winds down asynchronously, so poll
+// Get or WaitTerminal for the terminal status.
+func (c *Client) Cancel(ctx context.Context, id int) (*api.CancelResponse, error) {
+	var cr api.CancelResponse
+	if err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/campaigns/%d", id), nil, &cr, transient); err != nil {
+		return nil, err
+	}
+	return &cr, nil
+}
+
+// CacheStats fetches the shared result cache's counters. Enabled false
+// means the daemon runs without a cache — a 200, not an error.
+func (c *Client) CacheStats(ctx context.Context) (*api.CacheStats, error) {
+	var st api.CacheStats
+	if err := c.do(ctx, http.MethodGet, "/v1/cache/stats", nil, &st, transient); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ClearCache drops every cached result. 404 *APIError without a cache.
+func (c *Client) ClearCache(ctx context.Context) (*api.ClearCacheResponse, error) {
+	var cr api.ClearCacheResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/cache", nil, &cr, transient); err != nil {
+		return nil, err
+	}
+	return &cr, nil
+}
+
+// Health fetches /healthz ("ok" or "draining").
+func (c *Client) Health(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
+	}
+	return strings.TrimSpace(string(data)), nil
+}
+
+// WaitTerminal polls the job until it leaves the queued/running states and
+// returns its final document. interval <= 0 means DefaultPollInterval.
+func (c *Client) WaitTerminal(ctx context.Context, id int, interval time.Duration) (*api.Job, error) {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	for {
+		job, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Status.Terminal() {
+			return job, nil
+		}
+		if err := sleep(ctx, interval); err != nil {
+			return job, err
+		}
+	}
+}

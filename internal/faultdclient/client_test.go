@@ -1,0 +1,196 @@
+package faultdclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dmafault/internal/faultd"
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/resultstore"
+)
+
+// Round-trip against the real service: every typed call decodes what the
+// real handlers emit, not a mock's idea of them.
+func TestClientAgainstRealService(t *testing.T) {
+	store, err := resultstore.Open(filepath.Join(t.TempDir(), "results.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := faultd.NewServer()
+	srv.Workers = 2
+	srv.Synchronous = true
+	srv.Cache = store
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL + "/") // trailing slash must be tolerated
+	ctx := context.Background()
+
+	if h, err := c.Health(ctx); err != nil || h != "ok" {
+		t.Fatalf("health: %q, %v", h, err)
+	}
+
+	acc, err := c.Submit(ctx, api.SubmitRequest{Name: "rt", Preset: "ladder", N: 4, Seed: 2021})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID != 1 || acc.URL != "/v1/campaigns/1" || acc.ScenariosTotal != 4 {
+		t.Fatalf("submit: %+v", acc)
+	}
+
+	job, err := c.WaitTerminal(ctx, acc.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != api.StatusDone || job.Summary == nil || job.Summary.Scenarios != 4 {
+		t.Fatalf("job: %+v", job)
+	}
+
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].Name != "rt" || list.Jobs[0].Summary != nil {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// Watching a finished job replays its terminal state immediately.
+	var types []string
+	status, err := c.Watch(ctx, acc.ID, func(e Event) error {
+		types = append(types, e.Type)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != string(api.StatusDone) {
+		t.Fatalf("watch status %q", status)
+	}
+	if len(types) == 0 || types[len(types)-1] != "status" {
+		t.Fatalf("watch events: %v", types)
+	}
+
+	// Cancelling a finished job is a 409 the caller detects with IsConflict.
+	if _, err := c.Cancel(ctx, acc.ID); !IsConflict(err) {
+		t.Fatalf("cancel finished job: %v", err)
+	}
+
+	st, err := c.CacheStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.Records != 4 || st.Stores != 4 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+	cr, err := c.ClearCache(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Cleared || cr.RecordsDropped != 4 {
+		t.Fatalf("clear: %+v", cr)
+	}
+}
+
+// Idempotent calls ride out gateway flaps: two 503s then success.
+func TestIdempotentRetriesTransient(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			http.Error(w, "flap", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"jobs":[]}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryWait = time.Millisecond
+	list, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 || len(list.Jobs) != 0 {
+		t.Fatalf("attempts=%d list=%+v", attempts, list)
+	}
+}
+
+// Submit retries only queue-full (429): a 503 from a draining daemon
+// surfaces on the first attempt.
+func TestSubmitRetryPolicy(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts == 1 {
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":1,"url":"/v1/campaigns/1","scenarios_total":4}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryWait = time.Millisecond
+	acc, err := c.Submit(context.Background(), api.SubmitRequest{Preset: "ladder", N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 || acc.ID != 1 {
+		t.Fatalf("attempts=%d acc=%+v", attempts, acc)
+	}
+
+	attempts = 0
+	drain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer drain.Close()
+	dc := New(drain.URL)
+	dc.RetryWait = time.Millisecond
+	_, err = dc.Submit(context.Background(), api.SubmitRequest{Preset: "ladder", N: 4})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drain submit: %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("submit retried a 503 %d times", attempts-1)
+	}
+}
+
+// Client errors never retry; the body comes back verbatim in the APIError.
+func TestNoRetryOnClientError(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "no job 99", http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryWait = time.Millisecond
+	_, err := c.Get(context.Background(), 99)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 404 || ae.Body != "no job 99" {
+		t.Fatalf("err: %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("404 retried %d times", attempts-1)
+	}
+	if IsConflict(err) {
+		t.Error("IsConflict matched a 404")
+	}
+	if IsConflict(errors.New("plain")) {
+		t.Error("IsConflict matched a non-APIError")
+	}
+	if !IsConflict(&APIError{StatusCode: 409, Body: "done"}) {
+		t.Error("IsConflict missed a 409")
+	}
+}

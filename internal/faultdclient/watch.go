@@ -1,0 +1,76 @@
+package faultdclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// SSE consumption for GET /v1/campaigns/{id}/events. The stream is decoded
+// into Events — the raw JSON data is handed to the callback, not parsed
+// into a union type, because the event vocabulary ("progress", "span",
+// "result", "fuzz", "status") grows with the server and a typed client
+// should not reject events it predates.
+
+// Event is one decoded Server-Sent Event from a job's live stream.
+type Event struct {
+	// Type is the SSE event name: progress, span, result, fuzz, status.
+	Type string
+	// Data is the event's JSON payload, undecoded.
+	Data json.RawMessage
+}
+
+// Watch subscribes to the job's event stream and calls fn for every event
+// until the terminal "status" event (whose status string it returns), the
+// stream ends (status "", nil error), fn returns an error (aborts the
+// watch with that error), or ctx is cancelled. Watch does not retry: a
+// broken stream is surfaced to the caller, who can re-subscribe — progress
+// events are cumulative, so nothing is lost.
+func (c *Client) Watch(ctx context.Context, id int, fn func(Event) error) (string, error) {
+	url := fmt.Sprintf("%s/v1/campaigns/%d/events", c.Base, id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("watch job %d: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", &APIError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			if fn != nil {
+				if err := fn(Event{Type: event, Data: json.RawMessage(data)}); err != nil {
+					return "", err
+				}
+			}
+			if event == "status" {
+				var st struct {
+					Status string `json:"status"`
+				}
+				_ = json.Unmarshal([]byte(data), &st)
+				return st.Status, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("watch job %d: %w", id, err)
+	}
+	return "", nil
+}

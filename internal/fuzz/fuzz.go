@@ -54,6 +54,14 @@ type Config struct {
 	// OnResult, if set, observes each finished execution (called from
 	// engine worker goroutines; exec is the run-global execution index).
 	OnResult func(exec int, r *campaign.Result)
+	// Cache, if set, is a shared scenario-result store consulted before
+	// every execution (batch and minimization alike). Because results are
+	// deterministic, a cached run is indistinguishable from a live one —
+	// signatures, corpus growth, and the report are byte-identical.
+	Cache campaign.Store
+	// OnCacheHit, if set, observes each batch execution served from Cache
+	// (called from engine worker goroutines, like OnResult).
+	OnCacheHit func(exec int)
 }
 
 // RoundStats is the live coverage counter set published after each round.
@@ -151,12 +159,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 		results := make([]*campaign.Result, len(batch))
 		execBase := rep.Execs
-		eng := campaign.Engine{Workers: cfg.Workers, OnResult: func(i int, r *campaign.Result) {
+		eng := campaign.Engine{Workers: cfg.Workers, Cache: cfg.Cache, OnResult: func(i int, r *campaign.Result) {
 			results[i] = r
 			if cfg.OnResult != nil {
 				cfg.OnResult(execBase+i, r)
 			}
 		}}
+		if cfg.OnCacheHit != nil {
+			eng.OnCacheHit = func(i int) { cfg.OnCacheHit(execBase + i) }
+		}
 		if _, err := eng.RunCtx(ctx, batch); err != nil {
 			finish()
 			return rep, err
@@ -198,7 +209,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			per = DefaultMinimizeBudget
 		}
 		for _, e := range corpus.MinimizationQueue() {
-			used, err := minimizeEntry(ctx, cfg.Workers, corpus, e, per)
+			used, err := minimizeEntry(ctx, &cfg, corpus, e, per)
 			rep.MinimizeExecs += used
 			if err != nil {
 				finish()

@@ -117,7 +117,7 @@ func TestMinimizedPageSprayReproducesFromDisk(t *testing.T) {
 		t.Fatalf("entry %s was not minimized", entry.Key)
 	}
 
-	r, err := runOne(context.Background(), entry.Scenario)
+	r, err := runOne(context.Background(), nil, entry.Scenario)
 	if err != nil {
 		t.Fatal(err)
 	}

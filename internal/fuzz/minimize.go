@@ -39,9 +39,9 @@ var reductions = []func(*campaign.Scenario){
 
 // minimizeEntry runs one greedy reduction pass over e within the given
 // execution budget, then persists the outcome (even when nothing shrank, so
-// resumed runs do not redo the work). Returns the executions spent.
-func minimizeEntry(ctx context.Context, workers int, corpus *Corpus, e *Entry, budget int) (int, error) {
-	_ = workers // minimization is always sequential for determinism
+// resumed runs do not redo the work). Returns the executions spent (cache
+// hits count — the budget is about determinism, not CPU).
+func minimizeEntry(ctx context.Context, cfg *Config, corpus *Corpus, e *Entry, budget int) (int, error) {
 	cur := e.Scenario
 	execs := 0
 	for _, reduce := range reductions {
@@ -53,7 +53,7 @@ func minimizeEntry(ctx context.Context, workers int, corpus *Corpus, e *Entry, b
 		if cand == cur {
 			continue // field already at its zero value
 		}
-		r, err := runOne(ctx, cand)
+		r, err := runOne(ctx, cfg.Cache, cand)
 		if err != nil {
 			return execs, err
 		}
@@ -69,10 +69,11 @@ func minimizeEntry(ctx context.Context, workers int, corpus *Corpus, e *Entry, b
 }
 
 // runOne executes a single scenario on a one-worker engine (keeping the
-// engine's panic isolation and retry semantics without any concurrency).
-func runOne(ctx context.Context, s campaign.Scenario) (*campaign.Result, error) {
+// engine's panic isolation, retry, and cache semantics without any
+// concurrency — minimization is always sequential for determinism).
+func runOne(ctx context.Context, cache campaign.Store, s campaign.Scenario) (*campaign.Result, error) {
 	var res *campaign.Result
-	eng := campaign.Engine{Workers: 1, OnResult: func(_ int, r *campaign.Result) { res = r }}
+	eng := campaign.Engine{Workers: 1, Cache: cache, OnResult: func(_ int, r *campaign.Result) { res = r }}
 	if _, err := eng.RunCtx(ctx, []campaign.Scenario{s}); err != nil {
 		return nil, err
 	}

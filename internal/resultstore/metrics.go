@@ -1,0 +1,33 @@
+package resultstore
+
+import "dmafault/internal/metrics"
+
+// The store implements metrics.Source so dmafaultd can export the
+// resultstore_* families. Register it through metrics.OmitZero — like the
+// supervision families, an idle service with an untouched cache exposes
+// none of them, and their appearance is itself a signal that the cache is
+// in play. The atomic counters make collection safe concurrent with engine
+// workers hitting the store.
+
+// Describe implements metrics.Source.
+func (st *Store) Describe() []metrics.Desc {
+	return []metrics.Desc{
+		{Name: "resultstore_hits_total", Help: "Scenario executions served from the result cache.", Kind: metrics.KindCounter},
+		{Name: "resultstore_misses_total", Help: "Cache lookups that fell through to execution.", Kind: metrics.KindCounter},
+		{Name: "resultstore_stores_total", Help: "Results appended to the cache log.", Kind: metrics.KindCounter},
+		{Name: "resultstore_records", Help: "Live (indexed) records in the cache log.", Kind: metrics.KindGauge},
+		{Name: "resultstore_stale_records", Help: "Records skipped at open because their engine salt is stale.", Kind: metrics.KindGauge},
+		{Name: "resultstore_bytes", Help: "Cache log size in bytes.", Kind: metrics.KindGauge},
+	}
+}
+
+// Collect implements metrics.Source.
+func (st *Store) Collect(emit func(name string, s metrics.Sample)) {
+	stats := st.Stats()
+	emit("resultstore_hits_total", metrics.Sample{Value: float64(stats.Hits)})
+	emit("resultstore_misses_total", metrics.Sample{Value: float64(stats.Misses)})
+	emit("resultstore_stores_total", metrics.Sample{Value: float64(stats.Stores)})
+	emit("resultstore_records", metrics.Sample{Value: float64(stats.Records)})
+	emit("resultstore_stale_records", metrics.Sample{Value: float64(stats.StaleRecords)})
+	emit("resultstore_bytes", metrics.Sample{Value: float64(stats.Bytes)})
+}
