@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test race bench campaign faultsmoke fuzzsmoke cachesmoke soaksmoke
+.PHONY: check fmt build vet test race bench campaign faultsmoke fuzzsmoke cachesmoke soaksmoke fabricsmoke
 
-check: fmt vet build race faultsmoke fuzzsmoke cachesmoke soaksmoke
+check: fmt vet build race faultsmoke fuzzsmoke cachesmoke soaksmoke fabricsmoke
 
 # gofmt gate: fail listing any file that needs formatting.
 fmt:
@@ -28,9 +28,9 @@ race:
 
 # One pass over every benchmark (-benchtime=1x keeps it minutes, not hours),
 # teed through cmd/benchjson into a benchstat-comparable JSON artifact.
-# Commit BENCH_7.json when the numbers move for a reason worth recording.
+# Commit BENCH_8.json when the numbers move for a reason worth recording.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . | $(GO) run ./cmd/benchjson -out BENCH_7.json
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . | $(GO) run ./cmd/benchjson -out BENCH_8.json
 
 # A quick §6-shaped mixed campaign; see EXPERIMENTS.md for the full runs.
 campaign:
@@ -66,3 +66,11 @@ cachesmoke:
 # to finish the interrupted job (cmd/soaksmoke).
 soaksmoke:
 	$(GO) run ./cmd/soaksmoke
+
+# Distributed-fabric soak: coordinator + 3 dmafaultd workers, kill -9 one
+# worker while it holds shard leases, kill -9 the coordinator after the
+# re-lease is journaled, resume it, and require the merged summary to be
+# byte-identical to a single-node run with fabric_releases_total > 0
+# (cmd/soaksmoke -fabric).
+fabricsmoke:
+	$(GO) run ./cmd/soaksmoke -fabric

@@ -9,9 +9,13 @@ package dmafault
 // (who wins, by what factor) via each experiment's OK flag.
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dmafault/internal/attacks"
 	"dmafault/internal/campaign"
@@ -20,6 +24,8 @@ import (
 	"dmafault/internal/corpus"
 	"dmafault/internal/dma"
 	"dmafault/internal/experiments"
+	"dmafault/internal/fabric"
+	"dmafault/internal/faultd"
 	"dmafault/internal/fuzz"
 	"dmafault/internal/iommu"
 	"dmafault/internal/netstack"
@@ -447,5 +453,65 @@ func BenchmarkFuzzSignature(b *testing.B) {
 		if fuzz.Signature(r) == "" {
 			b.Fatal("empty signature")
 		}
+	}
+}
+
+// BenchmarkFabricThroughput runs one campaign across 1, 2, and 4 in-process
+// dmafaultd workers through the distributed fabric coordinator. All workers
+// share this host's cores, so the scenario work itself cannot scale — what
+// the three points measure is the fabric's coordination overhead (shard
+// submit, lease wait, result merge) staying flat as the worker count grows.
+// The summary is also checked against the local engine's bytes: a fabric
+// that gains throughput by dropping determinism is not a result.
+func BenchmarkFabricThroughput(b *testing.B) {
+	set := campaign.LadderPreset(32, 2021)
+	eng := campaign.Engine{Workers: 2}
+	refSum, err := eng.RunCtx(context.Background(), set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := refSum.JSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			urls := make([]string, n)
+			var servers []*httptest.Server
+			for i := range urls {
+				srv := faultd.NewServer()
+				srv.Workers = 2
+				ts := httptest.NewServer(srv.Handler())
+				servers = append(servers, ts)
+				urls[i] = ts.URL
+			}
+			defer func() {
+				for _, ts := range servers {
+					ts.Close()
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := fabric.New(fabric.Config{
+					Workers:   urls,
+					ShardSize: 8,
+					Heartbeat: 100 * time.Millisecond,
+				})
+				sum, err := c.Run(context.Background(), set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				got, err := sum.JSON()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					b.Fatal("fabric summary differs from single-node run")
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
 	}
 }

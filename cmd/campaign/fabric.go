@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/cliutil"
+	"dmafault/internal/fabric"
+	"dmafault/internal/obs"
+	"dmafault/internal/resultstore"
+)
+
+// Coordinator mode: -coordinator turns this command into the fabric's
+// control plane. The scenario set is partitioned into digest-addressed
+// shards and leased to dmafaultd workers (-worker-urls and/or runtime joins
+// via -coordinator-addr); dead workers are re-leased, zero workers degrade
+// to local execution, and the merged summary is byte-identical to a plain
+// single-node run of the same set.
+
+// fabricFlags carries the -coordinator flag group from main.
+type fabricFlags struct {
+	WorkerURLs string
+	Addr       string
+	ShardSize  int
+	LeaseTTL   time.Duration
+	Heartbeat  time.Duration
+	Journal    string
+	Resume     bool
+	MetricsOut string
+	NeedCache  bool
+	Store      *resultstore.Store
+	Workers    int
+}
+
+// runFabric drives one distributed campaign and emits the summary through
+// the same output path as a local run.
+func runFabric(cf *cliutil.Flags, log *slog.Logger, scenarios []campaign.Scenario, ff fabricFlags) error {
+	var urls []string
+	for _, u := range strings.Split(ff.WorkerURLs, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	cfg := fabric.Config{
+		Workers:      urls,
+		ShardSize:    ff.ShardSize,
+		LeaseTTL:     ff.LeaseTTL,
+		Heartbeat:    ff.Heartbeat,
+		NeedCache:    ff.NeedCache,
+		JournalPath:  ff.Journal,
+		Resume:       ff.Resume,
+		LocalWorkers: ff.Workers,
+		Log:          log,
+	}
+	if ff.Store != nil {
+		cfg.Store = ff.Store
+	}
+	if ff.Addr != "" {
+		cfg.Hub = obs.NewHub()
+	}
+	coord := fabric.New(cfg)
+
+	// SIGTERM/SIGINT cancel the run; in-flight leases are abandoned (their
+	// workers get a best-effort cancel) and the state log keeps everything
+	// already delivered, so -resume picks the campaign back up.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	if ff.Addr != "" {
+		ln, err := net.Listen("tcp", ff.Addr)
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: coord.Handler()}
+		go func() {
+			if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("coordinator server", "err", err)
+			}
+		}()
+		defer hs.Close()
+		// soaksmoke parses this record like dmafaultd's — keep msg/addr stable.
+		log.Info("coordinator listening", "addr", ln.Addr().String(),
+			"workers", len(urls), "shard_size", cfg.ShardSize)
+	}
+
+	start := time.Now()
+	summary, err := coord.Run(ctx, scenarios)
+	status := "done"
+	if err != nil {
+		status = "failed"
+	}
+	coord.PublishStatus(status)
+	if ff.MetricsOut != "" {
+		// Written on failure too: a cancelled coordinator's re-lease
+		// counters are exactly what the operator wants to see.
+		if werr := os.WriteFile(ff.MetricsOut, coord.Metrics().Text(), 0o644); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	jsonOut := *cf.JSON
+	if *cf.Out != "" || jsonOut {
+		data, err := summary.JSON()
+		if err != nil {
+			return err
+		}
+		if err := cf.WriteOut(data); err != nil {
+			return err
+		}
+		if jsonOut {
+			os.Stdout.Write(append(data, '\n'))
+		}
+	}
+	if !jsonOut {
+		fmt.Print(summary.Render())
+	}
+	log.Info("fabric campaign complete",
+		"scenarios", len(scenarios),
+		"elapsed", elapsed.Round(time.Millisecond).String(),
+		"rate", fmt.Sprintf("%.1f/s", float64(len(scenarios))/elapsed.Seconds()),
+		"workers", len(urls))
+	return nil
+}

@@ -22,6 +22,17 @@
 //	campaign -cache results.bin -cache-compact  # drop superseded/stale records
 //	campaign -watch http://localhost:8077/v1/campaigns/1  # tail a dmafaultd job
 //	campaign -list                            # available presets and kinds
+//
+// Coordinator mode distributes one campaign across dmafaultd worker nodes
+// (internal/fabric) and merges the results byte-identically with a local
+// run — dead workers are re-leased, and the state log survives a
+// coordinator kill:
+//
+//	campaign -coordinator -worker-urls http://w1:8077,http://w2:8077 \
+//	    -preset mixed -n 200 -out summary.json
+//	campaign -coordinator -coordinator-addr :9100 ...   # + join/SSE surface
+//	campaign -coordinator -fabric-journal c.jsonl ...   # journal the run
+//	campaign -coordinator -fabric-journal c.jsonl -resume ...  # pick it back up
 package main
 
 import (
@@ -60,6 +71,15 @@ func main() {
 	fuzzCorpus := flag.String("fuzz-corpus", "", "persist the fuzz corpus to this JSONL file (-resume continues it)")
 	fuzzMinimize := flag.Int("fuzz-minimize", 0, "per-entry minimization budget (0: default; negative: skip minimization)")
 	watch := flag.String("watch", "", "tail a running dmafaultd job over SSE instead of running locally (job URL, e.g. http://localhost:8077/v1/campaigns/1)")
+	coordinator := flag.Bool("coordinator", false, "run as a fabric coordinator: shard the campaign across dmafaultd workers and merge the results")
+	workerURLs := flag.String("worker-urls", "", "comma-separated dmafaultd worker base URLs for -coordinator (more may join at runtime via -coordinator-addr)")
+	coordAddr := flag.String("coordinator-addr", "", "serve the fabric supervision surface (join, workers, SSE events, metrics) on this address")
+	leaseTTL := flag.Duration("lease-ttl", 0, "shard lease time budget; an expired lease re-leases the shard to another worker (0: default)")
+	shardSize := flag.Int("shard-size", 0, "scenarios per shard lease (0: default)")
+	fabricHeartbeat := flag.Duration("fabric-heartbeat", 0, "worker readiness probe cadence (0: default)")
+	fabricJournal := flag.String("fabric-journal", "", "coordinator state log; with -resume a killed coordinator picks the campaign back up")
+	fabricMetrics := flag.String("fabric-metrics", "", "write the final fabric_* metric families (Prometheus text) to this file")
+	needWorkerCache := flag.Bool("need-worker-cache", false, "refuse to lease shards to workers running without a shared result cache")
 	cachePath := flag.String("cache", "", "content-addressed result cache file: scenarios already recorded replay instead of executing; new results are appended")
 	cacheCompact := flag.Bool("cache-compact", false, "with -cache: rewrite the cache log dropping superseded and stale-engine records, print stats, and exit")
 	requireCached := flag.Bool("require-cached", false, "with -cache: exit nonzero unless every scenario was served from the cache (proves a warm cache executes nothing)")
@@ -160,13 +180,25 @@ func main() {
 			cf.Fatal(err)
 		}
 	}
-	if *resume && *journalPath == "" && *fuzzCorpus == "" {
-		cf.Fatal(fmt.Errorf("-resume requires -journal (or -fuzz -fuzz-corpus)"))
+	if *resume && *journalPath == "" && *fuzzCorpus == "" && *fabricJournal == "" {
+		cf.Fatal(fmt.Errorf("-resume requires -journal (or -fuzz -fuzz-corpus, or -coordinator -fabric-journal)"))
 	}
 	// An empty scenario set (e.g. -n 0, or an exhausted generator on a
 	// resumed run) is a clean no-op: report it and exit 0 without touching
 	// the journal, so a stray header line never clobbers resume state.
 	if emptyRun(os.Stdout, scenarios, *jsonOut) {
+		return
+	}
+
+	if *coordinator {
+		if err := runFabric(cf, log, scenarios, fabricFlags{
+			WorkerURLs: *workerURLs, Addr: *coordAddr,
+			ShardSize: *shardSize, LeaseTTL: *leaseTTL, Heartbeat: *fabricHeartbeat,
+			Journal: *fabricJournal, Resume: *resume, MetricsOut: *fabricMetrics,
+			NeedCache: *needWorkerCache, Store: store, Workers: *workers,
+		}); err != nil {
+			cf.Fatal(err)
+		}
 		return
 	}
 

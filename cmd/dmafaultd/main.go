@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"dmafault/internal/cliutil"
+	"dmafault/internal/fabric"
 	"dmafault/internal/faultd"
 	"dmafault/internal/obs"
 	"dmafault/internal/resultstore"
@@ -72,6 +73,12 @@ func main() {
 		"jobs a quarantined scenario sits out before a half-open probe run")
 	cacheDir := flag.String("cache-dir", "",
 		"directory for the shared content-addressed result cache (results.bin); jobs replay cached scenario results instead of re-executing; empty disables caching")
+	join := flag.String("join", "",
+		"fabric coordinator base URL to register with (e.g. http://127.0.0.1:9100); the daemon re-announces itself on -join-interval")
+	advertise := flag.String("advertise", "",
+		"base URL workers should be reached at by the coordinator; empty derives it from the resolved listen address")
+	joinInterval := flag.Duration("join-interval", fabric.DefaultJoinInterval,
+		"how often to re-announce to the -join coordinator")
 	cf := cliutil.New("dmafaultd").WithWorkers().WithQuiet().WithLog()
 	cf.Parse()
 
@@ -133,6 +140,20 @@ func main() {
 		"max_concurrent", *maxConcurrent,
 		"journal_dir", *journalDir)
 
+	// Announce this worker to its fabric coordinator for as long as the
+	// process lives; shutdown stops the loop, and the coordinator's
+	// heartbeat (plus the lease-aware /readyz refusing new shards once the
+	// drain begins) handles the rest.
+	joinCtx, stopJoin := context.WithCancel(context.Background())
+	defer stopJoin()
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseURL(ln.Addr().String())
+		}
+		go fabric.JoinLoop(joinCtx, *join, adv, *joinInterval, log)
+	}
+
 	hs := &http.Server{Handler: srv.Handler()}
 	idle := make(chan struct{})
 	go func() {
@@ -140,6 +161,7 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 		<-sig
+		stopJoin()
 		log.Info("shutting down", "drain_deadline", shutdownTimeout.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
@@ -157,4 +179,18 @@ func main() {
 		cf.Fatal(err)
 	}
 	<-idle
+}
+
+// advertiseURL derives a dialable base URL from the resolved listen
+// address: an unspecified host (":8077", "[::]:8077") becomes loopback —
+// the single-host default; multi-host fabrics pass -advertise explicitly.
+func advertiseURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

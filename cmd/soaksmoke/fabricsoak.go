@@ -1,0 +1,315 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/faultdclient"
+)
+
+// Fabric soak (`make fabricsmoke`, soaksmoke -fabric): the distributed
+// campaign's end-to-end kill test. One coordinator, three workers; one
+// worker is kill -9'd while it holds shard leases, then the coordinator
+// itself is kill -9'd after the re-lease fires, restarted with -resume, and
+// run to completion. The merged summary must be byte-identical to a plain
+// single-node `campaign` run of the same scenario set, and the final
+// fabric_releases_total must prove the dead worker's shards were actually
+// re-leased — the whole robustness story, on every `make check`.
+
+var releasesRE = regexp.MustCompile(`(?m)^fabric_releases_total ([0-9.e+]+)$`)
+
+func runFabricSoak(log *slog.Logger, keep bool) error {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "fabricsmoke-")
+	if err != nil {
+		return err
+	}
+	if keep {
+		log.Info("keeping scratch dir", "dir", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+
+	daemonBin := filepath.Join(dir, "dmafaultd")
+	if out, err := exec.Command("go", "build", "-o", daemonBin, "./cmd/dmafaultd").CombinedOutput(); err != nil {
+		return fmt.Errorf("build dmafaultd: %v\n%s", err, out)
+	}
+	campaignBin := filepath.Join(dir, "campaign")
+	if out, err := exec.Command("go", "build", "-o", campaignBin, "./cmd/campaign").CombinedOutput(); err != nil {
+		return fmt.Errorf("build campaign: %v\n%s", err, out)
+	}
+
+	// The campaign: stall-fault scenarios slow enough that the fabric is
+	// always mid-flight when the kills land, deterministic like any other.
+	setPath := filepath.Join(dir, "set.json")
+	f, err := os.Create(setPath)
+	if err != nil {
+		return err
+	}
+	if err := campaign.SaveScenarios(f, stallScenarios(32)); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// Reference: the same set on a plain single-node engine run.
+	singlePath := filepath.Join(dir, "single.json")
+	if out, err := exec.Command(campaignBin,
+		"-scenarios", setPath, "-out", singlePath, "-quiet").CombinedOutput(); err != nil {
+		return fmt.Errorf("single-node reference run: %v\n%s", err, out)
+	}
+
+	// Three workers; -workers 1 keeps shard jobs slow enough to be
+	// mid-flight at kill time. w1 and w2 are static coordinator config, w3
+	// registers at runtime through /v1/fabric/join.
+	var ws []*proc
+	for i := 1; i <= 3; i++ {
+		w, err := startProc(log, dir, "worker", daemonBin,
+			"-addr", "127.0.0.1:0", "-workers", "1",
+			"-max-concurrent-campaigns", "2", "-job-stall-timeout", "1m")
+		if err != nil {
+			return err
+		}
+		defer w.kill()
+		ws = append(ws, w)
+	}
+	w1, w2, w3 := ws[0], ws[1], ws[2]
+
+	fabricPath := filepath.Join(dir, "fabric.json")
+	journalPath := filepath.Join(dir, "coordinator.jsonl")
+	metricsPath := filepath.Join(dir, "fabric-metrics.txt")
+	coordArgs := func(workers ...string) []string {
+		return []string{
+			"-coordinator", "-scenarios", setPath,
+			"-worker-urls", strings.Join(workers, ","),
+			"-coordinator-addr", "127.0.0.1:0",
+			"-shard-size", "4", "-lease-ttl", "20s", "-fabric-heartbeat", "200ms",
+			"-fabric-journal", journalPath, "-fabric-metrics", metricsPath,
+			"-out", fabricPath,
+		}
+	}
+	coord, err := startProc(log, dir, "coordinator", campaignBin, coordArgs(w1.url, w2.url)...)
+	if err != nil {
+		return err
+	}
+	defer coord.kill()
+
+	// Runtime join: w3 announces itself the way dmafaultd -join would.
+	cc := faultdclient.New(coord.url)
+	if _, err := cc.JoinFabric(ctx, api.JoinRequest{URL: w3.url}); err != nil {
+		return fmt.Errorf("join w3: %w", err)
+	}
+	if wl, err := cc.FabricWorkers(ctx); err != nil || len(wl.Workers) != 3 {
+		return fmt.Errorf("worker registry after join: %+v, %v", wl, err)
+	}
+
+	// Kill w1 the moment it holds shard leases — its in-flight shards must
+	// be re-leased to the survivors.
+	if err := waitForLease(ctx, cc, w1.url, 30*time.Second); err != nil {
+		return err
+	}
+	if err := w1.kill(); err != nil {
+		return fmt.Errorf("kill -9 w1: %w", err)
+	}
+	log.Info("worker killed", "worker", w1.url)
+
+	// The re-lease is journaled before the replacement lease is granted;
+	// once it is on disk, kill the coordinator too.
+	if err := waitForJournal(journalPath, `"released":`, 60*time.Second); err != nil {
+		return err
+	}
+	if err := coord.kill(); err != nil {
+		return fmt.Errorf("kill -9 coordinator: %w", err)
+	}
+	log.Info("coordinator killed", "journal", journalPath)
+
+	// Restart against the same state log; the resumed coordinator must
+	// finish on the surviving workers with the dead one's results intact.
+	args := append(coordArgs(w2.url, w3.url), "-resume")
+	coord2, err := startProc(log, dir, "coordinator", campaignBin, args...)
+	if err != nil {
+		return fmt.Errorf("coordinator restart: %w", err)
+	}
+	defer coord2.kill()
+	if err := coord2.waitExit(3 * time.Minute); err != nil {
+		return fmt.Errorf("resumed coordinator: %w", err)
+	}
+
+	single, err := os.ReadFile(singlePath)
+	if err != nil {
+		return err
+	}
+	fab, err := os.ReadFile(fabricPath)
+	if err != nil {
+		return fmt.Errorf("fabric summary: %w", err)
+	}
+	if !bytes.Equal(single, fab) {
+		return fmt.Errorf("fabric summary differs from single-node run (%d vs %d bytes); kept at %s / %s",
+			len(fab), len(single), fabricPath, singlePath)
+	}
+
+	// fabric_releases_total survives the coordinator kill via journal
+	// replay; > 0 proves the dead-worker path actually fired.
+	mt, err := os.ReadFile(metricsPath)
+	if err != nil {
+		return fmt.Errorf("fabric metrics: %w", err)
+	}
+	m := releasesRE.FindSubmatch(mt)
+	if m == nil {
+		return fmt.Errorf("fabric_releases_total missing from %s", metricsPath)
+	}
+	releases, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil || releases <= 0 {
+		return fmt.Errorf("fabric_releases_total = %s, want > 0", m[1])
+	}
+
+	// Survivors drain cleanly.
+	for _, w := range []*proc{w2, w3} {
+		if err := w.term(15 * time.Second); err != nil {
+			return fmt.Errorf("worker shutdown: %w", err)
+		}
+	}
+	log.Info("fabric soak finished", "releases", releases,
+		"summary_bytes", len(fab))
+	return nil
+}
+
+// waitForLease polls the coordinator's worker registry until the worker
+// holds at least one shard lease.
+func waitForLease(ctx context.Context, cc *faultdclient.Client, worker string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		wl, err := cc.FabricWorkers(ctx)
+		if err != nil {
+			return err
+		}
+		for _, w := range wl.Workers {
+			if w.URL == worker && w.Leases > 0 {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("worker %s never held a lease", worker)
+}
+
+// waitForJournal polls the coordinator state log for a marker substring.
+func waitForJournal(path, marker string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(path); err == nil && strings.Contains(string(data), marker) {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("state log %s never recorded %s", path, marker)
+}
+
+// proc is one announced child process (worker daemon or coordinator): both
+// log their resolved listener as msg=...listening addr=HOST:PORT.
+type proc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+var procSeq int
+
+// startProc launches the binary, tees its stderr to <dir>/<role>-N.log for
+// post-mortems (-keep), and waits for its listener announcement.
+func startProc(log *slog.Logger, dir, role, bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	procSeq++
+	logPath := filepath.Join(dir, fmt.Sprintf("%s-%d.log", role, procSeq))
+	lf, err := os.Create(logPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		lf.Close()
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		// Keep draining stderr for the process's lifetime so it never
+		// blocks on a full pipe.
+		defer lf.Close()
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(lf, line)
+			if !strings.Contains(line, "listening") {
+				continue
+			}
+			if m := addrRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p := &proc{cmd: cmd, url: "http://" + addr}
+		log.Info("started", "role", role, "url", p.url)
+		return p, nil
+	case <-time.After(20 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("%s never announced its listener", role)
+	}
+}
+
+func (p *proc) kill() error {
+	if p.cmd.Process == nil {
+		return nil
+	}
+	err := p.cmd.Process.Kill()
+	_, _ = p.cmd.Process.Wait()
+	return err
+}
+
+// term sends SIGTERM and waits for a clean exit within the budget.
+func (p *proc) term(budget time.Duration) error {
+	if err := p.cmd.Process.Signal(os.Interrupt); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { _, err := p.cmd.Process.Wait(); done <- err }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(budget):
+		_ = p.cmd.Process.Kill()
+		return fmt.Errorf("did not exit within %s of signal", budget)
+	}
+}
+
+// waitExit waits for the process to finish and succeed.
+func (p *proc) waitExit(budget time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(budget):
+		_ = p.cmd.Process.Kill()
+		return fmt.Errorf("did not finish within %s", budget)
+	}
+}

@@ -11,6 +11,7 @@
 //
 //	soaksmoke            # default soak
 //	soaksmoke -seed 7    # re-roll which jobs get cancelled
+//	soaksmoke -fabric    # multi-node fabric soak (see fabricsoak.go)
 package main
 
 import (
@@ -41,9 +42,19 @@ var addrRE = regexp.MustCompile(`\baddr=(\S+)`)
 
 func main() {
 	keep := flag.Bool("keep", false, "keep the scratch directory for inspection")
+	fabricSoak := flag.Bool("fabric", false,
+		"run the multi-node fabric soak (coordinator + 3 workers, dead-worker re-lease, coordinator resume) instead of the daemon chaos soak")
 	cf := cliutil.New("soaksmoke").WithSeed().WithLog()
 	cf.Parse()
 	log := cf.Logger(nil)
+	if *fabricSoak {
+		if err := runFabricSoak(log, *keep); err != nil {
+			log.Error("fabric soak failed", "err", err)
+			os.Exit(1)
+		}
+		fmt.Println("fabricsmoke: OK")
+		return
+	}
 	if err := run(log, *cf.Seed, *keep); err != nil {
 		log.Error("soak failed", "err", err)
 		os.Exit(1)

@@ -107,6 +107,13 @@ func ScenarioDigest(s Scenario) Digest {
 	return d
 }
 
+// SetHash fingerprints a whole normalized scenario set — the identity a
+// campaign journal (and the fabric coordinator's state log) binds itself to,
+// so a journal can only ever resume the campaign it was written for.
+func SetHash(scs []Scenario) string {
+	return scenarioSetHash(scs)
+}
+
 // ScenarioKey is the short display form of ScenarioDigest — the identity
 // the service's quarantine circuit breaker tracks panicking scenarios by
 // and the fuzzer dedups mutants by, where 64 bits is plenty and log lines

@@ -1,0 +1,650 @@
+// Package fabric distributes one campaign across many dmafaultd nodes and
+// merges the results byte-identically with a single-node run. The engine
+// makes this possible — scenarios are independent and deterministic, and
+// the summary is aggregated in input order from index-addressed slots — so
+// the fabric's real job is surviving the distribution: workers die
+// mid-shard, hang, answer late, or never existed, and the coordinator must
+// re-lease, deduplicate, journal, and degrade without ever changing a byte
+// of the final summary.
+//
+// The moving parts:
+//
+//   - Registry: static -worker-urls plus POST /v1/fabric/join
+//     self-registrations, kept honest by lease-aware /readyz heartbeats.
+//   - Shards: contiguous global-index ranges of the (globally normalized)
+//     scenario set, so per-position IDs are stamped once by the coordinator
+//     and survive the trip through a worker untouched.
+//   - Leases: a shard is handed to a worker as an ordinary /v1 campaign job
+//     and the coordinator waits at most the lease TTL; TTL expiry, worker
+//     death (heartbeat loss cancels the wait immediately), and transport
+//     errors all end the lease, and the shard is re-leased to another live
+//     worker with capped jittered backoff.
+//   - Exactly-once: results land in index-addressed slots guarded by a
+//     mutex; a late delivery from an "expired" lease racing the re-leased
+//     worker's is dropped and counted, and cacheable results are published
+//     to the shared result store under their ScenarioDigest.
+//   - State log: every lease event and delivered result is journaled
+//     (torn-tail tolerant), so a coordinator killed -9 resumes mid-campaign
+//     with its re-lease counters intact.
+//   - Degradation: zero reachable workers means the coordinator runs the
+//     shard itself through the local engine — the fabric never produces
+//     less than a single-node run would.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/faultdclient"
+	"dmafault/internal/obs"
+	"dmafault/internal/par"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultShardSize is how many scenarios ride in one lease.
+	DefaultShardSize = 8
+	// DefaultLeaseTTL bounds one lease: submit + worker queue wait +
+	// execution + result fetch.
+	DefaultLeaseTTL = 2 * time.Minute
+	// DefaultHeartbeat paces the registry's readiness probes.
+	DefaultHeartbeat = time.Second
+	// DefaultProbeTimeout bounds one readiness probe. Deliberately decoupled
+	// from the heartbeat interval: a worker busy executing a shard may
+	// answer /readyz slowly, and a probe budget of one heartbeat would flap
+	// it down — cancelling its own in-flight leases.
+	DefaultProbeTimeout = 2 * time.Second
+	// DefaultDownAfter is how many consecutive probe failures demote a
+	// worker. One lost probe is load, not death; demotion cancels the
+	// worker's in-flight leases, so it must not fire on a blip.
+	DefaultDownAfter = 2
+	// DefaultAcquireTimeout is how long a shard waits for an up worker
+	// before degrading to local execution.
+	DefaultAcquireTimeout = 10 * time.Second
+	// DefaultMaxLeaseAttempts bounds re-leases per shard before the
+	// coordinator gives up on the fabric and runs the shard locally.
+	DefaultMaxLeaseAttempts = 3
+	// DefaultMaxLeasesPerWorker caps concurrent shard leases on one worker:
+	// one executing plus one queued keeps a node's pipeline full without
+	// letting the first worker up absorb the whole campaign while the rest
+	// are still being probed.
+	DefaultMaxLeasesPerWorker = 2
+	// DefaultReleaseBackoff is the base wait before re-leasing a failed
+	// shard, doubled per attempt, jittered, and overridden by a worker's
+	// Retry-After hint.
+	DefaultReleaseBackoff = 250 * time.Millisecond
+	// MaxReleaseBackoff caps the re-lease backoff curve.
+	MaxReleaseBackoff = 5 * time.Second
+)
+
+// Config parameterizes a Coordinator. The zero value distributes nothing —
+// no workers, no journal — and degrades to a plain local campaign run.
+type Config struct {
+	// Workers are static worker base URLs known at start; more may join at
+	// runtime through the coordinator's HTTP surface.
+	Workers []string
+	// ShardSize is scenarios per lease (0: DefaultShardSize).
+	ShardSize int
+	// LeaseTTL bounds one lease's wall clock (0: DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Heartbeat paces readiness probes (0: DefaultHeartbeat).
+	Heartbeat time.Duration
+	// ProbeTimeout bounds one readiness probe (0: DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// DownAfter is the consecutive probe failures that demote a worker
+	// (0: DefaultDownAfter).
+	DownAfter int
+	// AcquireTimeout bounds the wait for an up worker before a shard runs
+	// locally (0: DefaultAcquireTimeout).
+	AcquireTimeout time.Duration
+	// MaxLeaseAttempts bounds lease grants per shard before local fallback
+	// (0: DefaultMaxLeaseAttempts).
+	MaxLeaseAttempts int
+	// MaxLeasesPerWorker caps concurrent leases per worker
+	// (0: DefaultMaxLeasesPerWorker, <0: unlimited).
+	MaxLeasesPerWorker int
+	// NeedCache requires workers to run a shared result cache: the
+	// heartbeat probes /readyz?lease=1&need_cache=1 and cache-less nodes
+	// stay down.
+	NeedCache bool
+	// JournalPath, when set, is the coordinator state log; with Resume a
+	// killed coordinator picks the campaign back up from it.
+	JournalPath string
+	Resume      bool
+	// Store, when set, receives every cacheable delivered result under its
+	// ScenarioDigest and accelerates local-fallback execution.
+	Store campaign.Store
+	// LocalWorkers is the engine pool size for locally executed shards
+	// (0: one per CPU).
+	LocalWorkers int
+	// JobWorkers is the Workers field on submitted shard jobs (0: the
+	// worker node's default).
+	JobWorkers int
+	// Log receives coordinator diagnostics; nil discards them.
+	Log *slog.Logger
+	// Hub, when set, receives the merged shard event stream: every leased
+	// job's SSE events re-published with shard/worker context, plus the
+	// coordinator's own result events. Serve it via Handler.
+	Hub *obs.Hub
+	// OnResult, if set, observes each delivered result (any goroutine).
+	OnResult func(index int, r *campaign.Result)
+	// Probe overrides the readiness probe (tests); nil uses the lease-aware
+	// /readyz probe through the typed client.
+	Probe ProbeFunc
+	// NewClient overrides worker client construction (tests); nil builds
+	// faultdclient.New with fabric-tuned retry caps.
+	NewClient func(url string) *faultdclient.Client
+}
+
+func (c Config) shardSize() int {
+	if c.ShardSize > 0 {
+		return c.ShardSize
+	}
+	return DefaultShardSize
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+func (c Config) heartbeat() time.Duration {
+	if c.Heartbeat > 0 {
+		return c.Heartbeat
+	}
+	return DefaultHeartbeat
+}
+
+func (c Config) probeTimeout() time.Duration {
+	if c.ProbeTimeout > 0 {
+		return c.ProbeTimeout
+	}
+	return DefaultProbeTimeout
+}
+
+func (c Config) downAfter() int {
+	if c.DownAfter > 0 {
+		return c.DownAfter
+	}
+	return DefaultDownAfter
+}
+
+func (c Config) acquireTimeout() time.Duration {
+	if c.AcquireTimeout > 0 {
+		return c.AcquireTimeout
+	}
+	return DefaultAcquireTimeout
+}
+
+func (c Config) maxLeaseAttempts() int {
+	if c.MaxLeaseAttempts > 0 {
+		return c.MaxLeaseAttempts
+	}
+	return DefaultMaxLeaseAttempts
+}
+
+func (c Config) maxLeasesPerWorker() int {
+	switch {
+	case c.MaxLeasesPerWorker > 0:
+		return c.MaxLeasesPerWorker
+	case c.MaxLeasesPerWorker < 0:
+		return 0 // unlimited
+	}
+	return DefaultMaxLeasesPerWorker
+}
+
+// shard is one contiguous global-index range [Start, End) of the scenario
+// set.
+type shard struct {
+	Idx, Start, End int
+}
+
+// Coordinator runs one distributed campaign. Build with New, run with Run;
+// Handler serves the supervision surface for the run's duration.
+type Coordinator struct {
+	cfg Config
+	m   *Metrics
+	reg *Registry
+	log *slog.Logger
+
+	mu        sync.Mutex
+	scs       []campaign.Scenario // globally normalized set
+	results   []*campaign.Result  // index-addressed, exactly-once
+	delivered int
+	state     *StateLog
+
+	localMu sync.Mutex // serializes local-fallback engine runs
+}
+
+// New builds a coordinator. The registry starts with the static workers;
+// heartbeats begin when Run does.
+func New(cfg Config) *Coordinator {
+	m := NewMetrics()
+	log := cfg.Log
+	if log == nil {
+		log = obs.Nop()
+	}
+	probe := cfg.Probe
+	if probe == nil {
+		probe = defaultProbe(cfg.NeedCache, cfg.probeTimeout())
+	}
+	reg := NewRegistry(cfg.Workers, probe, m, log)
+	reg.MaxLeases = cfg.maxLeasesPerWorker()
+	reg.DownAfter = cfg.downAfter()
+	return &Coordinator{
+		cfg: cfg,
+		m:   m,
+		reg: reg,
+		log: log,
+	}
+}
+
+// Metrics exposes the fabric instrument set (for /metrics and -fabric-metrics).
+func (c *Coordinator) Metrics() *Metrics { return c.m }
+
+// Registry exposes the worker registry (for the HTTP surface and tests).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// client builds the /v1 client for one worker.
+func (c *Coordinator) client(url string) *faultdclient.Client {
+	if c.cfg.NewClient != nil {
+		return c.cfg.NewClient(url)
+	}
+	return faultdclient.New(url)
+}
+
+// Run executes the scenario set across the fabric and returns the merged
+// summary — byte-identical to a single-node engine run of the same set.
+func (c *Coordinator) Run(ctx context.Context, scenarios []campaign.Scenario) (*campaign.Summary, error) {
+	// Normalize the FULL set here, so every scenario's position-derived ID
+	// is stamped against its global index. Workers re-normalize shard
+	// slices with shard-local indexes, but Normalize never overwrites a
+	// non-empty ID — global identity survives the trip.
+	scs := make([]campaign.Scenario, len(scenarios))
+	copy(scs, scenarios)
+	for i := range scs {
+		scs[i].Normalize(i)
+		if err := scs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %d (%s): %w", i, scs[i].ID, err)
+		}
+	}
+	c.mu.Lock()
+	c.scs = scs
+	c.results = make([]*campaign.Result, len(scs))
+	c.delivered = 0
+	c.mu.Unlock()
+
+	if c.cfg.JournalPath != "" {
+		state, st, err := OpenStateLog(c.cfg.JournalPath, scs, c.cfg.shardSize(), c.cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer state.Close()
+		c.mu.Lock()
+		c.state = state
+		for i, r := range st.Restored {
+			c.results[i] = r
+			c.delivered++
+		}
+		c.mu.Unlock()
+		c.m.Replay(st)
+		if len(st.Restored) > 0 {
+			c.log.Info("fabric resume", "restored", len(st.Restored),
+				"scenarios", len(scs), "releases", st.Released)
+		}
+	}
+
+	shards := c.partition(len(scs))
+	c.m.ShardsTotal.Set(float64(len(shards)))
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go c.reg.Heartbeat(hbCtx, c.cfg.heartbeat())
+
+	err := par.ForEachCtx(ctx, len(shards), len(shards), func(ctx context.Context, i int) error {
+		return c.runShard(ctx, shards[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	results := c.results
+	c.mu.Unlock()
+	for i, r := range results {
+		if r == nil {
+			// Mirrors the engine's own guard: cancellation can leave empty
+			// slots behind, and a summary over them would misreport.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("fabric: scenario %d missing after run", i)
+		}
+	}
+	return campaign.Aggregate(results), nil
+}
+
+// partition cuts the set into contiguous shards, skipping none — fully
+// restored shards are detected per-lease (shardComplete) so their leases
+// no-op instantly.
+func (c *Coordinator) partition(n int) []shard {
+	size := c.cfg.shardSize()
+	shards := make([]shard, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		shards = append(shards, shard{Idx: len(shards), Start: start, End: end})
+	}
+	return shards
+}
+
+// shardComplete reports whether every slot of the shard is delivered.
+func (c *Coordinator) shardComplete(sh shard) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := sh.Start; i < sh.End; i++ {
+		if c.results[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runShard drives one shard to completion: lease to a live worker, re-lease
+// on expiry with capped jittered backoff, degrade to local execution when
+// no worker is reachable or the attempt budget is spent.
+func (c *Coordinator) runShard(ctx context.Context, sh shard) error {
+	if c.shardComplete(sh) {
+		c.m.ShardsDone.Inc()
+		return nil
+	}
+	backoff := DefaultReleaseBackoff
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if c.reg.Empty() || attempt >= c.cfg.maxLeaseAttempts() {
+			return c.runLocal(ctx, sh)
+		}
+		acquireCtx, cancel := context.WithTimeout(ctx, c.cfg.acquireTimeout())
+		ref := c.reg.Acquire(acquireCtx)
+		cancel()
+		if ref == nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if c.reg.AnyUp() {
+				// Live workers exist but all are at their lease cap: the
+				// fabric is saturated, not unreachable. Keep waiting — a
+				// slot frees when any lease ends — without burning the
+				// attempt budget.
+				attempt--
+				continue
+			}
+			// Workers are registered but none answered within the budget:
+			// the fabric is unreachable, not merely busy. Degrade.
+			return c.runLocal(ctx, sh)
+		}
+		ev := LeaseEvent{Shard: sh.Idx, Worker: ref.URL, Attempt: attempt}
+		if attempt > 0 {
+			c.m.Releases.Inc()
+			if err := c.state.Released(ev); err != nil {
+				ref.Release()
+				return fmt.Errorf("fabric: state log: %w", err)
+			}
+			c.log.Info("fabric re-lease", "shard", sh.Idx, "worker", ref.URL, "attempt", attempt)
+		}
+		c.m.LeasesGranted.Inc()
+		if err := c.state.Lease(ev); err != nil {
+			ref.Release()
+			return fmt.Errorf("fabric: state log: %w", err)
+		}
+		start := time.Now()
+		err := c.runLease(ctx, sh, ref)
+		ref.Release()
+		if err == nil {
+			c.m.ShardLatency.Observe(time.Since(start).Seconds())
+			c.m.ShardsDone.Inc()
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		c.m.LeasesExpired.Inc()
+		if serr := c.state.Expired(ev); serr != nil {
+			return fmt.Errorf("fabric: state log: %w", serr)
+		}
+		c.log.Warn("fabric lease expired", "shard", sh.Idx, "worker", ref.URL,
+			"attempt", attempt, "err", err)
+		// Back off before the re-lease, jittered so failed shards do not
+		// stampede the survivors, honoring a worker's Retry-After when the
+		// failure carried one (the server knows its drain schedule).
+		next := jitter(backoff)
+		var ae *faultdclient.APIError
+		if errors.As(err, &ae) && ae.RetryAfter > next {
+			next = ae.RetryAfter
+		}
+		if err := sleepCtx(ctx, next); err != nil {
+			return err
+		}
+		if backoff *= 2; backoff > MaxReleaseBackoff {
+			backoff = MaxReleaseBackoff
+		}
+	}
+}
+
+// runLease executes one shard lease: submit the shard as an ordinary /v1
+// campaign job, wait at most the lease TTL (cancelled early if the worker
+// goes down), and deliver the results. Any error means the lease failed and
+// the caller re-leases; a best-effort cancel stops the abandoned worker
+// from burning cycles on results nobody will collect.
+func (c *Coordinator) runLease(ctx context.Context, sh shard, ref *WorkerRef) error {
+	leaseCtx, cancel := context.WithTimeout(ctx, c.cfg.leaseTTL())
+	defer cancel()
+	go func() {
+		select {
+		case <-ref.Down():
+			cancel()
+		case <-leaseCtx.Done():
+		}
+	}()
+	cl := c.client(ref.URL)
+	c.mu.Lock()
+	specs := make([]campaign.Scenario, sh.End-sh.Start)
+	copy(specs, c.scs[sh.Start:sh.End])
+	c.mu.Unlock()
+	acc, err := cl.Submit(leaseCtx, api.SubmitRequest{
+		Name:      fmt.Sprintf("fabric-shard-%d", sh.Idx),
+		Workers:   c.cfg.JobWorkers,
+		Scenarios: specs,
+	})
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if c.cfg.Hub != nil {
+		go c.forwardEvents(leaseCtx, cl, acc.ID, sh, ref.URL)
+	}
+	job, err := cl.WaitTerminal(leaseCtx, acc.ID, 0)
+	if err != nil {
+		c.cancelAbandoned(cl, acc.ID, sh)
+		return fmt.Errorf("wait: %w", err)
+	}
+	if job.Status != api.StatusDone || job.Summary == nil {
+		return fmt.Errorf("job %d finished %s: %s", acc.ID, job.Status, job.Error)
+	}
+	if got := len(job.Summary.Results); got != sh.End-sh.Start {
+		return fmt.Errorf("job %d returned %d results, shard has %d", acc.ID, got, sh.End-sh.Start)
+	}
+	for i, r := range job.Summary.Results {
+		if err := c.deliver(sh.Start+i, r, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cancelAbandoned best-effort cancels a job whose lease expired. The fresh
+// context is deliberate: the lease context is already dead.
+func (c *Coordinator) cancelAbandoned(cl *faultdclient.Client, id int, sh shard) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := cl.Cancel(ctx, id); err != nil && !faultdclient.IsConflict(err) {
+		c.log.Warn("fabric abandoned-job cancel failed", "shard", sh.Idx, "job", id, "err", err)
+	}
+}
+
+// shardStreamEvent wraps a worker job's SSE event with fabric context for
+// the merged stream.
+type shardStreamEvent struct {
+	Shard  int    `json:"shard"`
+	Worker string `json:"worker"`
+	Event  string `json:"event"`
+	Data   any    `json:"data,omitempty"`
+}
+
+// forwardEvents re-publishes one leased job's SSE stream into the
+// coordinator hub. Purely operator data: a broken stream is dropped, never
+// retried — the lease's own WaitTerminal is the control path.
+func (c *Coordinator) forwardEvents(ctx context.Context, cl *faultdclient.Client, id int, sh shard, worker string) {
+	_, _ = cl.Watch(ctx, id, func(ev faultdclient.Event) error {
+		c.cfg.Hub.Publish(obs.StreamEvent{Type: "shard", Data: shardStreamEvent{
+			Shard: sh.Idx, Worker: worker, Event: ev.Type, Data: ev.Data,
+		}})
+		return nil
+	})
+}
+
+// deliver lands one result in its global slot, exactly once. A duplicate —
+// an expired lease's late results racing the re-leased worker's — is
+// dropped and counted. Delivered results are journaled and, when cacheable,
+// published to the shared store under the scenario's digest (fromWorker
+// false skips the store: the local engine already wrote it).
+func (c *Coordinator) deliver(global int, r *campaign.Result, fromWorker bool) error {
+	c.mu.Lock()
+	if c.results[global] != nil {
+		c.mu.Unlock()
+		c.m.DedupDropped.Inc()
+		return nil
+	}
+	c.results[global] = r
+	c.delivered++
+	done, total := c.delivered, len(c.scs)
+	var digest campaign.Digest
+	if fromWorker && c.cfg.Store != nil && campaign.Cacheable(r) {
+		digest = campaign.ScenarioDigest(c.scs[global])
+	}
+	state := c.state
+	c.mu.Unlock()
+	if err := state.Result(global, r); err != nil {
+		return fmt.Errorf("fabric: state log: %w", err)
+	}
+	if digest != (campaign.Digest{}) {
+		// Store the position-independent copy, mirroring the engine's own
+		// put: the ID is index-derived, the digest is ID-blanked.
+		rr := *r
+		rr.ID = ""
+		if err := c.cfg.Store.Put(digest, &rr); err != nil {
+			return fmt.Errorf("fabric: resultstore: %w", err)
+		}
+	}
+	if c.cfg.Hub != nil {
+		c.cfg.Hub.Publish(obs.StreamEvent{Type: "result", Data: map[string]any{
+			"index": global, "id": r.ID, "outcome": campaign.ResultOutcome(r),
+			"scenarios_done": done, "scenarios_total": total,
+		}})
+	}
+	if c.cfg.OnResult != nil {
+		c.cfg.OnResult(global, r)
+	}
+	return nil
+}
+
+// runLocal executes a shard through the local engine — the degradation path
+// when the fabric is empty or unreachable, and the guarantee that a
+// distributed campaign never does worse than a single-node one. Runs are
+// serialized: concurrent falling-back shards would each boot a full worker
+// pool and thrash the host.
+func (c *Coordinator) runLocal(ctx context.Context, sh shard) error {
+	c.m.LocalFallback.Inc()
+	c.log.Info("fabric local fallback", "shard", sh.Idx)
+	c.localMu.Lock()
+	defer c.localMu.Unlock()
+	c.mu.Lock()
+	specs := make([]campaign.Scenario, sh.End-sh.Start)
+	copy(specs, c.scs[sh.Start:sh.End])
+	completed := map[int]*campaign.Result{}
+	for i := sh.Start; i < sh.End; i++ {
+		if c.results[i] != nil {
+			completed[i-sh.Start] = c.results[i]
+		}
+	}
+	c.mu.Unlock()
+	eng := campaign.Engine{
+		Workers:   c.cfg.LocalWorkers,
+		Cache:     c.cfg.Store,
+		Completed: completed,
+	}
+	sum, err := eng.RunCtx(ctx, specs)
+	if err != nil {
+		return fmt.Errorf("fabric: local shard %d: %w", sh.Idx, err)
+	}
+	for i, r := range sum.Results {
+		if completed[i] != nil {
+			continue // restored before the fallback, already delivered
+		}
+		if err := c.deliver(sh.Start+i, r, false); err != nil {
+			return err
+		}
+	}
+	c.m.ShardsDone.Inc()
+	return nil
+}
+
+// jitter spreads a backoff over [3/4·d, 5/4·d).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d*3/4 + time.Duration(rand.Int64N(int64(d)/2+1))
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Handler serves the coordinator's supervision surface: join, worker
+// listing, merged SSE stream, fabric metrics, liveness.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(c.m.Text())
+	})
+	mux.HandleFunc("POST /v1/fabric/join", c.handleJoin)
+	mux.HandleFunc("GET /v1/fabric/workers", c.handleWorkers)
+	mux.HandleFunc("GET /v1/fabric/events", c.handleEvents)
+	return mux
+}

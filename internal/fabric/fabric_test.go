@@ -1,0 +1,409 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/faultd"
+)
+
+// testSet is the campaign every fabric test distributes: big enough to span
+// several shards, fast enough to run in milliseconds.
+func testSet() []campaign.Scenario { return campaign.LadderPreset(16, 2021) }
+
+// referenceJSON runs the set through the plain local engine — the bytes every
+// fabric topology must reproduce exactly.
+func referenceJSON(t *testing.T) []byte {
+	t.Helper()
+	eng := campaign.Engine{Workers: 2}
+	sum, err := eng.RunCtx(context.Background(), testSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// newWorker boots an in-process dmafaultd worker node.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := faultd.NewServer()
+	srv.Workers = 2
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestByteIdenticalAcrossWorkerCounts is the tentpole acceptance test: the
+// merged summary must not change by a byte whether the campaign runs on one,
+// two, or four workers.
+func TestByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	want := referenceJSON(t)
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			urls := make([]string, n)
+			for i := range urls {
+				urls[i] = newWorker(t).URL
+			}
+			c := New(Config{Workers: urls, ShardSize: 4, Heartbeat: 25 * time.Millisecond})
+			sum, err := c.Run(context.Background(), testSet())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sum.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("summary differs from single-node run (%d vs %d bytes)", len(got), len(want))
+			}
+			if v := c.Metrics().LeasesGranted.Value(); v == 0 {
+				t.Fatal("no leases granted — campaign did not use the fabric")
+			}
+			if v := c.Metrics().LocalFallback.Value(); v != 0 {
+				t.Fatalf("local fallback fired %d times with %d live workers", v, n)
+			}
+		})
+	}
+}
+
+// TestDeadWorkerRelease hands shards to a worker that answers readiness
+// probes but black-holes job submissions: its leases must expire at the TTL
+// and be re-leased (fabric_releases_total > 0) without changing the summary.
+func TestDeadWorkerRelease(t *testing.T) {
+	want := referenceJSON(t)
+	live := newWorker(t)
+	stop := make(chan struct{})
+	blackhole := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		// Swallow everything else until the lease dies. The stop channel
+		// matters: an unread POST body keeps r.Context alive past the
+		// client's cancel, and Server.Close waits on handlers.
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}))
+	t.Cleanup(blackhole.Close)
+	t.Cleanup(func() { close(stop) }) // LIFO: unblock handlers before Close waits
+
+	c := New(Config{
+		Workers:   []string{live.URL, blackhole.URL},
+		ShardSize: 4,
+		Heartbeat: 25 * time.Millisecond,
+		LeaseTTL:  300 * time.Millisecond,
+	})
+	sum, err := c.Run(context.Background(), testSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("summary differs from single-node run (%d vs %d bytes)", len(got), len(want))
+	}
+	if v := c.Metrics().Releases.Value(); v == 0 {
+		t.Fatal("fabric_releases_total = 0: black-holed leases were never re-leased")
+	}
+	if v := c.Metrics().LeasesExpired.Value(); v == 0 {
+		t.Fatal("fabric_leases_expired_total = 0")
+	}
+}
+
+// TestZeroWorkersLocalFallback: a coordinator with no workers at all degrades
+// to plain local execution and still produces the single-node bytes.
+func TestZeroWorkersLocalFallback(t *testing.T) {
+	want := referenceJSON(t)
+	c := New(Config{ShardSize: 4})
+	sum, err := c.Run(context.Background(), testSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("summary differs from single-node run")
+	}
+	if v := c.Metrics().LocalFallback.Value(); v == 0 {
+		t.Fatal("fabric_local_fallback_total = 0 with an empty registry")
+	}
+	if v := c.Metrics().LeasesGranted.Value(); v != 0 {
+		t.Fatalf("%d leases granted with no workers", v)
+	}
+}
+
+// TestResumeAfterCoordinatorDeath kills a campaign partway (context cancel —
+// the orderly stand-in for kill -9, which the fabric soak covers for real)
+// and resumes it from the state log: already-delivered results must not
+// re-execute and the final summary must match the uninterrupted bytes.
+func TestResumeAfterCoordinatorDeath(t *testing.T) {
+	want := referenceJSON(t)
+	journal := filepath.Join(t.TempDir(), "state.jsonl")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var delivered atomic.Int32
+	c1 := New(Config{
+		ShardSize:   4,
+		JournalPath: journal,
+		OnResult: func(int, *campaign.Result) {
+			if delivered.Add(1) == 5 {
+				cancel() // die mid-campaign with >1 shard outstanding
+			}
+		},
+	})
+	if _, err := c1.Run(ctx, testSet()); err == nil {
+		t.Fatal("cancelled run unexpectedly succeeded")
+	}
+
+	st, err := ReadStateLog(journal, testSet(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Restored) == 0 {
+		t.Fatal("nothing journaled before the kill")
+	}
+
+	var reExecuted atomic.Int32
+	c2 := New(Config{
+		ShardSize:   4,
+		JournalPath: journal,
+		Resume:      true,
+		OnResult:    func(int, *campaign.Result) { reExecuted.Add(1) },
+	})
+	sum, err := c2.Run(context.Background(), testSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed summary differs from single-node run")
+	}
+	if int(reExecuted.Load())+len(st.Restored) != len(testSet()) {
+		t.Fatalf("re-executed %d with %d restored, want %d total",
+			reExecuted.Load(), len(st.Restored), len(testSet()))
+	}
+	if v := c2.Metrics().DedupDropped.Value(); v != 0 {
+		t.Fatalf("restored results hit the dedup gate %d times", v)
+	}
+}
+
+// TestResumeRejectsDifferentSet: a state log is bound to its scenario set and
+// shard size; resuming against anything else must fail loudly, not merge
+// results from a different campaign.
+func TestResumeRejectsDifferentSet(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "state.jsonl")
+	state, _, err := OpenStateLog(journal, testSet(), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state.Close()
+
+	if _, _, err := OpenStateLog(journal, campaign.LadderPreset(16, 7), 4, true); err == nil {
+		t.Fatal("resume with a different scenario set succeeded")
+	}
+	if _, _, err := OpenStateLog(journal, testSet(), 8, true); err == nil {
+		t.Fatal("resume with a different shard size succeeded")
+	}
+	if _, _, err := OpenStateLog(journal, testSet(), 4, true); err != nil {
+		t.Fatalf("resume with the original binding failed: %v", err)
+	}
+}
+
+// TestStateLogTornTail: a coordinator killed mid-write leaves a torn final
+// line; reopening must keep every complete record and drop only the tail.
+func TestStateLogTornTail(t *testing.T) {
+	scs := testSet()
+	journal := filepath.Join(t.TempDir(), "state.jsonl")
+	state, _, err := OpenStateLog(journal, scs, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := LeaseEvent{Shard: 0, Worker: "http://w1", Attempt: 0}
+	if err := state.Lease(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := state.Expired(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := state.Released(LeaseEvent{Shard: 0, Worker: "http://w2", Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	normalized := make([]campaign.Scenario, len(scs))
+	copy(normalized, scs)
+	for i := range normalized {
+		normalized[i].Normalize(i)
+	}
+	eng := campaign.Engine{Workers: 1}
+	sum, err := eng.RunCtx(context.Background(), normalized[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sum.Results {
+		if err := state.Result(i, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state.Close()
+
+	// The kill lands mid-append: a truncated record with no newline.
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":2,"result":{"id":"tr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := ReadStateLog(journal, scs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Restored) != 2 {
+		t.Fatalf("restored %d results, want 2 (torn tail dropped)", len(st.Restored))
+	}
+	if st.Granted != 1 || st.Expired != 1 || st.Released != 1 {
+		t.Fatalf("lease counters = %d/%d/%d, want 1/1/1", st.Granted, st.Expired, st.Released)
+	}
+
+	// Replay puts the re-lease history back on the metric surface, so
+	// fabric_releases_total survives a coordinator kill -9.
+	m := NewMetrics()
+	m.Replay(st)
+	if v := m.Releases.Value(); v != 1 {
+		t.Fatalf("replayed fabric_releases_total = %d, want 1", v)
+	}
+
+	// And the resumed coordinator can keep appending after the tail is
+	// truncated away.
+	state2, st2, err := OpenStateLog(journal, scs, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer state2.Close()
+	if len(st2.Restored) != 2 {
+		t.Fatalf("reopen restored %d results, want 2", len(st2.Restored))
+	}
+	if err := state2.Result(2, sum.Results[0]); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := ReadStateLog(journal, scs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st3.Restored) != 3 {
+		t.Fatalf("after append-on-resume restored %d results, want 3", len(st3.Restored))
+	}
+}
+
+// TestDeliverDedup: the second delivery of the same global index — an expired
+// lease's results racing the re-leased worker's — is dropped and counted.
+func TestDeliverDedup(t *testing.T) {
+	c := New(Config{})
+	scs := testSet()
+	for i := range scs {
+		scs[i].Normalize(i)
+	}
+	c.scs = scs
+	c.results = make([]*campaign.Result, len(scs))
+
+	r1 := &campaign.Result{ID: scs[0].ID}
+	r2 := &campaign.Result{ID: scs[0].ID}
+	if err := c.deliver(0, r1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.deliver(0, r2, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.results[0] != r1 {
+		t.Fatal("second delivery overwrote the first")
+	}
+	if v := c.m.DedupDropped.Value(); v != 1 {
+		t.Fatalf("fabric_dedup_dropped_total = %d, want 1", v)
+	}
+	if c.delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", c.delivered)
+	}
+}
+
+// TestSaturatedFabricWaitsInsteadOfDegrading: with the per-worker lease cap
+// in force and more shards than slots, shards must queue for a live worker,
+// not spill into local fallback.
+func TestSaturatedFabricWaitsInsteadOfDegrading(t *testing.T) {
+	want := referenceJSON(t)
+	w := newWorker(t)
+	c := New(Config{
+		Workers:            []string{w.URL},
+		ShardSize:          2, // 8 shards through one worker, cap 1
+		MaxLeasesPerWorker: 1,
+		Heartbeat:          25 * time.Millisecond,
+		AcquireTimeout:     50 * time.Millisecond, // force acquire timeouts
+	})
+	sum, err := c.Run(context.Background(), testSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("summary differs from single-node run")
+	}
+	if v := c.Metrics().LocalFallback.Value(); v != 0 {
+		t.Fatalf("saturated fabric degraded to local %d times", v)
+	}
+}
+
+// TestJoinPromotesWorker: a registry with no static members accepts a runtime
+// join (the dmafaultd -join path) and leases every shard to the joined
+// worker instead of falling back to local execution.
+func TestJoinPromotesWorker(t *testing.T) {
+	want := referenceJSON(t)
+	w := newWorker(t)
+	c := New(Config{ShardSize: 4, Heartbeat: 25 * time.Millisecond})
+	c.Registry().Join(w.URL)
+	sum, err := c.Run(context.Background(), testSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("summary differs from single-node run")
+	}
+	if v := c.Metrics().LeasesGranted.Value(); v == 0 {
+		t.Fatal("joined worker never received a lease")
+	}
+	if v := c.Metrics().LocalFallback.Value(); v != 0 {
+		t.Fatalf("local fallback fired %d times with a joined worker", v)
+	}
+	snap := c.Registry().Snapshot()
+	if len(snap) != 1 || snap[0].URL != w.URL || !snap[0].Up {
+		t.Fatalf("registry snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,119 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/obs"
+)
+
+// Coordinator HTTP surface: the routes behind Handler. Workers register
+// through POST /v1/fabric/join, operators inspect the registry and follow
+// the merged shard stream. All of it is supervision-plane — none of it can
+// change a campaign's results.
+
+// handleJoin upserts a worker registration.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req api.JoinRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		http.Error(w, "parse join request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		http.Error(w, fmt.Sprintf("join: %q is not an absolute URL", req.URL), http.StatusBadRequest)
+		return
+	}
+	n := c.reg.Join(req.URL)
+	c.log.Info("fabric worker joined", "worker", req.URL, "workers", n)
+	writeJSON(w, http.StatusOK, api.JoinResponse{Accepted: true, Workers: n})
+}
+
+// handleWorkers renders the registry snapshot.
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.WorkerList{Workers: c.reg.Snapshot()})
+}
+
+// handleEvents streams the merged fabric event stream as Server-Sent
+// Events: re-published worker job events with shard context, coordinator
+// result events, and periodic "workers" heartbeats carrying the registry
+// snapshot (cumulative, so a dropped event costs nothing).
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if c.cfg.Hub == nil {
+		http.Error(w, "fabric: event streaming disabled (no hub)", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	ch, cancel := c.cfg.Hub.Subscribe(64)
+	defer cancel()
+	if writeSSE(w, "workers", c.reg.Snapshot()) != nil {
+		return
+	}
+	fl.Flush()
+	tick := time.NewTicker(c.cfg.heartbeat())
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if writeSSE(w, "workers", c.reg.Snapshot()) != nil {
+				return
+			}
+			fl.Flush()
+		case e, open := <-ch:
+			if !open {
+				return
+			}
+			if writeSSE(w, e.Type, e.Data) != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// PublishStatus broadcasts a terminal status on the hub and closes it —
+// called by the coordinator's owner once Run returns, so SSE followers see
+// the campaign end.
+func (c *Coordinator) PublishStatus(status string) {
+	if c.cfg.Hub == nil {
+		return
+	}
+	c.cfg.Hub.Publish(obs.StreamEvent{Type: "status", Data: map[string]string{"status": status}})
+	c.cfg.Hub.Close()
+}
+
+// writeSSE frames one Server-Sent Event with a JSON payload.
+func writeSSE(w io.Writer, event string, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	return err
+}
+
+// writeJSON marshals one response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

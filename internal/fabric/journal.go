@@ -1,0 +1,239 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"dmafault/internal/campaign"
+)
+
+// Coordinator state log: a JSONL file recording everything the coordinator
+// must not forget across a kill — lease grants, expiries, re-leases, and
+// every delivered result — in the same torn-tail-tolerant idiom as the
+// campaign journal and the result store's log. Line 1 binds the log to its
+// campaign (scenario-set hash + shard size); every further line is exactly
+// one event. A resumed coordinator replays the log to pre-fill delivered
+// results (those scenarios never re-execute) and to restore the journaled
+// lease counters, so fabric_releases_total reflects the whole campaign even
+// after a coordinator kill -9 and restart.
+
+// stateVersion gates the on-disk format.
+const stateVersion = 1
+
+type stateHeader struct {
+	V         int    `json:"v"`
+	Scenarios int    `json:"scenarios"`
+	Hash      string `json:"hash"`
+	ShardSize int    `json:"shard_size"`
+}
+
+// LeaseEvent is one lease-lifecycle record: which shard, which worker,
+// which attempt (0 = first grant; > 0 = a re-lease).
+type LeaseEvent struct {
+	Shard   int    `json:"shard"`
+	Worker  string `json:"worker"`
+	Attempt int    `json:"attempt"`
+}
+
+// stateRecord is one log line past the header. Exactly one field is set:
+// a lease-lifecycle event, or a delivered result (Result non-nil, Index
+// meaningful). Sharing the {index,result} shape with the campaign journal
+// keeps the two logs grep-compatible.
+type stateRecord struct {
+	Lease    *LeaseEvent      `json:"lease,omitempty"`
+	Expired  *LeaseEvent      `json:"expired,omitempty"`
+	Released *LeaseEvent      `json:"released,omitempty"`
+	Index    int              `json:"index,omitempty"`
+	Result   *campaign.Result `json:"result,omitempty"`
+}
+
+// StateLog appends coordinator events to an open JSONL file. Each record is
+// marshalled to a single line and written with one Write under the mutex,
+// so concurrent shard goroutines never interleave bytes.
+type StateLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// JournalState is what a resumed coordinator recovers from its state log:
+// every delivered result keyed by global scenario index, plus the lease
+// counters to replay into the metric plane.
+type JournalState struct {
+	Restored map[int]*campaign.Result
+	Granted  int
+	Expired  int
+	Released int
+}
+
+// OpenStateLog creates (resume=false) or reopens (resume=true) the
+// coordinator state log at path for the given normalized scenario set and
+// shard size. A fresh open truncates and writes the header; a resume
+// validates the header (set hash and shard size — shard boundaries must not
+// move under recorded lease events), truncates any torn final line, and
+// returns the recovered state. Resuming a path that does not exist falls
+// back to a fresh log, so -resume on a first run just works.
+func OpenStateLog(path string, scs []campaign.Scenario, shardSize int, resume bool) (*StateLog, *JournalState, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			return reopenStateLog(path, scs, shardSize)
+		} else if !os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("fabric: state log: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fabric: state log: %w", err)
+	}
+	hdr, err := json.Marshal(stateHeader{V: stateVersion, Scenarios: len(scs),
+		Hash: campaign.SetHash(scs), ShardSize: shardSize})
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: state log: %w", err)
+	}
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: state log: %w", err)
+	}
+	return &StateLog{f: f}, &JournalState{Restored: map[int]*campaign.Result{}}, nil
+}
+
+// reopenStateLog validates an existing log, truncates a torn tail, and
+// positions for append.
+func reopenStateLog(path string, scs []campaign.Scenario, shardSize int) (*StateLog, *JournalState, error) {
+	st, good, err := readStateLog(path, scs, shardSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fabric: state log: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: state log: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: state log: %w", err)
+	}
+	return &StateLog{f: f}, st, nil
+}
+
+// ReadStateLog recovers the state of a log without opening it for append —
+// what the fabric soak greps for a "released" record, and what tests
+// inspect. A missing file yields empty state.
+func ReadStateLog(path string, scs []campaign.Scenario, shardSize int) (*JournalState, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return &JournalState{Restored: map[int]*campaign.Result{}}, nil
+	}
+	st, _, err := readStateLog(path, scs, shardSize)
+	return st, err
+}
+
+// readStateLog parses the log, returning the recovered state and the byte
+// offset just past the last intact line. Parsing stops (without error) at
+// the first torn or unparseable line — the expected shape of a kill
+// mid-append; header mismatches and out-of-range indexes are real errors.
+func readStateLog(path string, scs []campaign.Scenario, shardSize int) (*JournalState, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fabric: state log: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, 0, fmt.Errorf("fabric: state log %s: missing header", path)
+	}
+	var hdr stateHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, 0, fmt.Errorf("fabric: state log %s: bad header: %w", path, err)
+	}
+	if hdr.V != stateVersion {
+		return nil, 0, fmt.Errorf("fabric: state log %s: version %d, want %d", path, hdr.V, stateVersion)
+	}
+	if hdr.Scenarios != len(scs) {
+		return nil, 0, fmt.Errorf("fabric: state log %s: %d scenarios, campaign has %d", path, hdr.Scenarios, len(scs))
+	}
+	if want := campaign.SetHash(scs); hdr.Hash != want {
+		return nil, 0, fmt.Errorf("fabric: state log %s: scenario set hash %s, campaign is %s", path, hdr.Hash, want)
+	}
+	if hdr.ShardSize != shardSize {
+		return nil, 0, fmt.Errorf("fabric: state log %s: shard size %d, coordinator uses %d", path, hdr.ShardSize, shardSize)
+	}
+	st := &JournalState{Restored: map[int]*campaign.Result{}}
+	offset := int64(len(line))
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			break // torn tail from a kill — drop it
+		}
+		var rec stateRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // corrupt line: treat it and everything after as torn
+		}
+		switch {
+		case rec.Lease != nil:
+			st.Granted++
+		case rec.Expired != nil:
+			st.Expired++
+		case rec.Released != nil:
+			st.Released++
+		case rec.Result != nil:
+			if rec.Index < 0 || rec.Index >= len(scs) {
+				return nil, 0, fmt.Errorf("fabric: state log %s: result index %d out of range", path, rec.Index)
+			}
+			st.Restored[rec.Index] = rec.Result
+		default:
+			// A record with no recognized field is from a future version or
+			// corruption; either way everything after is untrustworthy.
+			return st, offset, nil
+		}
+		offset += int64(len(line))
+	}
+	return st, offset, nil
+}
+
+// append marshals one record to a single line under the mutex.
+func (l *StateLog) append(rec stateRecord) error {
+	if l == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.f.Write(append(line, '\n'))
+	return err
+}
+
+// Lease records a shard lease grant.
+func (l *StateLog) Lease(e LeaseEvent) error { return l.append(stateRecord{Lease: &e}) }
+
+// Expired records a lease that ended without delivering results.
+func (l *StateLog) Expired(e LeaseEvent) error { return l.append(stateRecord{Expired: &e}) }
+
+// Released records a re-lease: the shard going to a new worker after a
+// failed lease.
+func (l *StateLog) Released(e LeaseEvent) error { return l.append(stateRecord{Released: &e}) }
+
+// Result records one delivered scenario result.
+func (l *StateLog) Result(index int, r *campaign.Result) error {
+	return l.append(stateRecord{Index: index, Result: r})
+}
+
+// Close flushes and closes the underlying file. Nil-safe.
+func (l *StateLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

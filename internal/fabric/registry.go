@@ -1,0 +1,333 @@
+package fabric
+
+import (
+	"context"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/faultdclient"
+)
+
+// Worker registry: the coordinator's view of the fabric. Workers arrive two
+// ways — static URLs configured at start, and self-registrations through
+// POST /v1/fabric/join — and are kept honest by a heartbeat loop probing
+// each one's lease-aware /readyz. A worker that stops answering (killed,
+// draining, saturated, cache-less) goes down: its in-flight leases are
+// cancelled through the per-up-epoch down channel, and Acquire stops
+// handing it new shards until a heartbeat brings it back.
+
+// ProbeFunc asks one worker whether it should receive a new shard lease.
+// nil = ready; anything else = not ready (an *faultdclient.APIError carries
+// the server's verdict and Retry-After hint).
+type ProbeFunc func(ctx context.Context, url string) error
+
+type worker struct {
+	url      string
+	static   bool
+	up       bool
+	leases   int
+	fails    int // consecutive probe failures; reset by any success or join
+	lastSeen time.Time
+	// down is closed on the up→down transition of the current up-epoch, so
+	// every lease granted during that epoch can cancel immediately on
+	// heartbeat loss instead of waiting out its TTL. Remade on each return
+	// to up.
+	down chan struct{}
+}
+
+// Registry tracks workers and arbitrates lease admission.
+type Registry struct {
+	// MaxLeases caps concurrent leases per worker (0 = unlimited). Set
+	// before Acquire is first called. The cap is what spreads a campaign's
+	// shards across the fleet: without it, the first worker marked up — a
+	// runtime join beating the static workers' first heartbeat round —
+	// absorbs every shard.
+	MaxLeases int
+	// DownAfter is the consecutive probe failures that demote an up worker
+	// (0 or 1 = demote on the first). Demotion cancels the worker's
+	// in-flight leases, so a single slow probe must not trigger it.
+	DownAfter int
+
+	mu      sync.Mutex
+	workers map[string]*worker
+	// wait is closed and remade whenever a worker becomes acquirable
+	// (join, heartbeat up-transition, lease release), waking Acquire.
+	wait chan struct{}
+
+	probe ProbeFunc
+	m     *Metrics
+	log   *slog.Logger
+}
+
+// NewRegistry builds a registry over the static worker URLs. Static workers
+// start down — the first heartbeat round promotes the live ones — while
+// joins mark a worker up immediately (a worker announcing itself is alive
+// by definition; the next heartbeat re-verifies).
+func NewRegistry(static []string, probe ProbeFunc, m *Metrics, log *slog.Logger) *Registry {
+	r := &Registry{
+		workers: map[string]*worker{},
+		wait:    make(chan struct{}),
+		probe:   probe,
+		m:       m,
+		log:     log,
+	}
+	for _, url := range static {
+		if url == "" {
+			continue
+		}
+		r.workers[url] = &worker{url: url, static: true, down: make(chan struct{})}
+	}
+	r.gaugesLocked()
+	return r
+}
+
+// gaugesLocked refreshes the registered/up gauges. Callers hold r.mu.
+func (r *Registry) gaugesLocked() {
+	if r.m == nil {
+		return
+	}
+	up := 0
+	for _, w := range r.workers {
+		if w.up {
+			up++
+		}
+	}
+	r.m.WorkersRegistered.Set(float64(len(r.workers)))
+	r.m.WorkersUp.Set(float64(up))
+}
+
+// wakeLocked signals every Acquire waiter. Callers hold r.mu.
+func (r *Registry) wakeLocked() {
+	close(r.wait)
+	r.wait = make(chan struct{})
+}
+
+// Join upserts a worker (self-registration), marking it up, and returns the
+// registry size.
+func (r *Registry) Join(url string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[url]
+	if w == nil {
+		w = &worker{url: url, down: make(chan struct{})}
+		r.workers[url] = w
+	}
+	if !w.up {
+		w.up = true
+		w.down = make(chan struct{})
+		r.wakeLocked()
+	}
+	w.fails = 0
+	w.lastSeen = time.Now()
+	r.gaugesLocked()
+	return len(r.workers)
+}
+
+// Empty reports whether no workers are registered at all — the condition
+// under which the coordinator degrades straight to local execution.
+func (r *Registry) Empty() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.workers) == 0
+}
+
+// AnyUp reports whether at least one worker answered its last probe. An
+// Acquire timeout with AnyUp true means the fabric is saturated, not
+// unreachable — the shard should keep waiting, not degrade to local.
+func (r *Registry) AnyUp() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.workers {
+		if w.up {
+			return true
+		}
+	}
+	return false
+}
+
+// markUp / markDown apply one heartbeat verdict.
+func (r *Registry) markUp(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[url]
+	if w == nil {
+		return
+	}
+	if !w.up {
+		w.up = true
+		w.down = make(chan struct{})
+		r.wakeLocked()
+	}
+	w.fails = 0
+	w.lastSeen = time.Now()
+	r.gaugesLocked()
+}
+
+// noteFailure records one probe failure and reports whether the streak has
+// reached the demotion threshold.
+func (r *Registry) noteFailure(url string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[url]
+	if w == nil {
+		return false
+	}
+	w.fails++
+	return w.fails >= r.DownAfter
+}
+
+func (r *Registry) markDown(url string, err error) {
+	r.mu.Lock()
+	w := r.workers[url]
+	if w == nil || !w.up {
+		r.mu.Unlock()
+		return
+	}
+	w.up = false
+	close(w.down)
+	if r.m != nil {
+		r.m.WorkerDowns.Inc()
+	}
+	r.gaugesLocked()
+	r.mu.Unlock()
+	if r.log != nil {
+		r.log.Warn("fabric worker down", "worker", url, "err", err)
+	}
+}
+
+// Heartbeat probes every registered worker on the interval until ctx ends.
+// The first round runs immediately, so static workers become acquirable
+// without waiting a full interval.
+func (r *Registry) Heartbeat(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		r.probeAll(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeAll runs one heartbeat round, probing workers concurrently so one
+// black-holed TCP connect cannot stall the verdict on the others.
+func (r *Registry) probeAll(ctx context.Context) {
+	r.mu.Lock()
+	urls := make([]string, 0, len(r.workers))
+	for url := range r.workers {
+		urls = append(urls, url)
+	}
+	r.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, url := range urls {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			if err := r.probe(ctx, url); err != nil {
+				if r.noteFailure(url) {
+					r.markDown(url, err)
+				}
+			} else {
+				r.markUp(url)
+			}
+		}(url)
+	}
+	wg.Wait()
+}
+
+// WorkerRef is one granted admission slot on a worker: the shard lease's
+// view of it. Down() fires if the worker is declared dead while the lease
+// runs; Release returns the slot (idempotent).
+type WorkerRef struct {
+	URL  string
+	down <-chan struct{}
+
+	r    *Registry
+	once sync.Once
+}
+
+// Down returns the channel closed when the worker's current up-epoch ends.
+func (ref *WorkerRef) Down() <-chan struct{} { return ref.down }
+
+// Release returns the admission slot to the registry.
+func (ref *WorkerRef) Release() {
+	ref.once.Do(func() {
+		ref.r.mu.Lock()
+		if w := ref.r.workers[ref.URL]; w != nil && w.leases > 0 {
+			w.leases--
+		}
+		ref.r.wakeLocked()
+		ref.r.mu.Unlock()
+	})
+}
+
+// Acquire blocks until an up worker is available (returning the
+// least-loaded one, URL-ordered for determinism among ties) or ctx ends
+// (returning nil). Callers bound ctx with their acquire timeout; a nil
+// return means "no reachable worker within the budget" and the shard
+// degrades to local execution.
+func (r *Registry) Acquire(ctx context.Context) *WorkerRef {
+	for {
+		r.mu.Lock()
+		var best *worker
+		urls := make([]string, 0, len(r.workers))
+		for url := range r.workers {
+			urls = append(urls, url)
+		}
+		sort.Strings(urls)
+		for _, url := range urls {
+			w := r.workers[url]
+			if !w.up || (r.MaxLeases > 0 && w.leases >= r.MaxLeases) {
+				continue
+			}
+			if best == nil || w.leases < best.leases {
+				best = w
+			}
+		}
+		if best != nil {
+			best.leases++
+			ref := &WorkerRef{URL: best.url, down: best.down, r: r}
+			r.mu.Unlock()
+			return ref
+		}
+		wait := r.wait
+		r.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-wait:
+		}
+	}
+}
+
+// Snapshot renders the registry for GET /v1/fabric/workers, URL-sorted.
+func (r *Registry) Snapshot() []api.WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	infos := make([]api.WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		info := api.WorkerInfo{URL: w.url, Up: w.up, Static: w.static, Leases: w.leases}
+		if !w.lastSeen.IsZero() {
+			info.LastSeenUnix = w.lastSeen.Unix()
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].URL < infos[j].URL })
+	return infos
+}
+
+// defaultProbe is the production ProbeFunc: a lease-aware /readyz probe
+// through the typed client, bounded so a black-holed worker cannot stall a
+// heartbeat round past the next one.
+func defaultProbe(needCache bool, timeout time.Duration) ProbeFunc {
+	return func(ctx context.Context, url string) error {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		return faultdclient.New(url).Ready(ctx, true, needCache)
+	}
+}

@@ -372,19 +372,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz is the readiness probe: it fails while drain is in progress
 // or while the admission queue is saturated, so load balancers stop routing
 // submissions that would only bounce with 503/429.
+//
+// A fabric coordinator probes with ?lease=1 (and ?need_cache=1 when the
+// campaign shares a result cache) to ask the stricter question "should I
+// grant this node a NEW shard lease?". A draining node keeps finishing its
+// in-flight shards — those jobs are already admitted — but must stop
+// attracting fresh ones, and a cache-less node cannot take part in a
+// cache-sharing campaign at all, so both answer 503 to lease probes.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	saturated := len(s.pending) >= s.queueCap()
 	s.mu.Unlock()
+	q := r.URL.Query()
+	forLease := q.Get("lease") == "1"
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	switch {
 	case draining:
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 	case saturated:
+		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "saturated")
+	case forLease && q.Get("need_cache") == "1" && s.Cache == nil:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "cache-less")
 	default:
 		fmt.Fprintln(w, "ready")
 	}

@@ -21,7 +21,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -33,8 +35,14 @@ import (
 const (
 	// DefaultRetries is how many times a transient failure is retried.
 	DefaultRetries = 3
-	// DefaultRetryWait is the base backoff, doubled per retry.
+	// DefaultRetryWait is the base backoff, doubled per retry up to
+	// DefaultMaxRetryWait and jittered ±25% so a fleet of clients bounced by
+	// the same outage does not retry in lockstep.
 	DefaultRetryWait = 100 * time.Millisecond
+	// DefaultMaxRetryWait caps the exponential backoff. A server Retry-After
+	// longer than the cap is still honored verbatim — the server knows its
+	// own drain schedule better than the client's curve does.
+	DefaultMaxRetryWait = 2 * time.Second
 	// DefaultPollInterval paces WaitTerminal's job polling.
 	DefaultPollInterval = 25 * time.Millisecond
 )
@@ -50,6 +58,8 @@ type Client struct {
 	Retries int
 	// RetryWait is the base backoff between retries (0: DefaultRetryWait).
 	RetryWait time.Duration
+	// MaxRetryWait caps the exponential backoff (0: DefaultMaxRetryWait).
+	MaxRetryWait time.Duration
 }
 
 // New builds a client for the service at base (scheme://host[:port]).
@@ -62,6 +72,12 @@ func New(base string) *Client {
 type APIError struct {
 	StatusCode int
 	Body       string
+	// RetryAfter is the server's Retry-After header (zero when absent): how
+	// long the server asked the caller to back off. The client honors it on
+	// its own retries; callers that give up instead — the fabric coordinator
+	// re-acquiring a lease elsewhere — should propagate it into their next
+	// approach to the same server.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -100,6 +116,33 @@ func (c *Client) retryWait() time.Duration {
 	return DefaultRetryWait
 }
 
+func (c *Client) maxRetryWait() time.Duration {
+	if c.MaxRetryWait > 0 {
+		return c.MaxRetryWait
+	}
+	return DefaultMaxRetryWait
+}
+
+// jitter spreads a backoff over [3/4·d, 5/4·d) so retries from many clients
+// (or many fabric leases) decorrelate instead of hammering a recovering
+// server in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d*3/4 + time.Duration(rand.Int64N(int64(d)/2+1))
+}
+
+// retryAfter parses a Retry-After header (delta-seconds form; the HTTP-date
+// form is not something this server emits).
+func retryAfter(h http.Header) time.Duration {
+	ra, _ := strconv.Atoi(h.Get("Retry-After"))
+	if ra <= 0 {
+		return 0
+	}
+	return time.Duration(ra) * time.Second
+}
+
 // transient reports whether a response status is worth retrying for an
 // idempotent call: gateway flaps and drain windows, not client errors.
 func transient(status int) bool {
@@ -122,8 +165,11 @@ func sleep(ctx context.Context, d time.Duration) error {
 
 // do issues method path with body (replayed per attempt), retrying network
 // errors and — when retryStatus says so — retryable statuses, then decodes
-// a 2xx response into out (skipped when out is nil). retryAfter honors the
-// server's Retry-After header when retryStatus matched.
+// a 2xx response into out (skipped when out is nil). Backoff is exponential
+// from RetryWait, capped at MaxRetryWait, jittered ±25%, and always honors
+// ctx cancellation — a caller's deadline ends the retry loop mid-sleep. A
+// server Retry-After overrides the computed wait for that retry (un-capped:
+// the server's own estimate wins) and is surfaced on the APIError either way.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, retryStatus func(int) bool) error {
 	wait := c.retryWait()
 	var lastErr error
@@ -139,6 +185,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		next := jitter(wait)
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			lastErr = err
@@ -153,23 +200,26 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 				}
 				return json.Unmarshal(data, out)
 			} else {
-				lastErr = &APIError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
+				ra := retryAfter(resp.Header)
+				lastErr = &APIError{StatusCode: resp.StatusCode,
+					Body: strings.TrimSpace(string(data)), RetryAfter: ra}
 				if retryStatus == nil || !retryStatus(resp.StatusCode) {
 					return lastErr
 				}
-				// The server's Retry-After (seconds) overrides the backoff.
-				if ra, _ := strconv.Atoi(resp.Header.Get("Retry-After")); ra > 0 {
-					wait = time.Duration(ra) * time.Second
+				if ra > 0 {
+					next = ra
 				}
 			}
 		}
 		if attempt >= c.retries() {
 			return lastErr
 		}
-		if err := sleep(ctx, wait); err != nil {
+		if err := sleep(ctx, next); err != nil {
 			return fmt.Errorf("%w (last error: %v)", err, lastErr)
 		}
-		wait *= 2
+		if wait *= 2; wait > c.maxRetryWait() {
+			wait = c.maxRetryWait()
+		}
 	}
 }
 
@@ -257,6 +307,66 @@ func (c *Client) Health(ctx context.Context) (string, error) {
 		return "", &APIError{StatusCode: resp.StatusCode, Body: strings.TrimSpace(string(data))}
 	}
 	return strings.TrimSpace(string(data)), nil
+}
+
+// Ready probes /readyz once (no retries — readiness is a point-in-time
+// verdict, and a prober that retries flattens the signal it exists to
+// carry). forLease marks the probe as a shard-lease admission check;
+// needCache additionally requires the node to run a shared result cache.
+// A ready node returns nil; anything else is the *APIError the server sent
+// (503 draining/saturated/cache-less), or the transport error.
+func (c *Client) Ready(ctx context.Context, forLease, needCache bool) error {
+	q := url.Values{}
+	if forLease {
+		q.Set("lease", "1")
+	}
+	if needCache {
+		q.Set("need_cache", "1")
+	}
+	path := "/readyz"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: resp.StatusCode,
+			Body: strings.TrimSpace(string(data)), RetryAfter: retryAfter(resp.Header)}
+	}
+	return nil
+}
+
+// JoinFabric registers a worker URL with a fabric coordinator (the client's
+// Base is the coordinator, not a dmafaultd node). Joins are upserts, retried
+// like Submit on transient statuses — a coordinator mid-restart should not
+// cost a worker its registration.
+func (c *Client) JoinFabric(ctx context.Context, req api.JoinRequest) (*api.JoinResponse, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	var jr api.JoinResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/fabric/join", body, &jr, transient); err != nil {
+		return nil, err
+	}
+	return &jr, nil
+}
+
+// FabricWorkers fetches a coordinator's worker registry snapshot.
+func (c *Client) FabricWorkers(ctx context.Context) (*api.WorkerList, error) {
+	var wl api.WorkerList
+	if err := c.do(ctx, http.MethodGet, "/v1/fabric/workers", nil, &wl, transient); err != nil {
+		return nil, err
+	}
+	return &wl, nil
 }
 
 // WaitTerminal polls the job until it leaves the queued/running states and

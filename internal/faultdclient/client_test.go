@@ -194,3 +194,132 @@ func TestNoRetryOnClientError(t *testing.T) {
 		t.Error("IsConflict missed a 409")
 	}
 }
+
+// A worker that answers 503 with Retry-After is telling the client exactly
+// when to come back; the computed backoff must yield to the hint.
+func TestRetryAfterHonored(t *testing.T) {
+	var attempts int
+	var gaps []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		gaps = append(gaps, time.Now())
+		if attempts == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "saturated", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `{"jobs":[]}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryWait = time.Millisecond // hint must override this, not vice versa
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if wait := gaps[1].Sub(gaps[0]); wait < 900*time.Millisecond {
+		t.Fatalf("retried after %v, Retry-After asked for 1s", wait)
+	}
+}
+
+// A terminal transient failure surfaces the server's Retry-After so callers
+// (the fabric's re-lease backoff) can schedule around it.
+func TestRetryAfterSurfacedInError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retries = 0
+	_, err := c.List(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err: %v", err)
+	}
+	if ae.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", ae.RetryAfter)
+	}
+}
+
+// Cancelling the context mid-backoff must abort the retry loop immediately,
+// not after the computed wait expires.
+func TestBackoffHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryWait = time.Hour // the sleep the cancel has to cut short
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.List(ctx)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v to cut the backoff short", elapsed)
+	}
+}
+
+// jitter must stay within its documented [3/4·d, 5/4·d) envelope — below it
+// retries hammer too fast, above it leases idle.
+func TestJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := jitter(d)
+		if j < 3*d/4 || j > 5*d/4 {
+			t.Fatalf("jitter(%v) = %v, outside [%v, %v]", d, j, 3*d/4, 5*d/4)
+		}
+	}
+	if jitter(0) != 0 {
+		t.Fatal("jitter(0) != 0")
+	}
+}
+
+// Ready mirrors the server's lease-aware /readyz verdicts through the typed
+// client, Retry-After included.
+func TestReadyLeaseAware(t *testing.T) {
+	srv := faultd.NewServer()
+	srv.Workers = 1
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	if err := c.Ready(ctx, false, false); err != nil {
+		t.Fatalf("plain ready: %v", err)
+	}
+	if err := c.Ready(ctx, true, false); err != nil {
+		t.Fatalf("lease ready: %v", err)
+	}
+	// No cache on this node: a cache-requiring lease probe must refuse.
+	err := c.Ready(ctx, true, true)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cache-less lease probe: %v", err)
+	}
+
+	store, err2 := resultstore.Open(filepath.Join(t.TempDir(), "results.bin"))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	defer store.Close()
+	srv2 := faultd.NewServer()
+	srv2.Workers = 1
+	srv2.Cache = store
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if err := New(ts2.URL).Ready(ctx, true, true); err != nil {
+		t.Fatalf("cache-backed lease probe: %v", err)
+	}
+}
