@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt build vet test race bench campaign faultsmoke fuzzsmoke cachesmoke soaksmoke fabricsmoke
+.PHONY: check fmt build vet test race bench campaign faultsmoke fuzzsmoke cachesmoke soaksmoke fabricsmoke chaossmoke
 
-check: fmt vet build race faultsmoke fuzzsmoke cachesmoke soaksmoke fabricsmoke
+check: fmt vet build race faultsmoke fuzzsmoke cachesmoke soaksmoke fabricsmoke chaossmoke
 
 # gofmt gate: fail listing any file that needs formatting.
 fmt:
@@ -24,7 +24,7 @@ test:
 # The campaign engine is the repo's first real use of host parallelism;
 # always exercise it (and the attack substrates under it) with -race.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # One pass over every benchmark (-benchtime=1x keeps it minutes, not hours),
 # teed through cmd/benchjson into a benchstat-comparable JSON artifact.
@@ -74,3 +74,13 @@ soaksmoke:
 # (cmd/soaksmoke -fabric).
 fabricsmoke:
 	$(GO) run ./cmd/soaksmoke -fabric
+
+# Byzantine-fabric soak: coordinator + 3 healthy workers, but every
+# worker-bound request rides a deterministic netchaos plan (bit-flipped and
+# truncated bodies, 503 storms, connection drops, short partitions). The
+# merged summary must stay byte-identical to a clean single-node run, with
+# fabric_integrity_rejected_total > 0 and fabric_steals_total > 0 proving
+# the rejection and work-stealing defenses actually fired
+# (cmd/soaksmoke -chaos).
+chaossmoke:
+	$(GO) run ./cmd/soaksmoke -chaos

@@ -16,6 +16,7 @@ import (
 	"dmafault/internal/campaign"
 	"dmafault/internal/cliutil"
 	"dmafault/internal/fabric"
+	"dmafault/internal/netchaos"
 	"dmafault/internal/obs"
 	"dmafault/internal/resultstore"
 )
@@ -33,13 +34,22 @@ type fabricFlags struct {
 	Addr       string
 	ShardSize  int
 	LeaseTTL   time.Duration
-	Heartbeat  time.Duration
-	Journal    string
-	Resume     bool
-	MetricsOut string
-	NeedCache  bool
-	Store      *resultstore.Store
-	Workers    int
+	// LeaseAttempts bounds lease grants per shard before the coordinator
+	// stops trusting the fabric with it (0: fabric default).
+	LeaseAttempts int
+	Heartbeat     time.Duration
+	Journal       string
+	Resume        bool
+	MetricsOut    string
+	NeedCache     bool
+	Store         *resultstore.Store
+	Workers       int
+	// Byzantine-tolerance knobs: a netchaos plan for every worker-bound
+	// request, the straggler steal delay, and the quarantine threshold.
+	Netchaos           string
+	NetchaosSeed       int64
+	StealAfter         time.Duration
+	ByzantineThreshold int
 }
 
 // runFabric drives one distributed campaign and emits the summary through
@@ -52,15 +62,30 @@ func runFabric(cf *cliutil.Flags, log *slog.Logger, scenarios []campaign.Scenari
 		}
 	}
 	cfg := fabric.Config{
-		Workers:      urls,
-		ShardSize:    ff.ShardSize,
-		LeaseTTL:     ff.LeaseTTL,
-		Heartbeat:    ff.Heartbeat,
-		NeedCache:    ff.NeedCache,
-		JournalPath:  ff.Journal,
-		Resume:       ff.Resume,
-		LocalWorkers: ff.Workers,
-		Log:          log,
+		Workers:            urls,
+		ShardSize:          ff.ShardSize,
+		LeaseTTL:           ff.LeaseTTL,
+		MaxLeaseAttempts:   ff.LeaseAttempts,
+		Heartbeat:          ff.Heartbeat,
+		NeedCache:          ff.NeedCache,
+		JournalPath:        ff.Journal,
+		Resume:             ff.Resume,
+		LocalWorkers:       ff.Workers,
+		StealAfter:         ff.StealAfter,
+		ByzantineThreshold: ff.ByzantineThreshold,
+		Log:                log,
+	}
+	var chaos *netchaos.Transport
+	if ff.Netchaos != "" {
+		plan, err := netchaos.ParseSpec(ff.Netchaos)
+		if err != nil {
+			return err
+		}
+		plan.Seed = ff.NetchaosSeed
+		chaos = netchaos.NewTransport(plan, nil)
+		cfg.Transport = chaos
+		log.Warn("netchaos armed: every worker-bound request rides the fault plan",
+			"plan", ff.Netchaos, "seed", ff.NetchaosSeed)
 	}
 	if ff.Store != nil {
 		cfg.Store = ff.Store
@@ -133,5 +158,8 @@ func runFabric(cf *cliutil.Flags, log *slog.Logger, scenarios []campaign.Scenari
 		"elapsed", elapsed.Round(time.Millisecond).String(),
 		"rate", fmt.Sprintf("%.1f/s", float64(len(scenarios))/elapsed.Seconds()),
 		"workers", len(urls))
+	if chaos != nil {
+		log.Info("netchaos injections", "counts", chaos.CountsText())
+	}
 	return nil
 }

@@ -75,11 +75,16 @@ func main() {
 	workerURLs := flag.String("worker-urls", "", "comma-separated dmafaultd worker base URLs for -coordinator (more may join at runtime via -coordinator-addr)")
 	coordAddr := flag.String("coordinator-addr", "", "serve the fabric supervision surface (join, workers, SSE events, metrics) on this address")
 	leaseTTL := flag.Duration("lease-ttl", 0, "shard lease time budget; an expired lease re-leases the shard to another worker (0: default)")
+	leaseAttempts := flag.Int("lease-attempts", 0, "lease grants per shard before giving up on the fabric (evidence of a killed job bisects; anything else runs the shard locally) (0: default)")
 	shardSize := flag.Int("shard-size", 0, "scenarios per shard lease (0: default)")
 	fabricHeartbeat := flag.Duration("fabric-heartbeat", 0, "worker readiness probe cadence (0: default)")
 	fabricJournal := flag.String("fabric-journal", "", "coordinator state log; with -resume a killed coordinator picks the campaign back up")
 	fabricMetrics := flag.String("fabric-metrics", "", "write the final fabric_* metric families (Prometheus text) to this file")
 	needWorkerCache := flag.Bool("need-worker-cache", false, "refuse to lease shards to workers running without a shared result cache")
+	netchaosSpec := flag.String("netchaos", "", "with -coordinator: deterministic network-chaos plan applied to every worker-bound request (e.g. \"bitflip:0.3,truncate:0.1,partition:0.01\")")
+	netchaosSeed := flag.Int64("netchaos-seed", 0, "decision seed for the -netchaos plan")
+	stealAfter := flag.Duration("steal-after", 0, "with -coordinator: speculatively re-lease a shard still outstanding after this long to an idle worker; first valid delivery wins (0: disabled)")
+	byzantineThreshold := flag.Int("byzantine-threshold", 0, "with -coordinator: integrity-rejected deliveries that quarantine a worker (0: default)")
 	cachePath := flag.String("cache", "", "content-addressed result cache file: scenarios already recorded replay instead of executing; new results are appended")
 	cacheCompact := flag.Bool("cache-compact", false, "with -cache: rewrite the cache log dropping superseded and stale-engine records, print stats, and exit")
 	requireCached := flag.Bool("require-cached", false, "with -cache: exit nonzero unless every scenario was served from the cache (proves a warm cache executes nothing)")
@@ -193,9 +198,12 @@ func main() {
 	if *coordinator {
 		if err := runFabric(cf, log, scenarios, fabricFlags{
 			WorkerURLs: *workerURLs, Addr: *coordAddr,
-			ShardSize: *shardSize, LeaseTTL: *leaseTTL, Heartbeat: *fabricHeartbeat,
-			Journal: *fabricJournal, Resume: *resume, MetricsOut: *fabricMetrics,
+			ShardSize: *shardSize, LeaseTTL: *leaseTTL, LeaseAttempts: *leaseAttempts,
+			Heartbeat: *fabricHeartbeat,
+			Journal:   *fabricJournal, Resume: *resume, MetricsOut: *fabricMetrics,
 			NeedCache: *needWorkerCache, Store: store, Workers: *workers,
+			Netchaos: *netchaosSpec, NetchaosSeed: *netchaosSeed,
+			StealAfter: *stealAfter, ByzantineThreshold: *byzantineThreshold,
 		}); err != nil {
 			cf.Fatal(err)
 		}

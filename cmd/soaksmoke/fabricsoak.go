@@ -12,6 +12,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dmafault/internal/campaign"
@@ -101,6 +102,12 @@ func runFabricSoak(log *slog.Logger, keep bool) error {
 			"-out", fabricPath,
 		}
 	}
+	// Fail fast on dead workers before committing the soak budget: a typo'd
+	// or crashed worker URL should be a one-line error, not a 3-minute
+	// timeout with an opaque summary mismatch at the end.
+	if err := preflightWorkers(ctx, []string{w1.url, w2.url}, 10*time.Second); err != nil {
+		return err
+	}
 	coord, err := startProc(log, dir, "coordinator", campaignBin, coordArgs(w1.url, w2.url)...)
 	if err != nil {
 		return err
@@ -184,6 +191,46 @@ func runFabricSoak(log *slog.Logger, keep bool) error {
 	}
 	log.Info("fabric soak finished", "releases", releases,
 		"summary_bytes", len(fab))
+	return nil
+}
+
+// preflightWorkers verifies every worker URL answers /healthz before the
+// coordinator is launched. Each unreachable worker is named in the error so
+// the operator knows exactly which endpoint to fix.
+func preflightWorkers(ctx context.Context, urls []string, budget time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	down := make([]bool, len(urls))
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			cl := faultdclient.New(u)
+			for {
+				if body, err := cl.Health(ctx); err == nil && body == "ok" {
+					return
+				}
+				if ctx.Err() != nil {
+					down[i] = true
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	var dead []string
+	for i, u := range urls {
+		if down[i] {
+			dead = append(dead, u)
+		}
+	}
+	if len(dead) > 0 {
+		return fmt.Errorf("worker preflight failed: unreachable at startup: %s "+
+			"(no /healthz response within %s — check the worker URLs before soaking)",
+			strings.Join(dead, ", "), budget)
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@
 //	soaksmoke            # default soak
 //	soaksmoke -seed 7    # re-roll which jobs get cancelled
 //	soaksmoke -fabric    # multi-node fabric soak (see fabricsoak.go)
+//	soaksmoke -chaos     # byzantine fabric soak under netchaos (see chaossoak.go)
 package main
 
 import (
@@ -44,6 +45,8 @@ func main() {
 	keep := flag.Bool("keep", false, "keep the scratch directory for inspection")
 	fabricSoak := flag.Bool("fabric", false,
 		"run the multi-node fabric soak (coordinator + 3 workers, dead-worker re-lease, coordinator resume) instead of the daemon chaos soak")
+	chaosSoak := flag.Bool("chaos", false,
+		"run the byzantine fabric soak (coordinator + 3 workers under a netchaos plan: corrupt bodies, 503 storms, partitions; byte-compared against a clean single-node run) instead of the daemon chaos soak")
 	cf := cliutil.New("soaksmoke").WithSeed().WithLog()
 	cf.Parse()
 	log := cf.Logger(nil)
@@ -53,6 +56,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("fabricsmoke: OK")
+		return
+	}
+	if *chaosSoak {
+		if err := runChaosSoak(log, *keep); err != nil {
+			log.Error("chaos soak failed", "err", err)
+			os.Exit(1)
+		}
+		fmt.Println("chaossmoke: OK")
 		return
 	}
 	if err := run(log, *cf.Seed, *keep); err != nil {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPreflightWorkers pins the fail-fast contract: a dead worker URL is
+// reported by name within the preflight budget, and a healthy worker next
+// to it is not dragged into the error.
+func TestPreflightWorkers(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte("ok"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer up.Close()
+	// A URL that was valid once and is now connection-refused — the classic
+	// "worker crashed before the soak" shape.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	if err := preflightWorkers(context.Background(), []string{up.URL}, 2*time.Second); err != nil {
+		t.Fatalf("healthy worker failed preflight: %v", err)
+	}
+
+	start := time.Now()
+	err := preflightWorkers(context.Background(), []string{up.URL, deadURL}, 500*time.Millisecond)
+	if err == nil {
+		t.Fatal("dead worker passed preflight")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("preflight took %s, want fail-fast within the budget", elapsed)
+	}
+	if !strings.Contains(err.Error(), deadURL) {
+		t.Fatalf("error does not name the dead worker: %v", err)
+	}
+	if strings.Contains(err.Error(), up.URL) {
+		t.Fatalf("error blames the healthy worker too: %v", err)
+	}
+}

@@ -142,6 +142,24 @@ type Config struct {
 	// NewClient overrides worker client construction (tests); nil builds
 	// faultdclient.New with fabric-tuned retry caps.
 	NewClient func(url string) *faultdclient.Client
+	// Transport, when set, underlies every worker-bound HTTP exchange —
+	// leases, polls, heartbeat probes. This is the injection point for a
+	// netchaos fault plan: one deterministic transport, and every byte the
+	// coordinator exchanges with the fleet rides through it. nil uses the
+	// default transport. Ignored by NewClient/Probe overrides.
+	Transport http.RoundTripper
+	// StealAfter enables straggler work stealing: a shard lease still
+	// outstanding after this long is speculatively re-leased to an idle
+	// worker, both leases race, and the exactly-once gate drops the loser's
+	// results (0: disabled).
+	StealAfter time.Duration
+	// ByzantineThreshold is the consecutive integrity-rejected deliveries
+	// that quarantine a worker (0: DefaultByzantineAfter).
+	ByzantineThreshold int
+	// ByzantineProbeAfter is the quarantine half-open window: how long after
+	// the trip the worker may receive one probe lease
+	// (0: DefaultByzantineProbeAfter).
+	ByzantineProbeAfter time.Duration
 }
 
 func (c Config) shardSize() int {
@@ -203,6 +221,20 @@ func (c Config) maxLeasesPerWorker() int {
 	return DefaultMaxLeasesPerWorker
 }
 
+func (c Config) byzantineThreshold() int {
+	if c.ByzantineThreshold > 0 {
+		return c.ByzantineThreshold
+	}
+	return DefaultByzantineAfter
+}
+
+func (c Config) byzantineProbeAfter() time.Duration {
+	if c.ByzantineProbeAfter > 0 {
+		return c.ByzantineProbeAfter
+	}
+	return DefaultByzantineProbeAfter
+}
+
 // shard is one contiguous global-index range [Start, End) of the scenario
 // set.
 type shard struct {
@@ -223,6 +255,14 @@ type Coordinator struct {
 	delivered int
 	state     *StateLog
 
+	// backoffs is the per-shard re-lease backoff curve, keyed by shard
+	// index. An entry exists only while the shard is failing: a successful
+	// delivery deletes it, so the next failure — possibly minutes later,
+	// injected by chaos — restarts from the base instead of resuming a
+	// maxed-out curve.
+	backoffMu sync.Mutex
+	backoffs  map[int]time.Duration
+
 	localMu sync.Mutex // serializes local-fallback engine runs
 }
 
@@ -236,11 +276,13 @@ func New(cfg Config) *Coordinator {
 	}
 	probe := cfg.Probe
 	if probe == nil {
-		probe = defaultProbe(cfg.NeedCache, cfg.probeTimeout())
+		probe = defaultProbe(cfg.NeedCache, cfg.probeTimeout(), cfg.Transport)
 	}
 	reg := NewRegistry(cfg.Workers, probe, m, log)
 	reg.MaxLeases = cfg.maxLeasesPerWorker()
 	reg.DownAfter = cfg.downAfter()
+	reg.ByzantineAfter = cfg.byzantineThreshold()
+	reg.ProbeAfter = cfg.byzantineProbeAfter()
 	return &Coordinator{
 		cfg: cfg,
 		m:   m,
@@ -255,12 +297,13 @@ func (c *Coordinator) Metrics() *Metrics { return c.m }
 // Registry exposes the worker registry (for the HTTP surface and tests).
 func (c *Coordinator) Registry() *Registry { return c.reg }
 
-// client builds the /v1 client for one worker.
+// client builds the /v1 client for one worker, riding the configured
+// transport so a netchaos plan sees every lease exchange.
 func (c *Coordinator) client(url string) *faultdclient.Client {
 	if c.cfg.NewClient != nil {
 		return c.cfg.NewClient(url)
 	}
-	return faultdclient.New(url)
+	return faultdclient.New(url).WithTransport(c.cfg.Transport)
 }
 
 // Run executes the scenario set across the fabric and returns the merged
@@ -283,6 +326,9 @@ func (c *Coordinator) Run(ctx context.Context, scenarios []campaign.Scenario) (*
 	c.results = make([]*campaign.Result, len(scs))
 	c.delivered = 0
 	c.mu.Unlock()
+	c.backoffMu.Lock()
+	c.backoffs = map[int]time.Duration{}
+	c.backoffMu.Unlock()
 
 	if c.cfg.JournalPath != "" {
 		state, st, err := OpenStateLog(c.cfg.JournalPath, scs, c.cfg.shardSize(), c.cfg.Resume)
@@ -361,20 +407,82 @@ func (c *Coordinator) shardComplete(sh shard) bool {
 	return true
 }
 
-// runShard drives one shard to completion: lease to a live worker, re-lease
-// on expiry with capped jittered backoff, degrade to local execution when
-// no worker is reachable or the attempt budget is spent.
+// runShard drives one shard of the partition to completion and counts it
+// done exactly once — bisection may split the range into sub-ranges with
+// their own lease histories, but fabric_shards_completed_total tracks the
+// partition's shards, not the splits.
 func (c *Coordinator) runShard(ctx context.Context, sh shard) error {
+	if err := c.runShardRange(ctx, sh); err != nil {
+		return err
+	}
+	c.m.ShardsDone.Inc()
+	return nil
+}
+
+// nextBackoff returns the range's current re-lease backoff and advances the
+// curve (doubled, capped at MaxReleaseBackoff).
+func (c *Coordinator) nextBackoff(idx int) time.Duration {
+	c.backoffMu.Lock()
+	defer c.backoffMu.Unlock()
+	d, ok := c.backoffs[idx]
+	if !ok {
+		d = DefaultReleaseBackoff
+	}
+	next := d * 2
+	if next > MaxReleaseBackoff {
+		next = MaxReleaseBackoff
+	}
+	c.backoffs[idx] = next
+	return d
+}
+
+// resetBackoff returns the shard to the base of the curve. Called on every
+// successful delivery: the path just proved itself healthy, and a failure
+// minutes from now deserves a fresh fast retry, not the tail of an old
+// incident's maxed-out curve.
+func (c *Coordinator) resetBackoff(idx int) {
+	c.backoffMu.Lock()
+	delete(c.backoffs, idx)
+	c.backoffMu.Unlock()
+}
+
+// errShardFatal marks a lease failure where the shard's own content is the
+// prime suspect: the worker rejected the submission outright or the job
+// executed and died. Only this class of failure arms bisection — expiry,
+// timeouts, and corrupted deliveries are the fleet's problem, not the
+// range's.
+var errShardFatal = errors.New("fabric: shard killed its lease")
+
+// runShardRange drives one index range [Start, End) to completion: lease to
+// a live worker, re-lease on expiry with a capped jittered per-shard
+// backoff, degrade to local execution when no worker is reachable, bisect
+// when the range itself keeps killing leases.
+func (c *Coordinator) runShardRange(ctx context.Context, sh shard) error {
 	if c.shardComplete(sh) {
-		c.m.ShardsDone.Inc()
 		return nil
 	}
-	backoff := DefaultReleaseBackoff
+	// suspect records whether any failed lease showed evidence that the
+	// range itself kills its host (the job executed and died, or the worker
+	// rejected the submission outright) — as opposed to infrastructure
+	// failures like TTL expiry, timeouts, or corrupted deliveries, which say
+	// nothing about the scenarios.
+	suspect := false
 	for attempt := 0; ; attempt++ {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if c.reg.Empty() || attempt >= c.cfg.maxLeaseAttempts() {
+		if c.reg.Empty() {
+			return c.runLocal(ctx, sh)
+		}
+		if attempt >= c.cfg.maxLeaseAttempts() {
+			if suspect {
+				// Workers exist and at least one lease died executing this
+				// range: suspect the range, not the fleet. Bisect to corner
+				// the scenario that keeps killing its hosts.
+				return c.bisect(ctx, sh)
+			}
+			// Every failure was infrastructure (dead workers, expiries):
+			// splitting the range would just re-lease into the same weather.
 			return c.runLocal(ctx, sh)
 		}
 		acquireCtx, cancel := context.WithTimeout(ctx, c.cfg.acquireTimeout())
@@ -411,15 +519,18 @@ func (c *Coordinator) runShard(ctx context.Context, sh shard) error {
 			return fmt.Errorf("fabric: state log: %w", err)
 		}
 		start := time.Now()
-		err := c.runLease(ctx, sh, ref)
+		err := c.runGrantedLease(ctx, sh, ref)
 		ref.Release()
 		if err == nil {
 			c.m.ShardLatency.Observe(time.Since(start).Seconds())
-			c.m.ShardsDone.Inc()
+			c.resetBackoff(sh.Idx)
 			return nil
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if errors.Is(err, errShardFatal) {
+			suspect = true
 		}
 		c.m.LeasesExpired.Inc()
 		if serr := c.state.Expired(ev); serr != nil {
@@ -430,7 +541,7 @@ func (c *Coordinator) runShard(ctx context.Context, sh shard) error {
 		// Back off before the re-lease, jittered so failed shards do not
 		// stampede the survivors, honoring a worker's Retry-After when the
 		// failure carried one (the server knows its drain schedule).
-		next := jitter(backoff)
+		next := jitter(c.nextBackoff(sh.Idx))
 		var ae *faultdclient.APIError
 		if errors.As(err, &ae) && ae.RetryAfter > next {
 			next = ae.RetryAfter
@@ -438,10 +549,163 @@ func (c *Coordinator) runShard(ctx context.Context, sh shard) error {
 		if err := sleepCtx(ctx, next); err != nil {
 			return err
 		}
-		if backoff *= 2; backoff > MaxReleaseBackoff {
-			backoff = MaxReleaseBackoff
+	}
+}
+
+// bisect splits a lease-exhausted range in half and drives each half with a
+// fresh attempt budget. A poison scenario — one that reliably kills or
+// stalls whatever worker executes its shard — fails every lease it rides
+// in; halving per round corners it in log₂(size) rounds, the size-1 range
+// it ends up in is quarantined to local execution, and the innocent
+// scenarios it dragged down re-lease normally from the other halves.
+func (c *Coordinator) bisect(ctx context.Context, sh shard) error {
+	if c.shardComplete(sh) {
+		return nil
+	}
+	if sh.End-sh.Start <= 1 {
+		c.m.PoisonQuarantined.Inc()
+		c.log.Warn("fabric poison scenario quarantined", "shard", sh.Idx, "index", sh.Start)
+		return c.runLocal(ctx, sh)
+	}
+	c.m.BisectRounds.Inc()
+	// The halves are new work items with their own failure histories; the
+	// parent's backoff curve dies with it rather than taxing them.
+	c.resetBackoff(sh.Idx)
+	mid := sh.Start + (sh.End-sh.Start)/2
+	c.log.Info("fabric bisect", "shard", sh.Idx,
+		"range", fmt.Sprintf("[%d,%d)", sh.Start, sh.End), "mid", mid)
+	if err := c.runShardRange(ctx, shard{Idx: sh.Idx, Start: sh.Start, End: mid}); err != nil {
+		return err
+	}
+	return c.runShardRange(ctx, shard{Idx: sh.Idx, Start: mid, End: sh.End})
+}
+
+// runGrantedLease runs one granted lease, layering straggler stealing on
+// when enabled.
+func (c *Coordinator) runGrantedLease(ctx context.Context, sh shard, ref *WorkerRef) error {
+	if c.cfg.StealAfter <= 0 {
+		return c.runNotedLease(ctx, sh, ref)
+	}
+	return c.runLeaseStealing(ctx, sh, ref)
+}
+
+// runNotedLease runs one lease and feeds its verdict to the registry's
+// byzantine accounting: a verified delivery heals, an integrity rejection
+// strikes, and anything else — transport death, TTL expiry, cancellation —
+// is neutral, saying nothing about the worker's honesty. A half-open probe
+// lease ending neutral is withdrawn rather than judged.
+func (c *Coordinator) runNotedLease(ctx context.Context, sh shard, ref *WorkerRef) error {
+	err := c.runLease(ctx, sh, ref)
+	switch {
+	case err == nil:
+		c.reg.NoteGoodDelivery(ref.URL)
+	case errors.Is(err, errIntegrity) && ctx.Err() == nil:
+		c.reg.NoteBadDelivery(ref.URL)
+	default:
+		if ref.Probe {
+			c.reg.AbortProbe(ref.URL)
 		}
 	}
+	return err
+}
+
+// runLeaseStealing waits on the primary lease but, once the steal delay
+// elapses with the lease still outstanding, speculatively re-leases the
+// range to an idle worker. Both leases then race; the exactly-once deliver
+// gate silently drops the loser's results, so whichever valid delivery
+// lands first wins and byte-identity is untouched. The thief is acquired
+// non-blocking and only when fully idle — stealing spends spare capacity on
+// tail latency and must never delay another shard's primary lease.
+func (c *Coordinator) runLeaseStealing(ctx context.Context, sh shard, ref *WorkerRef) error {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	pdone := make(chan error, 1)
+	go func() { pdone <- c.runNotedLease(pctx, sh, ref) }()
+
+	timer := time.NewTimer(c.cfg.StealAfter)
+	defer timer.Stop()
+	select {
+	case err := <-pdone:
+		return err
+	case <-timer.C:
+	}
+	thief := c.reg.AcquireIdle(ref.URL)
+	if thief == nil {
+		// No spare capacity; the primary remains the only lease.
+		return <-pdone
+	}
+	c.m.Steals.Inc()
+	c.m.LeasesGranted.Inc()
+	if err := c.state.Lease(LeaseEvent{Shard: sh.Idx, Worker: thief.URL}); err != nil {
+		thief.Release()
+		return fmt.Errorf("fabric: state log: %w", err)
+	}
+	c.log.Info("fabric steal", "shard", sh.Idx, "primary", ref.URL, "thief", thief.URL)
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	tdone := make(chan error, 1)
+	go func() {
+		err := c.runNotedLease(sctx, sh, thief)
+		thief.Release()
+		tdone <- err
+	}()
+
+	// First resolution wins; the loser is cancelled only when the winner
+	// actually delivered — a failed lease leaves the other as the range's
+	// only hope and must not take it down too.
+	var perr, terr error
+	stealWon := false
+	select {
+	case perr = <-pdone:
+		if perr == nil {
+			scancel()
+		}
+		terr = <-tdone
+		stealWon = terr == nil && perr != nil
+	case terr = <-tdone:
+		stealWon = terr == nil
+		if stealWon {
+			pcancel()
+		}
+		perr = <-pdone
+	}
+	if stealWon {
+		c.m.StealWins.Inc()
+		c.log.Info("fabric steal won", "shard", sh.Idx, "thief", thief.URL)
+	}
+	if perr != nil && terr != nil {
+		// Both died; close out the thief's grant here, the caller closes the
+		// primary's when it sees the returned error.
+		if err := c.closeExpired(sh, thief.URL, terr); err != nil {
+			return err
+		}
+		return perr
+	}
+	// Delivered. Close out the losing grant's ledger entry so every grant
+	// still resolves to exactly one delivery or expiry.
+	if perr != nil {
+		if err := c.closeExpired(sh, ref.URL, perr); err != nil {
+			return err
+		}
+	}
+	if terr != nil {
+		if err := c.closeExpired(sh, thief.URL, terr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeExpired ends one lease's ledger entry without triggering a re-lease:
+// the range was handled by the racing lease, but every grant must resolve
+// to a delivery or an expiry so resumed counters stay truthful.
+func (c *Coordinator) closeExpired(sh shard, url string, cause error) error {
+	c.m.LeasesExpired.Inc()
+	if err := c.state.Expired(LeaseEvent{Shard: sh.Idx, Worker: url}); err != nil {
+		return fmt.Errorf("fabric: state log: %w", err)
+	}
+	c.log.Info("fabric lease lost steal race", "shard", sh.Idx, "worker", url, "err", cause)
+	return nil
 }
 
 // runLease executes one shard lease: submit the shard as an ordinary /v1
@@ -470,21 +734,40 @@ func (c *Coordinator) runLease(ctx context.Context, sh shard, ref *WorkerRef) er
 		Scenarios: specs,
 	})
 	if err != nil {
+		if isTornBody(err) && leaseCtx.Err() == nil {
+			// The 202 body tore in flight: the job may exist server-side but
+			// its ID is unknowable, so the lease fails and re-leases. The
+			// orphaned job (if any) burns worker cycles, never merges — its
+			// results are never fetched.
+			c.m.IntegrityRejected.Inc()
+			return fmt.Errorf("%w: submit: %v", errIntegrity, err)
+		}
+		var ae *faultdclient.APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusInternalServerError {
+			// The worker looked at this shard and died on the spot — that is
+			// evidence against the range, not the weather.
+			return fmt.Errorf("%w: submit: %w", errShardFatal, err)
+		}
 		return fmt.Errorf("submit: %w", err)
 	}
 	if c.cfg.Hub != nil {
 		go c.forwardEvents(leaseCtx, cl, acc.ID, sh, ref.URL)
 	}
-	job, err := cl.WaitTerminal(leaseCtx, acc.ID, 0)
+	job, err := c.pollTerminal(leaseCtx, cl, acc.ID)
 	if err != nil {
 		c.cancelAbandoned(cl, acc.ID, sh)
 		return fmt.Errorf("wait: %w", err)
 	}
-	if job.Status != api.StatusDone || job.Summary == nil {
-		return fmt.Errorf("job %d finished %s: %s", acc.ID, job.Status, job.Error)
+	if job.Status != api.StatusDone {
+		// The job ran and died (failed, stalled, quarantined): the strongest
+		// evidence a scenario in this range kills its host.
+		return fmt.Errorf("%w: job %d finished %s: %s", errShardFatal, acc.ID, job.Status, job.Error)
 	}
-	if got := len(job.Summary.Results); got != sh.End-sh.Start {
-		return fmt.Errorf("job %d returned %d results, shard has %d", acc.ID, got, sh.End-sh.Start)
+	if err := c.verifyShard(sh, acc.ID, job); err != nil {
+		c.m.IntegrityRejected.Inc()
+		c.log.Warn("fabric delivery rejected", "shard", sh.Idx, "worker", ref.URL,
+			"job", acc.ID, "err", err)
+		return err
 	}
 	for i, r := range job.Summary.Results {
 		if err := c.deliver(sh.Start+i, r, true); err != nil {
@@ -607,7 +890,6 @@ func (c *Coordinator) runLocal(ctx context.Context, sh shard) error {
 			return err
 		}
 	}
-	c.m.ShardsDone.Inc()
 	return nil
 }
 

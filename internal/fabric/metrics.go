@@ -45,6 +45,30 @@ type Metrics struct {
 	WorkerDowns *metrics.Counter
 	// ShardLatency is the grant→delivery wall-clock histogram.
 	ShardLatency *metrics.Histogram
+
+	// The byzantine-tolerance families below describe exceptional
+	// conditions and are registered through metrics.OmitZero: absent from a
+	// clean run's exposition, present the moment the condition fires — the
+	// same convention the faultd supervision plane uses.
+
+	// IntegrityRejected counts deliveries the coordinator refused: torn job
+	// documents (truncated or undecodable bodies) and verification failures
+	// (result identity or digest mismatches against the lease's shard).
+	IntegrityRejected *metrics.Counter
+	// ByzantineQuarantined counts workers quarantined for repeated bad
+	// deliveries.
+	ByzantineQuarantined *metrics.Counter
+	// BisectRounds counts shard splits performed to isolate a poison
+	// scenario after a shard exhausted its lease-attempt budget.
+	BisectRounds *metrics.Counter
+	// PoisonQuarantined counts scenarios isolated by bisection and pulled
+	// from fabric leasing into local execution.
+	PoisonQuarantined *metrics.Counter
+	// Steals counts speculative straggler re-leases: a tail shard handed to
+	// an idle worker before the primary lease's TTL expired.
+	Steals *metrics.Counter
+	// StealWins counts steals whose delivery landed before the primary's.
+	StealWins *metrics.Counter
 }
 
 // NewMetrics builds and registers the fabric instrument set.
@@ -73,10 +97,25 @@ func NewMetrics() *Metrics {
 			"Worker up-to-down transitions observed by the heartbeat."),
 		ShardLatency: metrics.NewHistogram("fabric_shard_latency_seconds",
 			"Shard wall-clock from lease grant to delivered results.", ShardLatencyBuckets),
+		IntegrityRejected: metrics.NewCounter("fabric_integrity_rejected_total",
+			"Deliveries rejected by result integrity verification: torn documents and digest/identity mismatches."),
+		ByzantineQuarantined: metrics.NewCounter("fabric_byzantine_quarantined_total",
+			"Workers quarantined for repeated bad deliveries."),
+		BisectRounds: metrics.NewCounter("fabric_bisect_rounds_total",
+			"Shard splits performed to isolate a poison scenario."),
+		PoisonQuarantined: metrics.NewCounter("fabric_poison_quarantined_total",
+			"Scenarios isolated by bisection and quarantined to local execution."),
+		Steals: metrics.NewCounter("fabric_steals_total",
+			"Speculative straggler re-leases to idle workers."),
+		StealWins: metrics.NewCounter("fabric_steal_wins_total",
+			"Steals whose delivery beat the primary lease."),
 	}
 	m.reg.MustRegister(m.LeasesGranted, m.LeasesExpired, m.Releases,
 		m.ShardsTotal, m.ShardsDone, m.DedupDropped, m.LocalFallback,
-		m.WorkersRegistered, m.WorkersUp, m.WorkerDowns, m.ShardLatency)
+		m.WorkersRegistered, m.WorkersUp, m.WorkerDowns, m.ShardLatency,
+		metrics.OmitZero(m.IntegrityRejected), metrics.OmitZero(m.ByzantineQuarantined),
+		metrics.OmitZero(m.BisectRounds), metrics.OmitZero(m.PoisonQuarantined),
+		metrics.OmitZero(m.Steals), metrics.OmitZero(m.StealWins))
 	return m
 }
 

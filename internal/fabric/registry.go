@@ -3,6 +3,7 @@ package fabric
 import (
 	"context"
 	"log/slog"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -36,6 +37,16 @@ type worker struct {
 	// heartbeat loss instead of waiting out its TTL. Remade on each return
 	// to up.
 	down chan struct{}
+
+	// Byzantine quarantine: a worker that repeatedly *delivers* bad results
+	// is a different failure mode from one that stops answering. It stays
+	// up (heartbeats still verify liveness) but Acquire skips it until the
+	// half-open window opens, then admits exactly one probe lease — the
+	// PR 4 scenario circuit breaker, applied to workers.
+	badDeliveries int       // strikes; reset by any verified delivery
+	quarantined   bool      // tripped at ByzantineAfter strikes
+	quarantinedAt time.Time // trip (or failed-probe re-arm) time
+	probing       bool      // a half-open probe lease is in flight
 }
 
 // Registry tracks workers and arbitrates lease admission.
@@ -50,6 +61,14 @@ type Registry struct {
 	// (0 or 1 = demote on the first). Demotion cancels the worker's
 	// in-flight leases, so a single slow probe must not trigger it.
 	DownAfter int
+	// ByzantineAfter is the bad deliveries that quarantine a worker
+	// (0: DefaultByzantineAfter). Like DownAfter, two strikes — a single
+	// torn body may be the network's fault, a pattern is the worker's.
+	ByzantineAfter int
+	// ProbeAfter is the quarantine half-open window: how long after the
+	// trip Acquire may hand the worker one probe lease
+	// (0: DefaultByzantineProbeAfter).
+	ProbeAfter time.Duration
 
 	mu      sync.Mutex
 	workers map[string]*worker
@@ -240,12 +259,114 @@ func (r *Registry) probeAll(ctx context.Context) {
 	wg.Wait()
 }
 
+// Defaults for the registry's byzantine-quarantine knobs.
+const (
+	// DefaultByzantineAfter is the bad-delivery strikes that quarantine.
+	DefaultByzantineAfter = 2
+	// DefaultByzantineProbeAfter is the half-open re-probe window.
+	DefaultByzantineProbeAfter = 5 * time.Second
+)
+
+func (r *Registry) byzantineAfter() int {
+	if r.ByzantineAfter > 0 {
+		return r.ByzantineAfter
+	}
+	return DefaultByzantineAfter
+}
+
+func (r *Registry) probeAfter() time.Duration {
+	if r.ProbeAfter > 0 {
+		return r.ProbeAfter
+	}
+	return DefaultByzantineProbeAfter
+}
+
+// NoteBadDelivery records one integrity-rejected delivery from a worker. At
+// ByzantineAfter strikes the worker is quarantined: still probed for
+// liveness, but skipped by Acquire until the half-open window admits one
+// probe lease. A probe lease failing re-arms the window instead of
+// re-counting strikes.
+func (r *Registry) NoteBadDelivery(url string) {
+	r.mu.Lock()
+	w := r.workers[url]
+	if w == nil {
+		r.mu.Unlock()
+		return
+	}
+	if w.probing {
+		// The half-open probe came back bad: back to fully open.
+		w.probing = false
+		w.quarantinedAt = time.Now()
+		r.mu.Unlock()
+		if r.log != nil {
+			r.log.Warn("fabric byzantine probe failed", "worker", url)
+		}
+		return
+	}
+	w.badDeliveries++
+	tripped := !w.quarantined && w.badDeliveries >= r.byzantineAfter()
+	if tripped {
+		w.quarantined = true
+		w.quarantinedAt = time.Now()
+		if r.m != nil {
+			r.m.ByzantineQuarantined.Inc()
+		}
+	}
+	strikes := w.badDeliveries
+	r.mu.Unlock()
+	if r.log != nil {
+		if tripped {
+			r.log.Warn("fabric worker quarantined (byzantine)", "worker", url, "strikes", strikes)
+		} else {
+			r.log.Warn("fabric bad delivery", "worker", url, "strikes", strikes)
+		}
+	}
+}
+
+// NoteGoodDelivery records one verified delivery: strikes reset, and a
+// quarantined worker (its half-open probe came back clean) is readmitted.
+func (r *Registry) NoteGoodDelivery(url string) {
+	r.mu.Lock()
+	w := r.workers[url]
+	if w == nil {
+		r.mu.Unlock()
+		return
+	}
+	w.badDeliveries = 0
+	healed := w.quarantined
+	if healed {
+		w.quarantined = false
+		w.probing = false
+		r.wakeLocked() // readmitted capacity: wake Acquire waiters
+	}
+	r.mu.Unlock()
+	if healed && r.log != nil {
+		r.log.Info("fabric worker readmitted", "worker", url)
+	}
+}
+
+// AbortProbe withdraws an in-flight half-open probe without a verdict — the
+// lease failed for reasons that say nothing about the worker's honesty
+// (context cancelled, worker died mid-shard). The quarantine clock is left
+// as it was, so the next Acquire may probe again immediately.
+func (r *Registry) AbortProbe(url string) {
+	r.mu.Lock()
+	if w := r.workers[url]; w != nil && w.probing {
+		w.probing = false
+		r.wakeLocked()
+	}
+	r.mu.Unlock()
+}
+
 // WorkerRef is one granted admission slot on a worker: the shard lease's
 // view of it. Down() fires if the worker is declared dead while the lease
 // runs; Release returns the slot (idempotent).
 type WorkerRef struct {
-	URL  string
-	down <-chan struct{}
+	URL string
+	// Probe marks a half-open quarantine probe lease: its outcome decides
+	// whether the worker is readmitted or the quarantine re-arms.
+	Probe bool
+	down  <-chan struct{}
 
 	r    *Registry
 	once sync.Once
@@ -271,10 +392,16 @@ func (ref *WorkerRef) Release() {
 // (returning nil). Callers bound ctx with their acquire timeout; a nil
 // return means "no reachable worker within the budget" and the shard
 // degrades to local execution.
+//
+// Quarantined workers are skipped while healthy capacity exists. When none
+// does, a quarantined worker whose half-open window has opened may be
+// granted exactly one probe lease (Probe true on the ref): the byzantine
+// breaker's re-probe, fed by real work the fabric needed done anyway.
 func (r *Registry) Acquire(ctx context.Context) *WorkerRef {
 	for {
 		r.mu.Lock()
-		var best *worker
+		var best, probe *worker
+		minWake := time.Duration(0) // soonest half-open window opening
 		urls := make([]string, 0, len(r.workers))
 		for url := range r.workers {
 			urls = append(urls, url)
@@ -283,6 +410,21 @@ func (r *Registry) Acquire(ctx context.Context) *WorkerRef {
 		for _, url := range urls {
 			w := r.workers[url]
 			if !w.up || (r.MaxLeases > 0 && w.leases >= r.MaxLeases) {
+				continue
+			}
+			if w.quarantined {
+				if w.probing {
+					continue // one probe at a time
+				}
+				if left := r.probeAfter() - time.Since(w.quarantinedAt); left > 0 {
+					if minWake == 0 || left < minWake {
+						minWake = left
+					}
+					continue
+				}
+				if probe == nil {
+					probe = w
+				}
 				continue
 			}
 			if best == nil || w.leases < best.leases {
@@ -295,8 +437,32 @@ func (r *Registry) Acquire(ctx context.Context) *WorkerRef {
 			r.mu.Unlock()
 			return ref
 		}
+		if probe != nil {
+			probe.probing = true
+			probe.leases++
+			ref := &WorkerRef{URL: probe.url, Probe: true, down: probe.down, r: r}
+			r.mu.Unlock()
+			if r.log != nil {
+				r.log.Info("fabric byzantine half-open probe", "worker", ref.URL)
+			}
+			return ref
+		}
 		wait := r.wait
 		r.mu.Unlock()
+		if minWake > 0 {
+			// A quarantine window opens before anything else might wake us:
+			// re-scan then, even if no join/release/heartbeat fires.
+			t := time.NewTimer(minWake)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil
+			case <-wait:
+				t.Stop()
+			case <-t.C:
+			}
+			continue
+		}
 		select {
 		case <-ctx.Done():
 			return nil
@@ -305,13 +471,37 @@ func (r *Registry) Acquire(ctx context.Context) *WorkerRef {
 	}
 }
 
+// AcquireIdle non-blockingly grants a slot on an up, unquarantined worker
+// with zero outstanding leases, excluding one URL — the straggler-stealing
+// path. nil when every worker is busy, down, quarantined, or excluded: a
+// steal must never queue behind the very lease it is trying to outrun.
+func (r *Registry) AcquireIdle(exclude string) *WorkerRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	urls := make([]string, 0, len(r.workers))
+	for url := range r.workers {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	for _, url := range urls {
+		w := r.workers[url]
+		if url == exclude || !w.up || w.quarantined || w.probing || w.leases != 0 {
+			continue
+		}
+		w.leases++
+		return &WorkerRef{URL: w.url, down: w.down, r: r}
+	}
+	return nil
+}
+
 // Snapshot renders the registry for GET /v1/fabric/workers, URL-sorted.
 func (r *Registry) Snapshot() []api.WorkerInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	infos := make([]api.WorkerInfo, 0, len(r.workers))
 	for _, w := range r.workers {
-		info := api.WorkerInfo{URL: w.url, Up: w.up, Static: w.static, Leases: w.leases}
+		info := api.WorkerInfo{URL: w.url, Up: w.up, Static: w.static,
+			Leases: w.leases, Quarantined: w.quarantined}
 		if !w.lastSeen.IsZero() {
 			info.LastSeenUnix = w.lastSeen.Unix()
 		}
@@ -323,11 +513,13 @@ func (r *Registry) Snapshot() []api.WorkerInfo {
 
 // defaultProbe is the production ProbeFunc: a lease-aware /readyz probe
 // through the typed client, bounded so a black-holed worker cannot stall a
-// heartbeat round past the next one.
-func defaultProbe(needCache bool, timeout time.Duration) ProbeFunc {
+// heartbeat round past the next one. The probe rides the coordinator's
+// transport — under a netchaos plan, heartbeats suffer the partition too,
+// exactly as a real outage would play out.
+func defaultProbe(needCache bool, timeout time.Duration, rt http.RoundTripper) ProbeFunc {
 	return func(ctx context.Context, url string) error {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
-		return faultdclient.New(url).Ready(ctx, true, needCache)
+		return faultdclient.New(url).WithTransport(rt).Ready(ctx, true, needCache)
 	}
 }

@@ -17,6 +17,10 @@
 package api
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
 	"dmafault/internal/campaign"
 	"dmafault/internal/fuzz"
 	"dmafault/internal/resultstore"
@@ -101,8 +105,31 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Summary is the final aggregate (done fixed-set jobs only).
 	Summary *campaign.Summary `json:"summary,omitempty"`
+	// ResultsHash is HashResults over Summary.Results, stamped by the worker
+	// the moment the job completes. A fabric coordinator recomputes it from
+	// the document it decoded, so any in-flight mutation of the results — a
+	// flipped bit, a truncated tail, a byzantine proxy — shows up as a digest
+	// mismatch instead of corrupting the merged campaign (absent on failed
+	// and fuzz jobs).
+	ResultsHash string `json:"results_sha256,omitempty"`
 	// Fuzz is the final fuzz report (done fuzz-campaign jobs only).
 	Fuzz *fuzz.Report `json:"fuzz,omitempty"`
+}
+
+// HashResults is the canonical results digest carried in Job.ResultsHash:
+// sha256 over the compact JSON encoding of the results slice. Producer and
+// verifier both call this — the worker over the results it executed, the
+// coordinator over the results it decoded off the wire — and the engine's
+// canonical-JSON determinism (stable field order, round-trip-exact floats)
+// is what makes the recomputation byte-faithful.
+func HashResults(results []*campaign.Result) string {
+	data, err := json.Marshal(results)
+	if err != nil {
+		// Engine results are plain data; they cannot fail to marshal.
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // JobList is the GET /v1/campaigns body. Summaries and fuzz reports are

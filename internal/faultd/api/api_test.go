@@ -50,6 +50,12 @@ func TestWireFormatGoldens(t *testing.T) {
 			`{"id":4,"status":"failed","scenarios_total":1,"scenarios_done":0,"error":"boom"}`,
 		},
 		{
+			"job_done_hash",
+			Job{ID: 5, Status: StatusDone, ScenariosTotal: 2, ScenariosDone: 2,
+				ResultsHash: "8a4f"},
+			`{"id":5,"status":"done","scenarios_total":2,"scenarios_done":2,"results_sha256":"8a4f"}`,
+		},
+		{
 			"job_list",
 			JobList{Jobs: []Job{}},
 			`{"jobs":[]}`,
@@ -90,6 +96,40 @@ func TestWireFormatGoldens(t *testing.T) {
 		if string(got) != tc.want {
 			t.Errorf("%s wire format drifted:\n got %s\nwant %s", tc.name, got, tc.want)
 		}
+	}
+}
+
+// HashResults must survive a wire round trip: marshal the results, decode
+// them back, recompute — same digest. This is the property the fabric's
+// integrity verification stands on; if canonical-JSON round-tripping ever
+// stops being byte-exact, this fails before the fabric starts rejecting
+// every honest delivery.
+func TestHashResultsRoundTrip(t *testing.T) {
+	results := []*campaign.Result{
+		{ID: "ladder-0", Kind: campaign.KindWindowLadder, Seed: 2021, Success: true,
+			WindowPath: "P1", Metrics: map[string]string{"rate": "0.125", "mode": "deferred"},
+			VirtualNanos: 123456789},
+		{ID: "ladder-1", Kind: campaign.KindWindowLadder, Seed: 2022, Escalations: 3,
+			Err: "boom", Retries: 1},
+	}
+	want := HashResults(results)
+	if len(want) != 64 {
+		t.Fatalf("digest %q is not sha256 hex", want)
+	}
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []*campaign.Result
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got := HashResults(decoded); got != want {
+		t.Fatalf("round-tripped digest drifted: %s vs %s", got, want)
+	}
+	decoded[1].Seed++
+	if HashResults(decoded) == want {
+		t.Fatal("digest blind to a mutated result")
 	}
 }
 

@@ -602,6 +602,7 @@ func (s *Server) runJob(job *Job) {
 	defer s.mu.Unlock()
 	job.Status = StatusDone
 	job.Summary = sum
+	job.ResultsHash = api.HashResults(sum.Results)
 	if mergeErr := s.merged.Merge(sum.Metrics); mergeErr != nil {
 		// Incompatible layouts across jobs (a bucket change mid-flight):
 		// keep serving, but surface it on the job.

@@ -67,6 +67,17 @@ func New(base string) *Client {
 	return &Client{Base: strings.TrimRight(base, "/")}
 }
 
+// WithTransport routes every request through rt — the injection point for a
+// netchaos chaos transport (or any instrumented RoundTripper) — and returns
+// the client for chaining. A nil rt is a no-op, so callers can pass their
+// configured transport through unconditionally.
+func (c *Client) WithTransport(rt http.RoundTripper) *Client {
+	if rt != nil {
+		c.HTTP = &http.Client{Transport: rt}
+	}
+	return c
+}
+
 // APIError is a non-2xx response, with the body the server sent (its
 // http.Error text for job routes).
 type APIError struct {
@@ -133,14 +144,29 @@ func jitter(d time.Duration) time.Duration {
 	return d*3/4 + time.Duration(rand.Int64N(int64(d)/2+1))
 }
 
-// retryAfter parses a Retry-After header (delta-seconds form; the HTTP-date
-// form is not something this server emits).
+// retryAfter parses a Retry-After header in either RFC 9110 §10.2.3 form:
+// delta-seconds ("3") or an HTTP-date ("Fri, 31 Dec 1999 23:59:59 GMT").
+// dmafaultd itself only emits delta-seconds, but proxies and chaos layers
+// between client and server are free to rewrite or inject the date form,
+// and both must surface identically — as the duration left to wait. A date
+// already in the past means "retry now" (zero), not a negative wait.
 func retryAfter(h http.Header) time.Duration {
-	ra, _ := strconv.Atoi(h.Get("Retry-After"))
-	if ra <= 0 {
+	v := h.Get("Retry-After")
+	if v == "" {
 		return 0
 	}
-	return time.Duration(ra) * time.Second
+	if ra, err := strconv.Atoi(v); err == nil {
+		if ra <= 0 {
+			return 0
+		}
+		return time.Duration(ra) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // transient reports whether a response status is worth retrying for an

@@ -246,6 +246,61 @@ func TestRetryAfterSurfacedInError(t *testing.T) {
 	}
 }
 
+// RFC 9110 §10.2.3 gives Retry-After two forms — delta-seconds and an
+// HTTP-date — and both must surface identically in the APIError: as the
+// duration left to wait. A proxy or chaos layer between client and server
+// may rewrite one form into the other; the caller must not care.
+func TestRetryAfterHTTPDateForm(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(5*time.Second).UTC().Format(http.TimeFormat))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retries = -1
+	_, err := c.List(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err: %v", err)
+	}
+	// HTTP-dates have whole-second resolution, so the measured wait is the
+	// requested 5s minus up to a second of clock skew and handling time.
+	if ae.RetryAfter < 3*time.Second || ae.RetryAfter > 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want ~5s from the HTTP-date form", ae.RetryAfter)
+	}
+}
+
+// The delta-seconds form surfaces through the same path with the same
+// semantics (TestRetryAfterSurfacedInError pins the exact value); here the
+// two forms are checked against each other, plus the edge arms: a date in
+// the past is "retry now", and garbage is ignored.
+func TestRetryAfterFormsAgree(t *testing.T) {
+	h := func(v string) http.Header {
+		hdr := http.Header{}
+		if v != "" {
+			hdr.Set("Retry-After", v)
+		}
+		return hdr
+	}
+	if d := retryAfter(h("3")); d != 3*time.Second {
+		t.Fatalf("delta form: %v, want 3s", d)
+	}
+	date := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	if d := retryAfter(h(date)); d <= 0 || d > 3*time.Second {
+		t.Fatalf("date form: %v, want (0, 3s]", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := retryAfter(h(past)); d != 0 {
+		t.Fatalf("past date: %v, want 0", d)
+	}
+	for _, bad := range []string{"", "soon", "-5"} {
+		if d := retryAfter(h(bad)); d != 0 {
+			t.Fatalf("retryAfter(%q) = %v, want 0", bad, d)
+		}
+	}
+}
+
 // Cancelling the context mid-backoff must abort the retry loop immediately,
 // not after the computed wait expires.
 func TestBackoffHonorsContext(t *testing.T) {
