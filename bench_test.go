@@ -514,4 +514,50 @@ func BenchmarkFabricThroughput(b *testing.B) {
 			b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
 		})
 	}
+
+	// The fleet observability arm: same campaign, two workers, but with the
+	// fleetobs scrape loop running at its production cadence (the 1s
+	// DefaultInterval) against both. Compare against workers=2 above — the
+	// acceptance bar is <5% ns/op overhead, i.e. the telemetry plane rides
+	// the idle margins of the coordination path. (The fabric unit tests run
+	// the loop at 1ms for coverage; this arm measures what operators pay.)
+	b.Run("workers=2-fleetobs", func(b *testing.B) {
+		urls := make([]string, 2)
+		var servers []*httptest.Server
+		for i := range urls {
+			srv := faultd.NewServer()
+			srv.Workers = 2
+			ts := httptest.NewServer(srv.Handler())
+			servers = append(servers, ts)
+			urls[i] = ts.URL
+		}
+		defer func() {
+			for _, ts := range servers {
+				ts.Close()
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := fabric.New(fabric.Config{
+				Workers:   urls,
+				ShardSize: 8,
+				Heartbeat: 100 * time.Millisecond,
+				FleetObs:  true,
+			})
+			sum, err := c.Run(context.Background(), set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			got, err := sum.JSON()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				b.Fatal("fabric summary with fleetobs differs from single-node run")
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(len(set)*b.N)/b.Elapsed().Seconds(), "scenarios/s")
+	})
 }

@@ -1,0 +1,178 @@
+// Command benchgate is a benchstat-style regression gate over the committed
+// benchmark artifacts (BENCH_N.json, written by `make bench` through
+// cmd/benchjson). It discovers the two newest artifacts by numeric suffix,
+// compares ns/op for the gated benchmark families — the fabric throughput
+// and campaign cache-hit paths, whose regressions are coordination-layer
+// bugs rather than simulator noise — and exits nonzero when the newer
+// artifact is more than -threshold slower on any shared sub-benchmark.
+//
+// The gate is advisory in CI (continue-on-error): single-iteration bench
+// runs are noisy, and the artifact pair may span machines. A failure is a
+// prompt to re-run `make bench` and look, not an automatic veto.
+//
+// Usage:
+//
+//	benchgate                      # compare two newest BENCH_*.json in .
+//	benchgate -threshold 0.10      # tighter gate
+//	benchgate BENCH_8.json BENCH_10.json   # explicit old new
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gatedPrefixes are the benchmark families the gate watches. Everything else
+// in the artifact is simulator-shape benchmarking and drifts with content
+// changes by design.
+var gatedPrefixes = []string{
+	"BenchmarkFabricThroughput",
+	"BenchmarkCampaignCacheHit",
+}
+
+// document mirrors cmd/benchjson's artifact (the fields the gate reads).
+type document struct {
+	Benchmarks []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+var benchNumRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20,
+		"fail when new ns/op exceeds old by more than this fraction")
+	dir := flag.String("dir", ".", "directory to discover BENCH_*.json in")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = discover(*dir)
+		if err != nil {
+			fatal(err)
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fatal(fmt.Errorf("want no args (auto-discover) or exactly two (old new), got %d", flag.NArg()))
+	}
+
+	oldNS, err := load(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newNS, err := load(newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchgate: %s -> %s (threshold +%.0f%%)\n", oldPath, newPath, *threshold*100)
+	names := sharedGatedNames(oldNS, newNS)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no gated benchmarks (%s) shared by %s and %s",
+			strings.Join(gatedPrefixes, ", "), oldPath, newPath))
+	}
+	failed := false
+	for _, name := range names {
+		o, n := oldNS[name], newNS[name]
+		delta := (n - o) / o
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-52s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n", name, o, n, delta*100, verdict)
+	}
+	if failed {
+		fmt.Printf("benchgate: FAIL — gated benchmark regressed past +%.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
+
+// discover returns the two newest committed artifacts by numeric suffix —
+// the Nth and N-1th `make bench` snapshots.
+func discover(dir string) (oldPath, newPath string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type artifact struct {
+		n    int
+		path string
+	}
+	var found []artifact
+	for _, e := range entries {
+		m := benchNumRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, artifact{n: n, path: filepath.Join(dir, e.Name())})
+	}
+	if len(found) < 2 {
+		return "", "", fmt.Errorf("found %d BENCH_*.json artifacts in %s, need 2", len(found), dir)
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	return found[len(found)-2].path, found[len(found)-1].path, nil
+}
+
+// load maps benchmark name to ns/op for one artifact.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for _, b := range doc.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			out[b.Name] = ns
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks with ns/op", path)
+	}
+	return out, nil
+}
+
+// sharedGatedNames lists gated benchmarks present in both artifacts, sorted.
+// Sub-benchmarks only one side has (a family gained an arm) are not
+// comparable and are skipped rather than failed.
+func sharedGatedNames(oldNS, newNS map[string]float64) []string {
+	var names []string
+	for name := range newNS {
+		if _, ok := oldNS[name]; !ok {
+			continue
+		}
+		for _, p := range gatedPrefixes {
+			if name == p || strings.HasPrefix(name, p+"/") {
+				names = append(names, name)
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -50,6 +50,9 @@ type fabricFlags struct {
 	NetchaosSeed       int64
 	StealAfter         time.Duration
 	ByzantineThreshold int
+	// Fleet telemetry plane: -fleetobs / -fleet-interval.
+	FleetObs      bool
+	FleetInterval time.Duration
 }
 
 // runFabric drives one distributed campaign and emits the summary through
@@ -73,6 +76,8 @@ func runFabric(cf *cliutil.Flags, log *slog.Logger, scenarios []campaign.Scenari
 		LocalWorkers:       ff.Workers,
 		StealAfter:         ff.StealAfter,
 		ByzantineThreshold: ff.ByzantineThreshold,
+		FleetObs:           ff.FleetObs,
+		FleetInterval:      ff.FleetInterval,
 		Log:                log,
 	}
 	var chaos *netchaos.Transport

@@ -31,6 +31,7 @@
 //	campaign -coordinator -worker-urls http://w1:8077,http://w2:8077 \
 //	    -preset mixed -n 200 -out summary.json
 //	campaign -coordinator -coordinator-addr :9100 ...   # + join/SSE surface
+//	campaign -coordinator -coordinator-addr :9100 -fleetobs ...  # + /v1/fleet (fabrictop)
 //	campaign -coordinator -fabric-journal c.jsonl ...   # journal the run
 //	campaign -coordinator -fabric-journal c.jsonl -resume ...  # pick it back up
 package main
@@ -85,6 +86,8 @@ func main() {
 	netchaosSeed := flag.Int64("netchaos-seed", 0, "decision seed for the -netchaos plan")
 	stealAfter := flag.Duration("steal-after", 0, "with -coordinator: speculatively re-lease a shard still outstanding after this long to an idle worker; first valid delivery wins (0: disabled)")
 	byzantineThreshold := flag.Int("byzantine-threshold", 0, "with -coordinator: integrity-rejected deliveries that quarantine a worker (0: default)")
+	fleetObs := flag.Bool("fleetobs", false, "with -coordinator: run the fleet telemetry plane (worker scraping, GET /v1/fleet, \"fleet\" SSE events; see fabrictop)")
+	fleetInterval := flag.Duration("fleet-interval", 0, "with -fleetobs: worker scrape cadence (0: default)")
 	cachePath := flag.String("cache", "", "content-addressed result cache file: scenarios already recorded replay instead of executing; new results are appended")
 	cacheCompact := flag.Bool("cache-compact", false, "with -cache: rewrite the cache log dropping superseded and stale-engine records, print stats, and exit")
 	requireCached := flag.Bool("require-cached", false, "with -cache: exit nonzero unless every scenario was served from the cache (proves a warm cache executes nothing)")
@@ -204,6 +207,7 @@ func main() {
 			NeedCache: *needWorkerCache, Store: store, Workers: *workers,
 			Netchaos: *netchaosSpec, NetchaosSeed: *netchaosSeed,
 			StealAfter: *stealAfter, ByzantineThreshold: *byzantineThreshold,
+			FleetObs: *fleetObs, FleetInterval: *fleetInterval,
 		}); err != nil {
 			cf.Fatal(err)
 		}

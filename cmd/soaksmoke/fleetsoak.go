@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dmafault/internal/campaign"
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/faultdclient"
+)
+
+// Fleet soak (`make fleetsmoke`, soaksmoke -fleet): the fleet observability
+// plane end-to-end. Three real workers, one coordinator with -fleetobs, and
+// a mild netchaos plan on every worker-bound request — scrapes included, so
+// the telemetry plane eats torn metrics bodies and 503d readiness probes
+// while the campaign runs. Mid-run, GET /v1/fleet must show all three
+// workers with nonzero per-phase latency attribution, and the fabrictop
+// -once rendering of that snapshot must list them; after the run, the
+// merged summary must be byte-identical to a clean single-node run —
+// observation, even degraded observation, never touches the bytes.
+
+// fleetPlanSpec keeps the weather mild: enough 503s, drops, and torn bodies
+// to exercise the scrape loop's failure handling without making the
+// campaign itself crawl through re-leases.
+const (
+	fleetPlanSpec = "http-503:0.05,conn-drop:0.03,truncate:0.03"
+	fleetPlanSeed = "11"
+)
+
+func runFleetSoak(log *slog.Logger, keep bool) error {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "fleetsmoke-")
+	if err != nil {
+		return err
+	}
+	if keep {
+		log.Info("keeping scratch dir", "dir", dir)
+	} else {
+		defer os.RemoveAll(dir)
+	}
+
+	daemonBin := filepath.Join(dir, "dmafaultd")
+	if out, err := exec.Command("go", "build", "-o", daemonBin, "./cmd/dmafaultd").CombinedOutput(); err != nil {
+		return fmt.Errorf("build dmafaultd: %v\n%s", err, out)
+	}
+	campaignBin := filepath.Join(dir, "campaign")
+	if out, err := exec.Command("go", "build", "-o", campaignBin, "./cmd/campaign").CombinedOutput(); err != nil {
+		return fmt.Errorf("build campaign: %v\n%s", err, out)
+	}
+	topBin := filepath.Join(dir, "fabrictop")
+	if out, err := exec.Command("go", "build", "-o", topBin, "./cmd/fabrictop").CombinedOutput(); err != nil {
+		return fmt.Errorf("build fabrictop: %v\n%s", err, out)
+	}
+
+	// Stall scenarios keep every shard ~1s, so the campaign stays up long
+	// enough for several scrape rounds and a mid-run /v1/fleet poll. 28 at
+	// -shard-size 4 is 7 shards over 3 workers: everyone executes.
+	setPath := filepath.Join(dir, "set.json")
+	f, err := os.Create(setPath)
+	if err != nil {
+		return err
+	}
+	if err := campaign.SaveScenarios(f, stallScenarios(28)); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// The byte-identity oracle: a clean single-node run, no fabric, no chaos,
+	// no fleet plane.
+	singlePath := filepath.Join(dir, "single.json")
+	if out, err := exec.Command(campaignBin,
+		"-scenarios", setPath, "-out", singlePath, "-quiet").CombinedOutput(); err != nil {
+		return fmt.Errorf("single-node reference run: %v\n%s", err, out)
+	}
+
+	var urls []string
+	for i := 1; i <= 3; i++ {
+		w, err := startProc(log, dir, "worker", daemonBin,
+			"-addr", "127.0.0.1:0", "-workers", "1",
+			"-max-concurrent-campaigns", "2", "-job-stall-timeout", "1m")
+		if err != nil {
+			return err
+		}
+		defer w.kill()
+		urls = append(urls, w.url)
+	}
+	if err := preflightWorkers(ctx, urls, 10*time.Second); err != nil {
+		return err
+	}
+
+	fabricPath := filepath.Join(dir, "fabric.json")
+	coord, err := startProc(log, dir, "coordinator", campaignBin,
+		"-coordinator", "-scenarios", setPath,
+		"-worker-urls", strings.Join(urls, ","),
+		"-coordinator-addr", "127.0.0.1:0",
+		"-shard-size", "4", "-lease-ttl", "20s", "-lease-attempts", "6",
+		"-fabric-heartbeat", "200ms",
+		"-netchaos", fleetPlanSpec, "-netchaos-seed", fleetPlanSeed,
+		"-fleetobs", "-fleet-interval", "150ms",
+		"-out", fabricPath,
+	)
+	if err != nil {
+		return err
+	}
+	defer coord.kill()
+
+	// Poll /v1/fleet while the campaign runs until every worker shows
+	// attributed per-phase time, then render the same state through the
+	// fabrictop binary. The poll races campaign completion, so failures here
+	// are retried until the coordinator exits.
+	fleetErr := make(chan error, 1)
+	go func() { fleetErr <- watchFleet(ctx, log, coord.url, topBin, urls) }()
+
+	exitErr := make(chan error, 1)
+	go func() { exitErr <- coord.waitExit(3 * time.Minute) }()
+
+	select {
+	case err := <-fleetErr:
+		if err != nil {
+			return err
+		}
+		if err := <-exitErr; err != nil {
+			return fmt.Errorf("coordinator: %w", err)
+		}
+	case err := <-exitErr:
+		if err != nil {
+			return fmt.Errorf("coordinator: %w", err)
+		}
+		// The campaign finished before the fleet assertions did: the
+		// coordinator's surface is gone, so whatever the watcher saw last is
+		// the verdict.
+		if err := <-fleetErr; err != nil {
+			return fmt.Errorf("campaign finished before the fleet plane converged: %w", err)
+		}
+	}
+
+	single, err := os.ReadFile(singlePath)
+	if err != nil {
+		return err
+	}
+	fab, err := os.ReadFile(fabricPath)
+	if err != nil {
+		return fmt.Errorf("fabric summary: %w", err)
+	}
+	if !bytes.Equal(single, fab) {
+		return fmt.Errorf("fleetobs fabric summary differs from clean single-node run (%d vs %d bytes); kept at %s / %s",
+			len(fab), len(single), fabricPath, singlePath)
+	}
+	log.Info("fleet soak finished", "workers", len(urls), "summary_bytes", len(fab))
+	return nil
+}
+
+// watchFleet polls the coordinator's /v1/fleet until all three workers carry
+// nonzero per-phase latency totals, then checks the fabrictop -once
+// rendering. Returns the last observation error if the surface disappears
+// (coordinator exit) before converging.
+func watchFleet(ctx context.Context, log *slog.Logger, coordURL, topBin string, workers []string) error {
+	cl := faultdclient.New(coordURL)
+	cl.Retries = -1 // the poll loop is its own retry
+	deadline := time.Now().Add(3 * time.Minute)
+	lastErr := fmt.Errorf("never observed a fleet snapshot")
+	for time.Now().Before(deadline) {
+		fs, err := cl.Fleet(ctx)
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if err := fleetConverged(fs, workers); err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		log.Info("fleet converged: all workers attributed", "workers", len(fs.Workers))
+		out, err := exec.Command(topBin, "-coordinator", coordURL, "-once").CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("fabrictop -once: %v\n%s", err, out)
+		}
+		for _, u := range workers {
+			host := strings.TrimPrefix(u, "http://")
+			if !strings.Contains(string(out), host) {
+				return fmt.Errorf("fabrictop -once output missing worker %s:\n%s", host, out)
+			}
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// fleetConverged checks one snapshot for full three-worker attribution.
+func fleetConverged(fs *api.FleetSnapshot, workers []string) error {
+	if len(fs.Workers) != len(workers) {
+		return fmt.Errorf("fleet shows %d workers, want %d", len(fs.Workers), len(workers))
+	}
+	for _, w := range fs.Workers {
+		if w.Delivered == 0 {
+			return fmt.Errorf("worker %s has delivered nothing yet", w.URL)
+		}
+		pt := w.PhaseTotals
+		if pt.QueueWait <= 0 || pt.Execute <= 0 || pt.Publish <= 0 {
+			return fmt.Errorf("worker %s phase totals not all nonzero: %+v", w.URL, pt)
+		}
+	}
+	return nil
+}

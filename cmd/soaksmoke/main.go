@@ -13,6 +13,7 @@
 //	soaksmoke -seed 7    # re-roll which jobs get cancelled
 //	soaksmoke -fabric    # multi-node fabric soak (see fabricsoak.go)
 //	soaksmoke -chaos     # byzantine fabric soak under netchaos (see chaossoak.go)
+//	soaksmoke -fleet     # fleet observability soak (see fleetsoak.go)
 package main
 
 import (
@@ -47,6 +48,8 @@ func main() {
 		"run the multi-node fabric soak (coordinator + 3 workers, dead-worker re-lease, coordinator resume) instead of the daemon chaos soak")
 	chaosSoak := flag.Bool("chaos", false,
 		"run the byzantine fabric soak (coordinator + 3 workers under a netchaos plan: corrupt bodies, 503 storms, partitions; byte-compared against a clean single-node run) instead of the daemon chaos soak")
+	fleetSoak := flag.Bool("fleet", false,
+		"run the fleet observability soak (coordinator + 3 workers with -fleetobs under mild netchaos: /v1/fleet must attribute per-phase time to all workers, fabrictop -once must render them, and the summary must match a clean run) instead of the daemon chaos soak")
 	cf := cliutil.New("soaksmoke").WithSeed().WithLog()
 	cf.Parse()
 	log := cf.Logger(nil)
@@ -64,6 +67,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("chaossmoke: OK")
+		return
+	}
+	if *fleetSoak {
+		if err := runFleetSoak(log, *keep); err != nil {
+			log.Error("fleet soak failed", "err", err)
+			os.Exit(1)
+		}
+		fmt.Println("fleetsmoke: OK")
 		return
 	}
 	if err := run(log, *cf.Seed, *keep); err != nil {

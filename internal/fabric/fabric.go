@@ -44,6 +44,7 @@ import (
 	"dmafault/internal/campaign"
 	"dmafault/internal/faultd/api"
 	"dmafault/internal/faultdclient"
+	"dmafault/internal/fleetobs"
 	"dmafault/internal/obs"
 	"dmafault/internal/par"
 )
@@ -160,6 +161,14 @@ type Config struct {
 	// the trip the worker may receive one probe lease
 	// (0: DefaultByzantineProbeAfter).
 	ByzantineProbeAfter time.Duration
+	// FleetObs enables the fleet telemetry plane (internal/fleetobs): a
+	// scrape loop over every registered worker's /v1/metrics + /readyz,
+	// GET /v1/fleet on the coordinator surface, and periodic "fleet" SSE
+	// events on the hub. Pure observability — summary bytes are identical
+	// with the plane on or off (test-enforced).
+	FleetObs bool
+	// FleetInterval paces fleet scrape rounds (0: fleetobs.DefaultInterval).
+	FleetInterval time.Duration
 }
 
 func (c Config) shardSize() int {
@@ -244,10 +253,11 @@ type shard struct {
 // Coordinator runs one distributed campaign. Build with New, run with Run;
 // Handler serves the supervision surface for the run's duration.
 type Coordinator struct {
-	cfg Config
-	m   *Metrics
-	reg *Registry
-	log *slog.Logger
+	cfg   Config
+	m     *Metrics
+	reg   *Registry
+	log   *slog.Logger
+	fleet *fleetobs.Plane // nil unless cfg.FleetObs
 
 	mu        sync.Mutex
 	scs       []campaign.Scenario // globally normalized set
@@ -283,13 +293,45 @@ func New(cfg Config) *Coordinator {
 	reg.DownAfter = cfg.downAfter()
 	reg.ByzantineAfter = cfg.byzantineThreshold()
 	reg.ProbeAfter = cfg.byzantineProbeAfter()
-	return &Coordinator{
+	c := &Coordinator{
 		cfg: cfg,
 		m:   m,
 		reg: reg,
 		log: log,
 	}
+	if cfg.FleetObs {
+		c.fleet = fleetobs.New(fleetobs.Config{
+			Interval:  cfg.FleetInterval,
+			Workers:   reg.FleetState,
+			Campaign:  c.campaignState,
+			NewClient: cfg.NewClient,
+			Transport: cfg.Transport,
+			Hub:       cfg.Hub,
+			Log:       log,
+		})
+	}
+	return c
 }
+
+// campaignState is the fleet plane's progress source: nil before Run seeds
+// the scenario set, live counts afterwards.
+func (c *Coordinator) campaignState() *api.FleetCampaign {
+	c.mu.Lock()
+	total, done := len(c.scs), c.delivered
+	c.mu.Unlock()
+	if total == 0 {
+		return nil
+	}
+	return &api.FleetCampaign{
+		ScenariosTotal: total,
+		ScenariosDone:  done,
+		ShardsTotal:    int(c.m.ShardsTotal.Value()),
+		ShardsDone:     int(c.m.ShardsDone.Value()),
+	}
+}
+
+// Fleet exposes the fleet telemetry plane (nil unless Config.FleetObs).
+func (c *Coordinator) Fleet() *fleetobs.Plane { return c.fleet }
 
 // Metrics exposes the fabric instrument set (for /metrics and -fabric-metrics).
 func (c *Coordinator) Metrics() *Metrics { return c.m }
@@ -356,6 +398,9 @@ func (c *Coordinator) Run(ctx context.Context, scenarios []campaign.Scenario) (*
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	go c.reg.Heartbeat(hbCtx, c.cfg.heartbeat())
+	if c.fleet != nil {
+		go c.fleet.Run(hbCtx)
+	}
 
 	err := par.ForEachCtx(ctx, len(shards), len(shards), func(ctx context.Context, i int) error {
 		return c.runShard(ctx, shards[i])
@@ -769,6 +814,12 @@ func (c *Coordinator) runLease(ctx context.Context, sh shard, ref *WorkerRef) er
 			"job", acc.ID, "err", err)
 		return err
 	}
+	// The delivery verified: credit the worker's own phase breakdown to the
+	// per-phase histograms and the registry's EWMA accounting. Timing rides
+	// outside the results digest, so a corrupted Timing block can at worst
+	// skew telemetry — never the merged summary.
+	c.m.ObservePhases(ref.URL, job.Timing)
+	c.reg.NoteTiming(ref.URL, len(job.Summary.Results), job.CacheHits, job.Timing)
 	for i, r := range job.Summary.Results {
 		if err := c.deliver(sh.Start+i, r, true); err != nil {
 			return err
@@ -921,12 +972,10 @@ func (c *Coordinator) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(c.m.Text())
-	})
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("POST /v1/fabric/join", c.handleJoin)
 	mux.HandleFunc("GET /v1/fabric/workers", c.handleWorkers)
 	mux.HandleFunc("GET /v1/fabric/events", c.handleEvents)
+	mux.HandleFunc("GET /v1/fleet", c.handleFleet)
 	return mux
 }

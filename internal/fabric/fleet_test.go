@@ -1,0 +1,249 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/netchaos"
+)
+
+// Fleet observability tests: the telemetry plane must be pure observation.
+// The invariant defended here is the acceptance criterion from the fleet
+// plane's design — the merged summary is byte-identical with fleetobs on or
+// off, at any worker count, and under a hostile network — plus the typed
+// /v1/fleet surface itself.
+
+// TestByteIdenticalWithFleetObs is the fleet-plane acceptance test: with the
+// scrape loop running hot (1ms interval — hundreds of scrape rounds per
+// campaign), the summary must match the plain single-node bytes at one, two,
+// and four workers, and the plane must have attributed per-phase time to
+// every worker that executed a shard.
+func TestByteIdenticalWithFleetObs(t *testing.T) {
+	want := referenceJSON(t)
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			urls := make([]string, n)
+			for i := range urls {
+				urls[i] = newWorker(t).URL
+			}
+			c := New(Config{
+				Workers:       urls,
+				ShardSize:     4,
+				Heartbeat:     25 * time.Millisecond,
+				FleetObs:      true,
+				FleetInterval: time.Millisecond,
+			})
+			sum, err := c.Run(context.Background(), testSet())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sum.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("summary with fleetobs differs from single-node run (%d vs %d bytes)",
+					len(got), len(want))
+			}
+
+			fs := c.Fleet().Snapshot()
+			if len(fs.Workers) != n {
+				t.Fatalf("fleet snapshot has %d workers, want %d", len(fs.Workers), n)
+			}
+			var executed int
+			for _, w := range fs.Workers {
+				if w.Delivered == 0 {
+					continue
+				}
+				executed++
+				if w.PhaseTotals.Execute <= 0 {
+					t.Errorf("worker %s delivered %d shards with zero execute time", w.URL, w.Delivered)
+				}
+				if w.EWMAShardSeconds <= 0 {
+					t.Errorf("worker %s has no EWMA shard latency", w.URL)
+				}
+				if w.Scenarios == 0 {
+					t.Errorf("worker %s delivered shards but no scenarios", w.URL)
+				}
+			}
+			if executed == 0 {
+				t.Fatal("no worker in the fleet snapshot delivered anything")
+			}
+			if fs.Campaign == nil || fs.Campaign.ScenariosDone != len(testSet()) {
+				t.Fatalf("campaign progress = %+v", fs.Campaign)
+			}
+
+			// The phase histogram must carry per-worker samples for all three
+			// phases.
+			text := string(c.Metrics().Text())
+			for _, phase := range []string{"queue_wait", "execute", "publish"} {
+				if !strings.Contains(text, `phase="`+phase+`"`) {
+					t.Errorf("fabric_shard_phase_latency_seconds missing phase %q", phase)
+				}
+			}
+		})
+	}
+}
+
+// TestByteIdenticalWithFleetObsUnderChaos: the fleet plane's scrapes ride the
+// same netchaos transport as the control path. Torn metrics bodies and 503d
+// readiness probes must degrade the telemetry, never the summary.
+func TestByteIdenticalWithFleetObsUnderChaos(t *testing.T) {
+	want := chaosReferenceJSON(t)
+	urls := []string{newWorker(t).URL, newWorker(t).URL}
+	ch := netchaos.NewTransport(chaosPlan(t, 1101), nil)
+	c := New(Config{
+		Workers:        urls,
+		ShardSize:      2,
+		Heartbeat:      25 * time.Millisecond,
+		LeaseTTL:       10 * time.Second,
+		AcquireTimeout: 2 * time.Second,
+		Transport:      ch,
+		FleetObs:       true,
+		FleetInterval:  5 * time.Millisecond,
+	})
+	sum, err := c.Run(context.Background(), chaosSet())
+	if err != nil {
+		t.Fatalf("campaign failed under chaos: %v", err)
+	}
+	got, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("summary with fleetobs under chaos differs from single-node run (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	t.Logf("chaos: %s", ch.CountsText())
+}
+
+// TestFleetEndpoint pins the HTTP surface: 404 when the plane is disabled,
+// typed JSON when enabled, and byte-identical bodies across two requests
+// against unchanged fleet state.
+func TestFleetEndpoint(t *testing.T) {
+	t.Run("disabled", func(t *testing.T) {
+		c := New(Config{})
+		ts := httptest.NewServer(c.Handler())
+		defer ts.Close()
+		resp, err := ts.Client().Get(ts.URL + "/v1/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Fatalf("GET /v1/fleet with fleetobs disabled = %d, want 404", resp.StatusCode)
+		}
+	})
+
+	t.Run("enabled", func(t *testing.T) {
+		w := newWorker(t)
+		c := New(Config{
+			Workers:       []string{w.URL},
+			ShardSize:     4,
+			Heartbeat:     25 * time.Millisecond,
+			FleetObs:      true,
+			FleetInterval: time.Millisecond,
+		})
+		if _, err := c.Run(context.Background(), testSet()); err != nil {
+			t.Fatal(err)
+		}
+		// Run has returned: the scrape loop is cancelled with the heartbeat,
+		// so the plane's retained state is frozen and two requests must
+		// return identical bytes.
+		ts := httptest.NewServer(c.Handler())
+		defer ts.Close()
+		get := func() []byte {
+			resp, err := ts.Client().Get(ts.URL + "/v1/fleet")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Fatalf("GET /v1/fleet = %d, want 200", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type = %q", ct)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return body
+		}
+		a, b := get(), get()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("two /v1/fleet requests against frozen state differ:\n%s\nvs\n%s", a, b)
+		}
+		var fs api.FleetSnapshot
+		if err := json.Unmarshal(a, &fs); err != nil {
+			t.Fatalf("/v1/fleet body is not a FleetSnapshot: %v", err)
+		}
+		if len(fs.Workers) != 1 || fs.Workers[0].URL != w.URL {
+			t.Fatalf("fleet workers = %+v", fs.Workers)
+		}
+		if fs.Workers[0].PhaseTotals.Execute <= 0 {
+			t.Fatalf("no execute time attributed: %+v", fs.Workers[0])
+		}
+	})
+}
+
+// TestNoteTimingEWMA pins the registry's latency accounting: the first
+// delivery seeds the EWMA directly, later deliveries move it by EWMAAlpha,
+// and the rate term only updates when a shard reports nonzero execute time.
+func TestNoteTimingEWMA(t *testing.T) {
+	reg := NewRegistry([]string{"http://w:1"}, nil, NewMetrics(), nil)
+	url := "http://w:1"
+
+	reg.NoteTiming(url, 4, 1, &api.Timing{QueueWaitSeconds: 0.5, ExecuteSeconds: 2, PublishSeconds: 0.1})
+	rows := reg.FleetState()
+	if len(rows) != 1 {
+		t.Fatalf("FleetState rows = %d", len(rows))
+	}
+	w := rows[0]
+	if w.EWMAShardSeconds != 2 {
+		t.Fatalf("first delivery EWMA = %v, want seeded 2", w.EWMAShardSeconds)
+	}
+	if w.EWMAScenariosPerSec != 2 { // 4 scenarios / 2s
+		t.Fatalf("first delivery rate = %v, want 2", w.EWMAScenariosPerSec)
+	}
+	if w.Delivered != 1 || w.Scenarios != 4 || w.CacheHits != 1 {
+		t.Fatalf("accounting = %+v", w)
+	}
+
+	reg.NoteTiming(url, 4, 0, &api.Timing{ExecuteSeconds: 4})
+	w = reg.FleetState()[0]
+	if want := 2 + EWMAAlpha*(4-2); w.EWMAShardSeconds != want {
+		t.Fatalf("second delivery EWMA = %v, want %v", w.EWMAShardSeconds, want)
+	}
+	if w.PhaseTotals.Execute != 6 {
+		t.Fatalf("execute total = %v, want 6", w.PhaseTotals.Execute)
+	}
+
+	// A zero-execute-time delivery (sub-resolution shard) must not divide by
+	// zero or drag the rate EWMA toward infinity.
+	before := w.EWMAScenariosPerSec
+	reg.NoteTiming(url, 4, 0, &api.Timing{ExecuteSeconds: 0})
+	w = reg.FleetState()[0]
+	if w.EWMAScenariosPerSec != before {
+		t.Fatalf("zero-duration delivery moved the rate EWMA: %v -> %v", before, w.EWMAScenariosPerSec)
+	}
+	if w.Delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", w.Delivered)
+	}
+
+	// Timing is optional on the wire (old workers, fuzz jobs): a nil Timing
+	// still counts the delivery.
+	reg.NoteTiming(url, 2, 0, nil)
+	w = reg.FleetState()[0]
+	if w.Delivered != 4 || w.Scenarios != 14 {
+		t.Fatalf("nil-timing delivery accounting = %+v", w)
+	}
+}

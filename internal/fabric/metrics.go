@@ -1,12 +1,21 @@
 package fabric
 
-import "dmafault/internal/metrics"
+import (
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/metrics"
+)
 
 // ShardLatencyBuckets are the fabric_shard_latency_seconds bounds: shard
 // wall-clock from lease grant to delivered results, 10ms .. 100s. Wide on
 // purpose — a shard's latency includes the worker's queue wait and any
 // re-lease detour.
 var ShardLatencyBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 25, 100}
+
+// PhaseLatencyBuckets are the fabric_shard_phase_latency_seconds bounds.
+// Tighter at the bottom than the whole-shard buckets: queue wait and publish
+// are usually sub-millisecond on a healthy worker, and their drift upward is
+// the early signal the whole-shard histogram blurs away.
+var PhaseLatencyBuckets = []float64{0.001, 0.01, 0.05, 0.25, 1, 5, 25, 100}
 
 // Metrics is the coordinator's fabric_* instrument set. Counters whose
 // events are journaled (leases, expiries, re-leases) are campaign-scoped,
@@ -45,6 +54,12 @@ type Metrics struct {
 	WorkerDowns *metrics.Counter
 	// ShardLatency is the grant→delivery wall-clock histogram.
 	ShardLatency *metrics.Histogram
+	// PhaseLatency splits delivered shards' wall-clock into the worker's own
+	// phase breakdown, labeled {phase, worker}: the whole-shard histogram
+	// answers "how slow", this one answers "slow where, on whom". A labeled
+	// vec with no children emits nothing, so runs without timing-reporting
+	// workers keep their exposition unchanged.
+	PhaseLatency *metrics.HistogramVec
 
 	// The byzantine-tolerance families below describe exceptional
 	// conditions and are registered through metrics.OmitZero: absent from a
@@ -97,6 +112,9 @@ func NewMetrics() *Metrics {
 			"Worker up-to-down transitions observed by the heartbeat."),
 		ShardLatency: metrics.NewHistogram("fabric_shard_latency_seconds",
 			"Shard wall-clock from lease grant to delivered results.", ShardLatencyBuckets),
+		PhaseLatency: metrics.NewHistogramVec("fabric_shard_phase_latency_seconds",
+			"Delivered-shard wall-clock split by worker-reported phase (queue_wait, execute, publish).",
+			PhaseLatencyBuckets, "phase", "worker"),
 		IntegrityRejected: metrics.NewCounter("fabric_integrity_rejected_total",
 			"Deliveries rejected by result integrity verification: torn documents and digest/identity mismatches."),
 		ByzantineQuarantined: metrics.NewCounter("fabric_byzantine_quarantined_total",
@@ -112,11 +130,22 @@ func NewMetrics() *Metrics {
 	}
 	m.reg.MustRegister(m.LeasesGranted, m.LeasesExpired, m.Releases,
 		m.ShardsTotal, m.ShardsDone, m.DedupDropped, m.LocalFallback,
-		m.WorkersRegistered, m.WorkersUp, m.WorkerDowns, m.ShardLatency,
+		m.WorkersRegistered, m.WorkersUp, m.WorkerDowns, m.ShardLatency, m.PhaseLatency,
 		metrics.OmitZero(m.IntegrityRejected), metrics.OmitZero(m.ByzantineQuarantined),
 		metrics.OmitZero(m.BisectRounds), metrics.OmitZero(m.PoisonQuarantined),
 		metrics.OmitZero(m.Steals), metrics.OmitZero(m.StealWins))
 	return m
+}
+
+// ObservePhases feeds one verified delivery's worker-reported timing into
+// the per-phase, per-worker histogram families.
+func (m *Metrics) ObservePhases(worker string, t *api.Timing) {
+	if t == nil {
+		return
+	}
+	m.PhaseLatency.Observe(t.QueueWaitSeconds, "queue_wait", worker)
+	m.PhaseLatency.Observe(t.ExecuteSeconds, "execute", worker)
+	m.PhaseLatency.Observe(t.PublishSeconds, "publish", worker)
 }
 
 // Replay restores the journaled lease counters from a resumed state log, so

@@ -38,6 +38,19 @@ type worker struct {
 	// to up.
 	down chan struct{}
 
+	// Delivery accounting for the fleet plane: cumulative totals and EWMAs
+	// fed by NoteTiming on each verified delivery. Deterministic by
+	// construction — a pure function of the delivery sequence, untouched by
+	// scrape timing — so identical campaigns report identical fleet rows.
+	delivered  int     // verified shard deliveries
+	scenarios  int     // scenarios across those deliveries
+	cacheHits  int     // cache-replayed scenarios across those deliveries
+	phaseQueue float64 // cumulative queue-wait seconds
+	phaseExec  float64 // cumulative execute seconds
+	phasePub   float64 // cumulative publish seconds
+	ewmaShard  float64 // EWMA of per-delivery execute seconds
+	ewmaRate   float64 // EWMA of per-delivery scenarios/execute-second
+
 	// Byzantine quarantine: a worker that repeatedly *delivers* bad results
 	// is a different failure mode from one that stops answering. It stays
 	// up (heartbeats still verify liveness) but Acquire skips it until the
@@ -492,6 +505,78 @@ func (r *Registry) AcquireIdle(exclude string) *WorkerRef {
 		return &WorkerRef{URL: w.url, down: w.down, r: r}
 	}
 	return nil
+}
+
+// EWMAAlpha weights the registry's latency/throughput moving averages: each
+// delivery moves the average a quarter of the way to its own value, so the
+// estimate tracks a drifting worker within a few shards without whipsawing
+// on one outlier. The first delivery seeds the average directly.
+const EWMAAlpha = 0.25
+
+// NoteTiming credits one verified delivery's worker-reported timing to the
+// registry's per-worker accounting — the shard-size autotuner's input and
+// the fleet snapshot's per-worker row. Deliveries without timing (an old
+// worker binary) still count toward delivered/scenarios so lease-load
+// attribution stays truthful.
+func (r *Registry) NoteTiming(url string, scenarios, cacheHits int, t *api.Timing) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[url]
+	if w == nil {
+		return
+	}
+	w.delivered++
+	w.scenarios += scenarios
+	w.cacheHits += cacheHits
+	if t == nil {
+		return
+	}
+	w.phaseQueue += t.QueueWaitSeconds
+	w.phaseExec += t.ExecuteSeconds
+	w.phasePub += t.PublishSeconds
+	if w.delivered == 1 {
+		w.ewmaShard = t.ExecuteSeconds
+	} else {
+		w.ewmaShard += EWMAAlpha * (t.ExecuteSeconds - w.ewmaShard)
+	}
+	if t.ExecuteSeconds > 0 {
+		rate := float64(scenarios) / t.ExecuteSeconds
+		if w.delivered == 1 {
+			w.ewmaRate = rate
+		} else {
+			w.ewmaRate += EWMAAlpha * (rate - w.ewmaRate)
+		}
+	}
+}
+
+// FleetState renders the registry's half of the fleet snapshot, URL-sorted:
+// every field a FleetWorker row carries except the scrape-derived ones
+// (Ready, Stale), which the fleet plane fills in.
+func (r *Registry) FleetState() []api.FleetWorker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := make([]api.FleetWorker, 0, len(r.workers))
+	for _, w := range r.workers {
+		rows = append(rows, api.FleetWorker{
+			URL:         w.url,
+			Up:          w.up,
+			Static:      w.static,
+			Quarantined: w.quarantined,
+			Leases:      w.leases,
+			Delivered:   w.delivered,
+			Scenarios:   w.scenarios,
+			CacheHits:   w.cacheHits,
+			PhaseTotals: api.PhaseSeconds{
+				QueueWait: w.phaseQueue,
+				Execute:   w.phaseExec,
+				Publish:   w.phasePub,
+			},
+			EWMAShardSeconds:    w.ewmaShard,
+			EWMAScenariosPerSec: w.ewmaRate,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].URL < rows[j].URL })
+	return rows
 }
 
 // Snapshot renders the registry for GET /v1/fabric/workers, URL-sorted.

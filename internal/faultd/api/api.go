@@ -14,6 +14,7 @@
 //	GET    /v1/campaigns/{id}/events Server-Sent Events (see faultdclient.Watch)
 //	GET    /v1/cache/stats           CacheStats
 //	DELETE /v1/cache                 ClearCacheResponse (404 without -cache-dir)
+//	GET    /v1/metrics               metrics.Snapshot (JSON twin of /metrics)
 package api
 
 import (
@@ -105,6 +106,12 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Summary is the final aggregate (done fixed-set jobs only).
 	Summary *campaign.Summary `json:"summary,omitempty"`
+	// Timing is the worker's own phase breakdown of the job — how long it
+	// queued, executed, and published — stamped alongside ResultsHash when a
+	// fixed-set job completes. It rides outside Summary so the fleet plane's
+	// attribution never perturbs summary bytes or the results digest (absent
+	// on failed and fuzz jobs).
+	Timing *Timing `json:"timing,omitempty"`
 	// ResultsHash is HashResults over Summary.Results, stamped by the worker
 	// the moment the job completes. A fabric coordinator recomputes it from
 	// the document it decoded, so any in-flight mutation of the results — a
@@ -114,6 +121,26 @@ type Job struct {
 	ResultsHash string `json:"results_sha256,omitempty"`
 	// Fuzz is the final fuzz report (done fuzz-campaign jobs only).
 	Fuzz *fuzz.Report `json:"fuzz,omitempty"`
+}
+
+// Timing is a worker's per-job phase breakdown: the three phases every
+// fixed-set job passes through on a dmafaultd worker, in seconds of
+// wall-clock. The fabric coordinator folds these into per-phase, per-worker
+// latency histograms and the registry's EWMA accounting — the raw input for
+// shard-size autotuning.
+type Timing struct {
+	// QueueWaitSeconds is time spent admitted but undispatched (bounded
+	// FIFO queue wait; zero when a scheduler slot was free at submit).
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	// ExecuteSeconds is the campaign engine's wall-clock for the scenario
+	// set, cache replays included.
+	ExecuteSeconds float64 `json:"execute_seconds"`
+	// PublishSeconds covers post-engine finalization: quarantine breaker
+	// bookkeeping, results hashing, and the metrics merge.
+	PublishSeconds float64 `json:"publish_seconds"`
+	// Attempts is total scenario attempts including transient-fault retries
+	// (Summary.Scenarios + Summary.Retries).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // HashResults is the canonical results digest carried in Job.ResultsHash:

@@ -56,6 +56,16 @@ func TestWireFormatGoldens(t *testing.T) {
 			`{"id":5,"status":"done","scenarios_total":2,"scenarios_done":2,"results_sha256":"8a4f"}`,
 		},
 		{
+			"job_done_timing",
+			Job{ID: 6, Status: StatusDone, ScenariosTotal: 4, ScenariosDone: 4,
+				Timing: &Timing{QueueWaitSeconds: 0.25, ExecuteSeconds: 1.5,
+					PublishSeconds: 0.003, Attempts: 5},
+				ResultsHash: "8a4f"},
+			`{"id":6,"status":"done","scenarios_total":4,"scenarios_done":4,` +
+				`"timing":{"queue_wait_seconds":0.25,"execute_seconds":1.5,` +
+				`"publish_seconds":0.003,"attempts":5},"results_sha256":"8a4f"}`,
+		},
+		{
 			"job_list",
 			JobList{Jobs: []Job{}},
 			`{"jobs":[]}`,
@@ -86,6 +96,35 @@ func TestWireFormatGoldens(t *testing.T) {
 			"clear_cache_response",
 			ClearCacheResponse{Cleared: true, RecordsDropped: 4},
 			`{"cleared":true,"records_dropped":4}`,
+		},
+		{
+			"fleet_worker",
+			FleetWorker{URL: "http://w1:8077", Up: true, Static: true, Leases: 2,
+				Delivered: 3, Scenarios: 12, CacheHits: 4,
+				PhaseTotals:      PhaseSeconds{QueueWait: 0.5, Execute: 6, Publish: 0.01},
+				EWMAShardSeconds: 2, EWMAScenariosPerSec: 2.5, Ready: true},
+			`{"url":"http://w1:8077","up":true,"static":true,"leases":2,` +
+				`"delivered_shards":3,"delivered_scenarios":12,"cache_hits":4,` +
+				`"phase_totals":{"queue_wait_seconds":0.5,"execute_seconds":6,` +
+				`"publish_seconds":0.01},"ewma_shard_seconds":2,` +
+				`"ewma_scenarios_per_sec":2.5,"ready":true}`,
+		},
+		{
+			"fleet_worker_degraded",
+			FleetWorker{URL: "http://w2:8077", Quarantined: true, Stale: true},
+			`{"url":"http://w2:8077","up":false,"quarantined":true,"leases":0,` +
+				`"delivered_shards":0,"delivered_scenarios":0,` +
+				`"phase_totals":{"queue_wait_seconds":0,"execute_seconds":0,` +
+				`"publish_seconds":0},"ewma_shard_seconds":0,` +
+				`"ewma_scenarios_per_sec":0,"ready":false,"stale":true}`,
+		},
+		{
+			"fleet_snapshot_campaign",
+			FleetSnapshot{Workers: []FleetWorker{},
+				Campaign: &FleetCampaign{ScenariosTotal: 16, ScenariosDone: 8,
+					ShardsTotal: 4, ShardsDone: 2}},
+			`{"workers":[],"campaign":{"scenarios_total":16,"scenarios_done":8,` +
+				`"shards_total":4,"shards_done":2}}`,
 		},
 	}
 	for _, tc := range cases {

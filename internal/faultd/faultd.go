@@ -13,6 +13,9 @@
 //	GET  /metrics             Prometheus text exposition: service counters
 //	                          plus every completed campaign's machine
 //	                          metrics, merged
+//	GET  /v1/metrics          the same merged snapshot as JSON
+//	                          (metrics.Snapshot) for typed consumers — the
+//	                          fleet scrape loop reads this
 //	POST /v1/campaigns        submit a campaign (scenario array, preset, or
 //	                          fuzz spec); returns the job ID. 429 +
 //	                          Retry-After when the queue is full, 503 once
@@ -109,8 +112,9 @@ type Job struct {
 	restored   map[int]*campaign.Result // journal results seeded at recovery
 	resume     bool                     // reopen the journal for append
 	enqueuedAt time.Time
-	lastBeat   time.Time // progress heartbeat, guarded by Server.mu
-	stalled    bool      // set by the watchdog before it cancels
+	queueWait  time.Duration // admitted → dispatched, set by the dispatcher
+	lastBeat   time.Time     // progress heartbeat, guarded by Server.mu
+	stalled    bool          // set by the watchdog before it cancels
 	adm        *admission
 	keys       []string // per-index scenario keys (breaker identity)
 	// fuzzSpec marks the job as a fuzz campaign (see api.FuzzSpec); scs is
@@ -313,6 +317,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /v1/campaigns", s.handleList)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleJob)
@@ -420,6 +425,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = snap.WriteText(w)
+}
+
+// handleMetricsJSON is /metrics' typed twin: the identical gathered+merged
+// snapshot, JSON-encoded for machine consumers (faultdclient.Metrics, the
+// coordinator's fleet scrape loop).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.reg.Gather()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	err = snap.Merge(s.merged)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, err := snap.JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -570,7 +600,9 @@ func (s *Server) runJob(job *Job) {
 		defer j.Close()
 		eng.Journal = j
 	}
+	execStart := s.now()
 	sum, err := eng.RunCtx(job.ctx, job.scs)
+	execDur := s.now().Sub(execStart)
 	if errors.Is(err, context.Canceled) {
 		s.quarantineAbort(job)
 		s.mu.Lock()
@@ -597,6 +629,7 @@ func (s *Server) runJob(job *Job) {
 		s.campaignsFailed.Inc()
 		return
 	}
+	pubStart := s.now()
 	s.quarantineReport(job, sum.Results)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -607,6 +640,14 @@ func (s *Server) runJob(job *Job) {
 		// Incompatible layouts across jobs (a bucket change mid-flight):
 		// keep serving, but surface it on the job.
 		job.Error = "metrics merge: " + mergeErr.Error()
+	}
+	// The phase breakdown rides the wire next to ResultsHash but outside
+	// Summary, so fleet attribution never perturbs summary bytes.
+	job.Timing = &api.Timing{
+		QueueWaitSeconds: job.queueWait.Seconds(),
+		ExecuteSeconds:   execDur.Seconds(),
+		PublishSeconds:   s.now().Sub(pubStart).Seconds(),
+		Attempts:         sum.Scenarios + sum.Retries,
 	}
 	s.campaignsDone.Inc()
 }

@@ -127,6 +127,7 @@ func (s *Server) dispatch() {
 		job := s.pending[0]
 		s.pending = s.pending[1:]
 		wait := s.now().Sub(job.enqueuedAt)
+		job.queueWait = wait // reported back in the job's Timing breakdown
 		s.mu.Unlock()
 		s.queueDepthG.Add(-1)
 		s.queueWait.Observe(wait.Seconds())

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dmafault/internal/faultd/api"
+	"dmafault/internal/metrics"
 )
 
 // Defaults for Client's zero values.
@@ -312,6 +313,29 @@ func (c *Client) ClearCache(ctx context.Context) (*api.ClearCacheResponse, error
 		return nil, err
 	}
 	return &cr, nil
+}
+
+// Metrics fetches the node's merged metric snapshot from GET /v1/metrics —
+// the JSON twin of the Prometheus /metrics exposition. The fleet scrape loop
+// calls this per worker per interval; a torn or truncated body surfaces as a
+// decode error, never a partial snapshot.
+func (c *Client) Metrics(ctx context.Context) (*metrics.Snapshot, error) {
+	var snap metrics.Snapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &snap, transient); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Fleet fetches a coordinator's fleet snapshot (the client's Base is the
+// coordinator). 404 *APIError when the coordinator runs without the fleet
+// plane (-fleetobs off).
+func (c *Client) Fleet(ctx context.Context) (*api.FleetSnapshot, error) {
+	var fs api.FleetSnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet", nil, &fs, transient); err != nil {
+		return nil, err
+	}
+	return &fs, nil
 }
 
 // Health fetches /healthz ("ok" or "draining").

@@ -52,6 +52,22 @@ func TestClientAgainstRealService(t *testing.T) {
 	if job.Status != api.StatusDone || job.Summary == nil || job.Summary.Scenarios != 4 {
 		t.Fatalf("job: %+v", job)
 	}
+	if job.Timing == nil || job.Timing.Attempts != 4 || job.Timing.ExecuteSeconds < 0 {
+		t.Fatalf("done job timing: %+v", job.Timing)
+	}
+
+	// The typed metrics accessor decodes the same merged snapshot /metrics
+	// expounds as text; the request counter is necessarily nonzero by now.
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Total("faultd_requests_total") == 0 {
+		t.Fatalf("metrics snapshot missing request counter: %d families", len(snap.Families))
+	}
+	if snap.Total("faultd_campaigns_completed_total") != 1 {
+		t.Fatalf("metrics snapshot missing campaign counter")
+	}
 
 	list, err := c.List(ctx)
 	if err != nil {
@@ -376,5 +392,85 @@ func TestReadyLeaseAware(t *testing.T) {
 	defer ts2.Close()
 	if err := New(ts2.URL).Ready(ctx, true, true); err != nil {
 		t.Fatalf("cache-backed lease probe: %v", err)
+	}
+}
+
+// A torn /v1/metrics body — truncated mid-document by a proxy or chaos
+// layer — must surface as a decode error, never as a partial snapshot.
+func TestMetricsTornBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"families":[{"name":"faultd_requests_total","kind":"count`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retries = -1
+	if snap, err := c.Metrics(context.Background()); err == nil {
+		t.Fatalf("torn metrics body decoded: %+v", snap)
+	}
+}
+
+// Metrics rides the idempotent retry discipline: a gateway flap is retried,
+// and the eventual good body decodes.
+func TestMetricsRetriesTransient(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts == 1 {
+			http.Error(w, "flap", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"families":[{"name":"faultd_requests_total","kind":"counter","samples":[{"value":7}]}]}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryWait = time.Millisecond
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 || snap.Total("faultd_requests_total") != 7 {
+		t.Fatalf("attempts=%d total=%v", attempts, snap.Total("faultd_requests_total"))
+	}
+}
+
+// Fleet decodes a coordinator's typed snapshot; a coordinator without the
+// fleet plane answers 404, surfaced as an *APIError.
+func TestFleetTyped(t *testing.T) {
+	body := `{"workers":[{"url":"http://w1","up":true,"leases":1,` +
+		`"delivered_shards":2,"delivered_scenarios":8,` +
+		`"phase_totals":{"queue_wait_seconds":0.1,"execute_seconds":3,"publish_seconds":0.01},` +
+		`"ewma_shard_seconds":1.5,"ewma_scenarios_per_sec":2.5,"ready":true}],` +
+		`"campaign":{"scenarios_total":16,"scenarios_done":8,"shards_total":4,"shards_done":2}}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/fleet" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, body)
+	}))
+	defer ts.Close()
+
+	fs, err := New(ts.URL).Fleet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Workers) != 1 || fs.Workers[0].EWMAScenariosPerSec != 2.5 ||
+		fs.Workers[0].PhaseTotals.Execute != 3 || !fs.Workers[0].Ready {
+		t.Fatalf("fleet workers: %+v", fs.Workers)
+	}
+	if fs.Campaign == nil || fs.Campaign.ShardsDone != 2 {
+		t.Fatalf("fleet campaign: %+v", fs.Campaign)
+	}
+
+	off := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	defer off.Close()
+	_, err = New(off.URL).Fleet(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled fleet plane: %v", err)
 	}
 }

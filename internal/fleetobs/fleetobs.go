@@ -1,0 +1,265 @@
+// Package fleetobs is the coordinator-side fleet telemetry plane: a scrape
+// loop that periodically fetches every registered worker's /v1/metrics and
+// /readyz through the typed client, merges the per-worker snapshots with the
+// order-stable metrics.Merge, and folds the result — together with the
+// fabric registry's per-worker delivery accounting — into a typed
+// api.FleetSnapshot served at GET /v1/fleet and published as periodic
+// "fleet" SSE events on the coordinator hub.
+//
+// Two planes, one determinism contract. The campaign's control path (leases,
+// deliveries, summary bytes) never reads anything this package produces:
+// scrape jitter, worker restarts, and scrape failures change the fleet
+// snapshot but cannot change a byte of the merged campaign summary. Within
+// the fleet plane itself the snapshot is a pure function of (registry state,
+// last scrape state) — no timestamps, no scrape counters in the document —
+// so two snapshots of identical fleet state are byte-identical, and the
+// /v1/fleet golden tests can pin the encoding.
+//
+// Staleness semantics: a worker that has never answered a scrape contributes
+// no metrics and reports Ready false. A worker whose latest scrape failed
+// after earlier successes is marked Stale and keeps contributing its last
+// good snapshot — operators see the freshest truth available, flagged as
+// aging, rather than a row flickering empty on every network blip.
+package fleetobs
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/faultdclient"
+	"dmafault/internal/metrics"
+	"dmafault/internal/obs"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultInterval paces scrape rounds (and the "fleet" SSE cadence).
+	DefaultInterval = time.Second
+	// DefaultTimeout bounds one worker's scrape (readyz + metrics).
+	DefaultTimeout = 2 * time.Second
+)
+
+// Config parameterizes a Plane.
+type Config struct {
+	// Interval paces scrape rounds (0: DefaultInterval).
+	Interval time.Duration
+	// Timeout bounds one worker's scrape (0: DefaultTimeout).
+	Timeout time.Duration
+	// Workers returns the registry's half of the snapshot: one URL-sorted
+	// row per registered worker with the delivery accounting filled in
+	// (fabric.Registry.FleetState). Required.
+	Workers func() []api.FleetWorker
+	// Campaign returns the coordinator's campaign progress, nil outside a
+	// run. Optional.
+	Campaign func() *api.FleetCampaign
+	// NewClient overrides worker client construction (tests); nil builds
+	// faultdclient.New over Transport.
+	NewClient func(url string) *faultdclient.Client
+	// Transport, when set, underlies every scrape — under a netchaos plan
+	// the fleet plane suffers the weather like everything else. Ignored by a
+	// NewClient override.
+	Transport http.RoundTripper
+	// Hub, when set, receives a "fleet" StreamEvent carrying the snapshot
+	// after every scrape round.
+	Hub *obs.Hub
+	// Log receives scrape diagnostics; nil discards them.
+	Log *slog.Logger
+}
+
+func (c Config) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return DefaultInterval
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+// workerScrape is the plane's retained view of one worker: the latest
+// readiness verdict and the last successfully fetched metrics snapshot.
+type workerScrape struct {
+	ready bool
+	stale bool
+	snap  *metrics.Snapshot
+}
+
+// Plane is the fleet telemetry plane. Build with New; drive with Run (or
+// ScrapeOnce for one-shot use); read with Snapshot.
+type Plane struct {
+	cfg Config
+	log *slog.Logger
+
+	// Operator instruments: scrape traffic and failures are process-local
+	// telemetry about the plane itself and deliberately live outside the
+	// snapshot document, which must stay a pure function of fleet state.
+	reg        *metrics.Registry
+	scrapes    *metrics.Counter
+	scrapeErrs *metrics.Counter
+	staleG     *metrics.Gauge
+
+	mu      sync.Mutex
+	scraped map[string]*workerScrape
+}
+
+// New builds a plane over the given config.
+func New(cfg Config) *Plane {
+	log := cfg.Log
+	if log == nil {
+		log = obs.Nop()
+	}
+	p := &Plane{
+		cfg: cfg,
+		log: log,
+		reg: metrics.NewRegistry(),
+		scrapes: metrics.NewCounter("fleet_scrapes_total",
+			"Worker scrapes attempted by the fleet plane."),
+		scrapeErrs: metrics.NewCounter("fleet_scrape_errors_total",
+			"Worker scrapes that failed (readyz or metrics fetch)."),
+		staleG: metrics.NewGauge("fleet_workers_stale",
+			"Workers serving their last good snapshot after a failed scrape."),
+		scraped: map[string]*workerScrape{},
+	}
+	p.reg.MustRegister(metrics.OmitZero(p.scrapes),
+		metrics.OmitZero(p.scrapeErrs), metrics.OmitZero(p.staleG))
+	return p
+}
+
+// client builds the scrape client for one worker.
+func (p *Plane) client(url string) *faultdclient.Client {
+	if p.cfg.NewClient != nil {
+		return p.cfg.NewClient(url)
+	}
+	return faultdclient.New(url).WithTransport(p.cfg.Transport)
+}
+
+// Run scrapes the fleet on the interval until ctx ends, publishing a "fleet"
+// event on the hub after each round. The first round runs immediately so a
+// dashboard attached at campaign start is not blind for a full interval.
+func (p *Plane) Run(ctx context.Context) {
+	t := time.NewTicker(p.cfg.interval())
+	defer t.Stop()
+	for {
+		p.ScrapeOnce(ctx)
+		if p.cfg.Hub != nil {
+			p.cfg.Hub.Publish(obs.StreamEvent{Type: "fleet", Data: p.Snapshot()})
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ScrapeOnce runs one scrape round: every registered worker's /readyz and
+// /v1/metrics fetched concurrently, so one black-holed worker cannot stall
+// the round past its own timeout.
+func (p *Plane) ScrapeOnce(ctx context.Context) {
+	rows := p.cfg.Workers()
+	var wg sync.WaitGroup
+	for _, row := range rows {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			p.scrapeWorker(ctx, url)
+		}(row.URL)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	stale := 0
+	for _, ws := range p.scraped {
+		if ws.stale {
+			stale++
+		}
+	}
+	p.mu.Unlock()
+	p.staleG.Set(float64(stale))
+}
+
+// scrapeWorker fetches one worker's readiness and metrics and folds the
+// verdict into the retained state.
+func (p *Plane) scrapeWorker(ctx context.Context, url string) {
+	p.scrapes.Inc()
+	sctx, cancel := context.WithTimeout(ctx, p.cfg.timeout())
+	defer cancel()
+	cl := p.client(url)
+	snap, err := cl.Metrics(sctx)
+	ready := err == nil && cl.Ready(sctx, false, false) == nil
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ws := p.scraped[url]
+	if err != nil {
+		p.scrapeErrs.Inc()
+		if ws != nil {
+			// Keep the last good snapshot, flagged as aging.
+			ws.ready = false
+			ws.stale = true
+		}
+		p.log.Debug("fleet scrape failed", "worker", url, "err", err)
+		return
+	}
+	if ws == nil {
+		ws = &workerScrape{}
+		p.scraped[url] = ws
+	}
+	ws.ready = ready
+	ws.stale = false
+	ws.snap = snap
+}
+
+// Snapshot renders the fleet document: the registry rows with scrape-derived
+// fields filled in, the campaign progress, and the order-stable merge of
+// every scraped worker's metrics in worker-URL order. A pure function of the
+// plane's retained state — calling it twice without an intervening scrape
+// returns byte-identical documents.
+func (p *Plane) Snapshot() *api.FleetSnapshot {
+	rows := p.cfg.Workers()
+	fs := &api.FleetSnapshot{Workers: rows}
+	if fs.Workers == nil {
+		fs.Workers = []api.FleetWorker{}
+	}
+	p.mu.Lock()
+	var merged *metrics.Snapshot
+	for i := range fs.Workers {
+		ws := p.scraped[fs.Workers[i].URL]
+		if ws == nil {
+			continue
+		}
+		fs.Workers[i].Ready = ws.ready
+		fs.Workers[i].Stale = ws.stale
+		if ws.snap == nil {
+			continue
+		}
+		if merged == nil {
+			merged = &metrics.Snapshot{}
+		}
+		if err := merged.Merge(ws.snap); err != nil {
+			// Incompatible layouts across workers (skewed binaries): serve
+			// the rows, drop the merge, and say so.
+			p.log.Warn("fleet metrics merge failed", "worker", fs.Workers[i].URL, "err", err)
+		}
+	}
+	p.mu.Unlock()
+	fs.Metrics = merged
+	if p.cfg.Campaign != nil {
+		fs.Campaign = p.cfg.Campaign()
+	}
+	return fs
+}
+
+// Gather returns the plane's own operator instruments (fleet_* families) for
+// merging into the coordinator's /metrics exposition.
+func (p *Plane) Gather() (*metrics.Snapshot, error) {
+	return p.reg.Gather()
+}

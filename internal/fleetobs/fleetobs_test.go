@@ -1,0 +1,266 @@
+package fleetobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dmafault/internal/faultd/api"
+	"dmafault/internal/faultdclient"
+	"dmafault/internal/metrics"
+)
+
+// fixedWorker serves a frozen /v1/metrics body and a ready /readyz — the
+// "identical worker state" the determinism contract is pinned against. A
+// live dmafaultd cannot play this role: its request counter ticks on every
+// scrape, so consecutive scrapes never observe identical state.
+func fixedWorker(t *testing.T, metricsBody string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/metrics":
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, metricsBody)
+		case "/readyz":
+			fmt.Fprintln(w, "ready")
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func fixedMetricsBody(t *testing.T, name string, value float64) string {
+	t.Helper()
+	snap := &metrics.Snapshot{Families: []metrics.Family{{
+		Name: name, Kind: metrics.KindCounter,
+		Samples: []metrics.Sample{{Value: value}},
+	}}}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// noRetryClient builds a scrape client with retries disabled so tests that
+// point at dead endpoints fail fast instead of riding the backoff curve.
+func noRetryClient(url string) *faultdclient.Client {
+	c := faultdclient.New(url)
+	c.Retries = -1
+	return c
+}
+
+// registryRows adapts a fixed registry view to Config.Workers.
+func registryRows(rows []api.FleetWorker) func() []api.FleetWorker {
+	return func() []api.FleetWorker {
+		out := make([]api.FleetWorker, len(rows))
+		copy(out, rows)
+		return out
+	}
+}
+
+// Two scrapes of identical worker state must produce byte-identical
+// /v1/fleet documents: the snapshot is a pure function of fleet state, with
+// scrape jitter and plane-internal counters kept out of the bytes.
+func TestSnapshotDeterministicAcrossScrapes(t *testing.T) {
+	w1 := fixedWorker(t, fixedMetricsBody(t, "faultd_requests_total", 7))
+	w2 := fixedWorker(t, fixedMetricsBody(t, "faultd_requests_total", 3))
+	rows := []api.FleetWorker{
+		{URL: w1.URL, Up: true, Static: true, Delivered: 2, Scenarios: 8,
+			PhaseTotals:      api.PhaseSeconds{QueueWait: 0.1, Execute: 2, Publish: 0.01},
+			EWMAShardSeconds: 1, EWMAScenariosPerSec: 4},
+		{URL: w2.URL, Up: true, Delivered: 1, Scenarios: 4,
+			PhaseTotals:      api.PhaseSeconds{Execute: 1.5},
+			EWMAShardSeconds: 1.5, EWMAScenariosPerSec: 2.7},
+	}
+	p := New(Config{Workers: registryRows(rows)})
+	ctx := context.Background()
+
+	p.ScrapeOnce(ctx)
+	a, err := json.MarshalIndent(p.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ScrapeOnce(ctx)
+	b, err := json.MarshalIndent(p.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("re-scraped snapshot drifted:\n%s\nvs\n%s", a, b)
+	}
+
+	var fs api.FleetSnapshot
+	if err := json.Unmarshal(a, &fs); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Workers) != 2 || !fs.Workers[0].Ready || !fs.Workers[1].Ready {
+		t.Fatalf("workers not ready after scrape: %+v", fs.Workers)
+	}
+	// The merged metrics sum both workers' frozen counters, worker-URL order.
+	if fs.Metrics == nil || fs.Metrics.Total("faultd_requests_total") != 10 {
+		t.Fatalf("merged metrics: %+v", fs.Metrics)
+	}
+}
+
+// A worker whose scrape starts failing goes stale and keeps serving its last
+// good snapshot; one that never answered contributes nothing and stays
+// unready.
+func TestStalenessSemantics(t *testing.T) {
+	healthy := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy {
+			http.Error(w, "gone", http.StatusBadGateway)
+			return
+		}
+		switch r.URL.Path {
+		case "/v1/metrics":
+			fmt.Fprint(w, fixedMetricsBody(t, "faultd_requests_total", 5))
+		case "/readyz":
+			fmt.Fprintln(w, "ready")
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+	rows := []api.FleetWorker{
+		{URL: "http://dead.invalid:1", Up: false},
+		{URL: ts.URL, Up: true},
+	}
+	// The dead worker must fail fast, not ride the full retry curve.
+	p := New(Config{Workers: registryRows(rows), NewClient: noRetryClient})
+	ctx := context.Background()
+
+	p.ScrapeOnce(ctx)
+	fs := p.Snapshot()
+	if fs.Workers[0].URL != ts.URL { // URL-sorted: httptest URL sorts first
+		fs.Workers[0], fs.Workers[1] = fs.Workers[1], fs.Workers[0]
+	}
+	live, dead := fs.Workers[0], fs.Workers[1]
+	if !live.Ready || live.Stale {
+		t.Fatalf("live worker: %+v", live)
+	}
+	if dead.Ready || dead.Stale {
+		t.Fatalf("never-scraped worker must be unready and not stale: %+v", dead)
+	}
+	if fs.Metrics.Total("faultd_requests_total") != 5 {
+		t.Fatalf("metrics: %+v", fs.Metrics)
+	}
+
+	// The live worker dies: its row goes stale, its last snapshot persists.
+	healthy = false
+	p.ScrapeOnce(ctx)
+	fs = p.Snapshot()
+	if fs.Workers[0].URL != ts.URL {
+		fs.Workers[0], fs.Workers[1] = fs.Workers[1], fs.Workers[0]
+	}
+	gone := fs.Workers[0]
+	if gone.Ready || !gone.Stale {
+		t.Fatalf("dead-after-success worker: %+v", gone)
+	}
+	if fs.Metrics.Total("faultd_requests_total") != 5 {
+		t.Fatalf("stale snapshot not retained: %+v", fs.Metrics)
+	}
+}
+
+// The golden document: a quarantined worker and a dead (never-scraped)
+// worker, with fixed URLs and a frozen scrape state seeded directly. This is
+// the byte-exact /v1/fleet wire format; a field rename or ordering change
+// fails here before it breaks fabrictop.
+func TestFleetSnapshotGolden(t *testing.T) {
+	rows := []api.FleetWorker{
+		{URL: "http://w1:8077", Up: true, Static: true, Quarantined: true,
+			Leases: 1, Delivered: 2, Scenarios: 8, CacheHits: 3,
+			PhaseTotals:      api.PhaseSeconds{QueueWait: 0.25, Execute: 4, Publish: 0.5},
+			EWMAShardSeconds: 2, EWMAScenariosPerSec: 2.5},
+		{URL: "http://w2:8077", Up: false, Static: true},
+	}
+	p := New(Config{
+		Workers: registryRows(rows),
+		Campaign: func() *api.FleetCampaign {
+			return &api.FleetCampaign{ScenariosTotal: 16, ScenariosDone: 8,
+				ShardsTotal: 4, ShardsDone: 2}
+		},
+	})
+	// Seed the frozen scrape state: w1 answered once then went dark (stale,
+	// last snapshot retained); w2 never answered at all.
+	p.scraped["http://w1:8077"] = &workerScrape{
+		ready: false, stale: true,
+		snap: &metrics.Snapshot{Families: []metrics.Family{{
+			Name: "faultd_requests_total", Kind: metrics.KindCounter,
+			Samples: []metrics.Sample{{Value: 42}},
+		}}},
+	}
+
+	got, err := json.MarshalIndent(p.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "workers": [
+    {
+      "url": "http://w1:8077",
+      "up": true,
+      "static": true,
+      "quarantined": true,
+      "leases": 1,
+      "delivered_shards": 2,
+      "delivered_scenarios": 8,
+      "cache_hits": 3,
+      "phase_totals": {
+        "queue_wait_seconds": 0.25,
+        "execute_seconds": 4,
+        "publish_seconds": 0.5
+      },
+      "ewma_shard_seconds": 2,
+      "ewma_scenarios_per_sec": 2.5,
+      "ready": false,
+      "stale": true
+    },
+    {
+      "url": "http://w2:8077",
+      "up": false,
+      "static": true,
+      "leases": 0,
+      "delivered_shards": 0,
+      "delivered_scenarios": 0,
+      "phase_totals": {
+        "queue_wait_seconds": 0,
+        "execute_seconds": 0,
+        "publish_seconds": 0
+      },
+      "ewma_shard_seconds": 0,
+      "ewma_scenarios_per_sec": 0,
+      "ready": false
+    }
+  ],
+  "campaign": {
+    "scenarios_total": 16,
+    "scenarios_done": 8,
+    "shards_total": 4,
+    "shards_done": 2
+  },
+  "metrics": {
+    "families": [
+      {
+        "name": "faultd_requests_total",
+        "kind": "counter",
+        "samples": [
+          {
+            "value": 42
+          }
+        ]
+      }
+    ]
+  }
+}`
+	if string(got) != want {
+		t.Errorf("fleet snapshot wire format drifted:\n got %s\nwant %s", got, want)
+	}
+}

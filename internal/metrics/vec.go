@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HistogramVec is a labeled histogram family: one fixed-bucket histogram
+// child per label-value combination, materialized on first Observe. Unlike
+// the lock-free single-sample instruments it takes a mutex per observation —
+// it backs control-plane attribution (per-worker shard phases), not
+// simulation hot paths. A vec with no children emits no samples, so the
+// family is omitted from gathered snapshots until the first observation
+// (the same absent-until-armed discipline as OmitZero).
+type HistogramVec struct {
+	desc Desc
+	keys []string
+
+	mu       sync.Mutex
+	children map[string]*vecChild
+}
+
+type vecChild struct {
+	labels []Label
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// NewHistogramVec builds a labeled histogram family with the given ascending
+// upper bounds (the +Inf overflow bucket is implicit) and label keys. Every
+// Observe must supply exactly one value per key, in key order.
+func NewHistogramVec(name, help string, buckets []float64, keys ...string) *HistogramVec {
+	for _, k := range keys {
+		if !ValidName(k) {
+			panic(fmt.Sprintf("metrics: invalid label key %q on %s", k, name))
+		}
+	}
+	return &HistogramVec{
+		desc: Desc{Name: name, Help: help, Kind: KindHistogram,
+			Buckets: append([]float64(nil), buckets...)},
+		keys: append([]string(nil), keys...),
+	}
+}
+
+// Observe records one value at the given label values (one per key, in key
+// order).
+func (h *HistogramVec) Observe(v float64, values ...string) {
+	if len(values) != len(h.keys) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d",
+			h.desc.Name, len(h.keys), len(values)))
+	}
+	labels := make([]Label, len(h.keys))
+	for i, k := range h.keys {
+		labels[i] = Label{Key: k, Value: values[i]}
+	}
+	sortLabels(labels)
+	key := labelKey(labels)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.children[key]
+	if c == nil {
+		if h.children == nil {
+			h.children = make(map[string]*vecChild)
+		}
+		c = &vecChild{labels: labels, counts: make([]uint64, len(h.desc.Buckets)+1)}
+		h.children[key] = c
+	}
+	i := len(h.desc.Buckets) // overflow by default
+	for b, ub := range h.desc.Buckets {
+		if v <= ub {
+			i = b
+			break
+		}
+	}
+	c.counts[i]++
+	c.count++
+	c.sum += v
+}
+
+// Describe implements Source.
+func (h *HistogramVec) Describe() []Desc { return []Desc{h.desc} }
+
+// Collect implements Source. Gather sorts samples by label signature, so
+// map iteration order here is irrelevant.
+func (h *HistogramVec) Collect(emit func(name string, s Sample)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range h.children {
+		emit(h.desc.Name, Sample{
+			Labels:       append([]Label(nil), c.labels...),
+			BucketCounts: append([]uint64(nil), c.counts...),
+			Sum:          c.sum,
+			Count:        c.count,
+		})
+	}
+}

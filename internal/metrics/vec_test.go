@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+// A HistogramVec materializes one child per label combination and gathers
+// into label-sorted samples; with no children the family is absent entirely.
+func TestHistogramVec(t *testing.T) {
+	vec := NewHistogramVec("phase_latency_seconds", "per-phase latency",
+		[]float64{0.1, 1}, "phase", "worker")
+	reg := NewRegistry()
+	reg.MustRegister(vec)
+
+	snap, err := reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 0 {
+		t.Fatalf("vec with no children gathered %d families, want 0", len(snap.Families))
+	}
+
+	vec.Observe(0.05, "execute", "http://w1")
+	vec.Observe(0.5, "execute", "http://w1")
+	vec.Observe(2, "publish", "http://w1")
+	vec.Observe(0.5, "execute", "http://w2")
+
+	snap, err = reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 1 {
+		t.Fatalf("gathered %d families, want 1", len(snap.Families))
+	}
+	fam := snap.Families[0]
+	if len(fam.Samples) != 3 {
+		t.Fatalf("gathered %d samples, want 3", len(fam.Samples))
+	}
+	// Samples sort by label signature: execute/w1, execute/w2, publish/w1.
+	s := fam.Samples[0]
+	if s.Labels[0].Value != "execute" || s.Labels[1].Value != "http://w1" {
+		t.Fatalf("first sample labels %v", s.Labels)
+	}
+	if s.Count != 2 || s.Sum != 0.55 {
+		t.Fatalf("execute/w1 count=%d sum=%v, want 2/0.55", s.Count, s.Sum)
+	}
+	if want := []uint64{1, 1, 0}; len(s.BucketCounts) != 3 ||
+		s.BucketCounts[0] != want[0] || s.BucketCounts[1] != want[1] || s.BucketCounts[2] != want[2] {
+		t.Fatalf("execute/w1 buckets %v, want %v", s.BucketCounts, want)
+	}
+	if over := fam.Samples[2]; over.BucketCounts[2] != 1 {
+		t.Fatalf("publish/w1 overflow bucket %v", over.BucketCounts)
+	}
+
+	// Two gathers of unchanged state encode identically.
+	a, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := reg.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := again.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated gathers of an unchanged vec drifted")
+	}
+}
+
+func TestHistogramVecPanics(t *testing.T) {
+	vec := NewHistogramVec("v", "help", []float64{1}, "phase")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	vec.Observe(1, "a", "b")
+}

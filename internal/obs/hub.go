@@ -4,7 +4,9 @@ import "sync"
 
 // StreamEvent is one live event on a Hub: a typed JSON-encodable payload.
 // Types the service emits: "progress" (heartbeat), "span", "result",
-// "status" (terminal).
+// "status" (terminal); the fabric coordinator adds "workers" (registry
+// heartbeat) and, with the fleet plane armed, "fleet" (an api.FleetSnapshot
+// per scrape round — what fabrictop follows).
 type StreamEvent struct {
 	Type string `json:"type"`
 	Data any    `json:"data,omitempty"`
